@@ -1,0 +1,54 @@
+"""Design-space exploration — the "algorithm <-> hardware" closed loop.
+
+Sweeps the server-to-server bandwidth and the comparison-engine parallelism
+for VGG-16 / CIFAR-10 and reports how the all-ReLU latency, the all-poly
+latency and the searched architecture shift — the co-design argument of the
+paper's introduction (a fixed architecture is sub-optimal across hardware
+operating points).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.evaluation.report import render_table
+from repro.hardware.dse import explore_device_parallelism, explore_network_bandwidth
+from repro.models.vgg import vgg16_cifar
+
+
+def test_dse_bandwidth_and_parallelism(benchmark):
+    spec = vgg16_cifar()
+
+    def run():
+        return (
+            explore_network_bandwidth(spec, bandwidths_gbps=(0.1, 1.0, 10.0)),
+            explore_device_parallelism(spec, comparison_lanes=(10, 40, 160)),
+        )
+
+    bandwidth_points, lane_points = benchmark(run)
+
+    def rows(points):
+        return [
+            {
+                "config": p.label,
+                "all-ReLU (ms)": p.all_relu_ms,
+                "all-poly (ms)": p.all_poly_ms,
+                "searched (ms)": p.searched_ms,
+                "searched poly %": 100 * p.searched_poly_fraction,
+            }
+            for p in points
+        ]
+
+    emit("DSE: network bandwidth sweep (VGG-16 / CIFAR-10)", render_table(rows(bandwidth_points)))
+    emit("DSE: comparison-engine parallelism sweep", render_table(rows(lane_points)))
+
+    # Faster links shrink the all-ReLU latency but the polynomial model keeps
+    # a large advantage at every operating point.
+    assert all(p.poly_speedup > 5 for p in bandwidth_points)
+    relu_latencies = [p.all_relu_ms for p in bandwidth_points]
+    assert relu_latencies == sorted(relu_latencies, reverse=True)
+    # Scaling only the comparison engine leaves the all-polynomial latency
+    # untouched (it contains no comparison flows).
+    assert len({round(p.all_poly_ms, 6) for p in lane_points}) == 1
+    # On the slowest link the searched architecture is at least as polynomial
+    # as on the fastest link.
+    assert bandwidth_points[0].searched_poly_fraction >= bandwidth_points[-1].searched_poly_fraction

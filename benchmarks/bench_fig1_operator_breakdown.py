@@ -1,0 +1,26 @@
+"""Figure 1 — 2PC operator latency breakdown of a ResNet-50 bottleneck block.
+
+Regenerates the per-operator latencies of Fig. 1 (ImageNet input, 1 GB/s
+network, ZCU104 devices) from the analytical hardware model and checks the
+headline observation: ReLU contributes the overwhelming majority of the
+block latency.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.evaluation.figures import FIG1_PAPER_MS, figure1_breakdown
+from repro.evaluation.report import render_table
+
+
+def test_fig1_operator_breakdown(benchmark):
+    rows = benchmark(figure1_breakdown)
+    emit("Fig. 1 operator latency breakdown (measured vs paper, ms)", render_table(rows))
+
+    by_name = {row["operator"]: row for row in rows}
+    # ReLU latencies land within 10% of the paper's reported numbers.
+    for name, paper_ms in FIG1_PAPER_MS.items():
+        if name.startswith("ReLU"):
+            assert abs(by_name[name]["measured_ms"] - paper_ms) / paper_ms < 0.10
+    # The block is completely dominated by the comparison protocol.
+    assert by_name["ReLU share of block"]["measured_ms"] > 90.0

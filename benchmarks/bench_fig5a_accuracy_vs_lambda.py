@@ -1,0 +1,36 @@
+"""Figure 5(a) — searched model accuracy vs latency-penalty λ on CIFAR-10.
+
+Regenerates the accuracy series of the five backbones (VGG-16, MobileNetV2,
+ResNet-18/34/50) across the λ sweep, including the all-ReLU and all-poly
+endpoints, and checks the paper's per-backbone degradation claims:
+ResNets lose at most ~0.34 points, MobileNetV2 ~1.3, VGG-16 ~3.2.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.surrogate import AccuracySurrogate
+from repro.evaluation.figures import figure5_sweep
+from repro.evaluation.report import render_series
+
+
+def test_fig5a_accuracy_vs_lambda(benchmark):
+    surrogate = AccuracySurrogate(jitter_std=0.0)
+    sweep = benchmark(lambda: figure5_sweep(surrogate=surrogate))
+
+    labels = next(iter(sweep.values())).labels
+    emit(
+        "Fig. 5(a) searched model accuracy vs lambda (top-1 %)",
+        render_series({name: s.accuracy for name, s in sweep.items()}, labels),
+    )
+
+    drops = {name: s.max_accuracy_drop for name, s in sweep.items()}
+    assert drops["resnet18-cifar"] < 0.5
+    assert drops["resnet34-cifar"] < 0.5
+    assert drops["resnet50-cifar"] < 0.5
+    assert 0.5 < drops["mobilenetv2-cifar"] < 2.0
+    assert drops["vgg16-cifar"] > 2.0
+    # Accuracy decreases monotonically (within jitter-free surrogate) as the
+    # latency penalty pushes more layers to polynomial activations.
+    for series in sweep.values():
+        assert series.accuracy[0] == max(series.accuracy)

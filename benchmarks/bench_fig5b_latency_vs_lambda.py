@@ -1,0 +1,47 @@
+"""Figure 5(b) — private-inference latency of searched models vs λ on CIFAR-10.
+
+Regenerates the latency series of the five backbones across the λ sweep and
+checks the all-polynomial speedups the paper reports (15x-26x, depending on
+backbone) and the absolute all-ReLU latency scale (hundreds of ms to ~1.5 s).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.surrogate import AccuracySurrogate
+from repro.evaluation.figures import FIG5B_PAPER, figure5_sweep
+from repro.evaluation.report import render_series, render_table
+
+
+def test_fig5b_latency_vs_lambda(benchmark):
+    surrogate = AccuracySurrogate(jitter_std=0.0)
+    sweep = benchmark(lambda: figure5_sweep(surrogate=surrogate))
+
+    labels = next(iter(sweep.values())).labels
+    emit(
+        "Fig. 5(b) searched model 2PC latency vs lambda (ms)",
+        render_series({name: s.latency_ms for name, s in sweep.items()}, labels),
+    )
+    comparison_rows = [
+        {
+            "backbone": name,
+            "all-ReLU measured (ms)": series.all_relu_latency_ms,
+            "all-ReLU paper (ms)": FIG5B_PAPER[name]["all_relu_ms"],
+            "all-poly speedup measured": series.all_poly_speedup,
+            "all-poly speedup paper": FIG5B_PAPER[name]["all_poly_speedup"],
+        }
+        for name, series in sweep.items()
+    ]
+    emit("Fig. 5(b) endpoints vs paper", render_table(comparison_rows))
+
+    for name, series in sweep.items():
+        # Latency decreases monotonically with the penalty.
+        assert series.latency_ms == sorted(series.latency_ms, reverse=True)
+        # Speedups land in the paper's order of magnitude.
+        assert 8 < series.all_poly_speedup < 60, name
+        # Absolute all-ReLU latency within ~3x of the reported number.
+        paper_ms = FIG5B_PAPER[name]["all_relu_ms"]
+        assert paper_ms / 3 < series.all_relu_latency_ms < 3.2 * paper_ms, name
+    # MobileNetV2 is the slowest all-ReLU backbone despite the fewest MACs.
+    all_relu = {name: s.all_relu_latency_ms for name, s in sweep.items()}
+    assert all_relu["mobilenetv2-cifar"] > all_relu["resnet18-cifar"]

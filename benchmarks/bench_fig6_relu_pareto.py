@@ -1,0 +1,38 @@
+"""Figure 6 — accuracy vs ReLU-count trade-off and Pareto frontier on CIFAR-10.
+
+Regenerates the per-backbone accuracy-vs-ReLU traces and the combined Pareto
+frontier, and checks the figure's message: accuracy stays near the baseline
+even under aggressive ReLU reduction.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.surrogate import AccuracySurrogate
+from repro.evaluation.figures import accuracy_at_budget, figure6_pareto
+from repro.evaluation.report import render_table
+
+
+def test_fig6_relu_pareto(benchmark):
+    surrogate = AccuracySurrogate(jitter_std=0.0)
+    result = benchmark(lambda: figure6_pareto(num_points=12, surrogate=surrogate))
+
+    frontier = result["frontier"]
+    emit(
+        "Fig. 6 Pareto frontier (ReLU count [k] vs top-1 %)",
+        render_table(
+            [{"relu_k": p.cost, "accuracy": p.accuracy, "backbone": p.label} for p in frontier]
+        ),
+    )
+
+    best = max(p.accuracy for p in frontier)
+    # Aggressive reduction: even at a 10k-ReLU budget the frontier stays
+    # within ~2 points of the best model (the paper's "best performance"
+    # region spans 1k-1000k ReLUs with accuracy between ~92.5 and ~95.5).
+    assert best - accuracy_at_budget(frontier, budget_k=10.0) < 2.0
+    assert best > 94.5
+    # Every Fig. 5 backbone contributes a trace.
+    assert len(result["traces"]) == 5
+    # The frontier spans at least two orders of magnitude of ReLU counts.
+    costs = [p.cost for p in frontier if p.cost > 0]
+    assert max(costs) / max(min(costs), 1e-9) > 10

@@ -1,0 +1,44 @@
+"""Figure 7 — cross-work accuracy vs ReLU-count comparison on CIFAR-10.
+
+Compares the PASNet Pareto frontier against the re-implemented baseline
+strategies (DeepReDuce, DELPHI, CryptoNAS, SNL) and their published anchor
+points, and checks the paper's claim: PASNet achieves a much better
+accuracy/ReLU trade-off, especially at extremely small ReLU budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.surrogate import AccuracySurrogate
+from repro.evaluation.figures import accuracy_at_budget, figure7_crosswork
+from repro.evaluation.report import render_table
+
+
+def test_fig7_crosswork_relu_reduction(benchmark):
+    surrogate = AccuracySurrogate(jitter_std=0.0)
+    curves = benchmark(lambda: figure7_crosswork(num_points=10, surrogate=surrogate))
+
+    budgets = [10.0, 30.0, 100.0]  # thousands of ReLU elements
+    rows = []
+    for method, points in curves.items():
+        row = {"method": method}
+        for budget in budgets:
+            row[f"acc@{budget:g}k"] = accuracy_at_budget(points, budget)
+        rows.append(row)
+    emit("Fig. 7 accuracy at ReLU budgets (top-1 %)", render_table(rows))
+
+    for budget in budgets:
+        ours = accuracy_at_budget(curves["PASNet (ours)"], budget)
+        for method, points in curves.items():
+            if method == "PASNet (ours)":
+                continue
+            other = accuracy_at_budget(points, budget)
+            if np.isnan(other):
+                continue
+            assert ours >= other, f"{method} beats PASNet at {budget}k ReLUs"
+    # "Almost no accuracy drop with aggressive ReLU reduction": within 2
+    # points of the unconstrained best even at a 10k budget.
+    unconstrained = max(p.accuracy for p in curves["PASNet (ours)"])
+    assert unconstrained - accuracy_at_budget(curves["PASNet (ours)"], 10.0) < 2.0

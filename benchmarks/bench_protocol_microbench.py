@@ -1,0 +1,80 @@
+"""Microbenchmarks of the executed 2PC protocol simulation.
+
+Not a paper figure per se, but the substrate's own performance/throughput
+characterization: wall-clock of the numpy 2PC simulation for the core
+operators (Beaver multiplication, square, DReLU comparison, convolution) and
+the measured communication per element, which EXPERIMENTS.md compares with
+the analytical model's per-element volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.crypto import make_context, share
+from repro.crypto.protocols import (
+    drelu,
+    multiply,
+    secure_conv2d_public_weight,
+    secure_relu,
+    square,
+)
+from repro.evaluation.report import render_table
+
+
+@pytest.fixture()
+def payload():
+    rng = np.random.default_rng(0)
+    ctx = make_context(seed=1)
+    x = rng.uniform(-2, 2, size=(1, 4, 8, 8))
+    return ctx, rng, x
+
+
+def test_beaver_multiply_throughput(benchmark, payload):
+    ctx, rng, x = payload
+    shared = share(x, ctx.ring, rng)
+    benchmark(lambda: multiply(ctx, shared, shared))
+
+
+def test_square_protocol_throughput(benchmark, payload):
+    ctx, rng, x = payload
+    shared = share(x, ctx.ring, rng)
+    benchmark(lambda: square(ctx, shared))
+
+
+def test_drelu_comparison_throughput(benchmark, payload):
+    ctx, rng, x = payload
+    shared = share(x, ctx.ring, rng)
+    benchmark(lambda: drelu(ctx, shared))
+
+
+def test_secure_conv_throughput(benchmark, payload):
+    ctx, rng, x = payload
+    shared = share(x, ctx.ring, rng)
+    weight = rng.normal(size=(8, 4, 3, 3)) * 0.3
+    benchmark(lambda: secure_conv2d_public_weight(ctx, shared, weight, padding=1))
+
+
+def test_relu_communication_per_element(benchmark, payload):
+    ctx, rng, x = payload
+    shared = share(x, ctx.ring, rng)
+
+    def run():
+        ctx.reset_communication()
+        secure_relu(ctx, shared)
+        return ctx.communication_bytes
+
+    total_bytes = benchmark(run)
+    per_element = total_bytes / x.size
+    emit(
+        "Executed 2PC-ReLU communication",
+        render_table(
+            [{"elements": x.size, "total bytes": total_bytes, "bytes/element": per_element}]
+        ),
+    )
+    # The executed simulation uses the 64-bit CrypTen-style ring, so the
+    # per-element volume is of the same order as (though not identical to)
+    # the paper's 32-bit OT-flow volume of ~324 bytes/element.
+    assert 100 < per_element < 5000

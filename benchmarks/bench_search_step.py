@@ -1,0 +1,46 @@
+"""Search-loop cost benchmark.
+
+Times one full Algorithm-1 iteration (architecture update + weight update)
+on the tiny supernet, and the end-to-end figure-scale λ-sweep used by the
+Fig. 5 benchmarks.  Useful as a regression guard for the numpy engine.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.search import DifferentiablePolynomialSearch, SearchConfig
+from repro.core.supernet import Supernet
+from repro.core.sweep import lambda_sweep
+from repro.data import DataLoader, synthetic_tiny, train_val_split
+from repro.models.resnet import resnet50_cifar
+from repro.models.vgg import vgg_tiny
+from repro.utils import seed_everything
+
+
+def test_single_search_step(benchmark):
+    seed_everything(0)
+    dataset = synthetic_tiny(num_samples=64, image_size=8, seed=0)
+    train, val = train_val_split(dataset, 0.5, seed=0)
+    search = DifferentiablePolynomialSearch(
+        Supernet(vgg_tiny(input_size=8)),
+        DataLoader(train, batch_size=8, seed=1),
+        DataLoader(val, batch_size=8, seed=2),
+        SearchConfig(num_steps=1, latency_lambda=1e-2, log_every=0),
+    )
+    counter = {"step": 0}
+
+    def one_step():
+        entry = search.step(counter["step"])
+        counter["step"] += 1
+        return entry
+
+    entry = benchmark(one_step)
+    emit("One Algorithm-1 step", f"train loss {entry.train_loss:.3f}, "
+                                 f"expected latency {entry.expected_latency_ms:.2f} ms")
+
+
+def test_full_backbone_lambda_sweep(benchmark):
+    """Latency-model-driven sweep over the largest Fig. 5 backbone."""
+    result = benchmark(lambda: lambda_sweep(resnet50_cifar()))
+    assert len(result.points) == 6
+    assert result.points[0].latency_ms > result.points[-1].latency_ms

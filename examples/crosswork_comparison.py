@@ -1,0 +1,61 @@
+"""Cross-work comparisons: ReLU-reduction baselines and PI systems.
+
+Regenerates the data behind Fig. 7 (accuracy vs ReLU count against
+DeepReDuce / DELPHI / CryptoNAS / SNL) and Table I (PASNet variants against
+CryptGPU and CryptFLOW), printing the same rows the benchmark harness checks.
+
+Run with:  python examples/crosswork_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.core.surrogate import AccuracySurrogate
+from repro.evaluation import (
+    accuracy_at_budget,
+    comparator_rows,
+    crosswork_speedups,
+    figure7_crosswork,
+    render_table,
+    table1_rows,
+)
+
+
+def relu_reduction_comparison() -> None:
+    print("== Fig. 7: accuracy at ReLU budgets (CIFAR-10) ==")
+    curves = figure7_crosswork(num_points=10, surrogate=AccuracySurrogate(jitter_std=0.0))
+    budgets = [10.0, 30.0, 100.0, 300.0]
+    rows = []
+    for method, points in curves.items():
+        row = {"method": method}
+        for budget in budgets:
+            row[f"acc@{budget:g}k ReLU"] = accuracy_at_budget(points, budget)
+        rows.append(row)
+    print(render_table(rows))
+    print()
+
+
+def system_comparison() -> None:
+    print("== Table I: PASNet vs CryptGPU / CryptFLOW (ImageNet) ==")
+    rows = table1_rows()
+    print(render_table([r.as_dict() for r in rows] + comparator_rows()))
+    print()
+    print("== headline improvement factors ==")
+    print(
+        render_table(
+            [
+                {
+                    "variant": s.variant,
+                    "vs": s.comparator,
+                    "latency x": s.latency_speedup,
+                    "comm x": s.communication_reduction,
+                    "efficiency x": s.efficiency_gain,
+                }
+                for s in crosswork_speedups(rows)
+            ]
+        )
+    )
+
+
+if __name__ == "__main__":
+    relu_reduction_comparison()
+    system_comparison()

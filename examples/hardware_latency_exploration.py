@@ -1,0 +1,84 @@
+"""Explore the FPGA 2PC latency / communication / energy model.
+
+Reproduces the paper's hardware-side analyses without any training:
+
+- the Fig. 1 operator breakdown of a ResNet-50 bottleneck block;
+- full-network latency of the CIFAR-10 backbones, all-ReLU vs all-polynomial
+  (the endpoints of Fig. 5(b));
+- the Table-I view of the PASNet-A/B/C/D variants on ImageNet;
+- sensitivity of the searched latency to the network bandwidth.
+
+Run with:  python examples/hardware_latency_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import figure1_breakdown, render_table, table1_rows
+from repro.hardware import (
+    CryptoScheduler,
+    EnergyModel,
+    LatencyModel,
+    NetworkModel,
+    communication_report,
+)
+from repro.models import FIG5_BACKBONES, build_variant, get_backbone
+
+
+def operator_breakdown() -> None:
+    print("== Fig. 1: ResNet-50 bottleneck operator breakdown (ImageNet, 1 GB/s) ==")
+    print(render_table(figure1_breakdown()))
+    print()
+
+
+def backbone_latencies() -> None:
+    print("== CIFAR-10 backbones: all-ReLU vs all-polynomial (Fig. 5(b) endpoints) ==")
+    scheduler = CryptoScheduler()
+    rows = []
+    for name in FIG5_BACKBONES:
+        spec = get_backbone(name)
+        poly = spec.with_all_polynomial()
+        relu_ms = 1e3 * scheduler.latency_seconds(spec)
+        poly_ms = 1e3 * scheduler.latency_seconds(poly)
+        rows.append(
+            {
+                "backbone": name,
+                "all-ReLU (ms)": relu_ms,
+                "all-poly (ms)": poly_ms,
+                "speedup": relu_ms / poly_ms,
+                "ReLU elements (k)": spec.relu_count() / 1e3,
+                "comm all-ReLU (MB)": communication_report(spec).total_megabytes,
+            }
+        )
+    print(render_table(rows))
+    print()
+
+
+def pasnet_variants() -> None:
+    print("== Table I: PASNet variants on ImageNet (measured cost columns) ==")
+    print(render_table([row.as_dict() for row in table1_rows()]))
+    print()
+
+
+def bandwidth_sweep() -> None:
+    print("== Bandwidth sensitivity of PASNet-A (ImageNet) ==")
+    spec = build_variant("PASNet-A", "imagenet")
+    energy = EnergyModel()
+    rows = []
+    for name, bandwidth in [("10 GB/s", 8e10), ("1 GB/s (paper)", 8e9), ("100 MB/s", 8e8), ("10 MB/s", 8e7)]:
+        model = LatencyModel(network=NetworkModel(name=name, bandwidth_bps=bandwidth))
+        latency_s = CryptoScheduler(model).latency_seconds(spec)
+        rows.append(
+            {
+                "network": name,
+                "latency (ms)": 1e3 * latency_s,
+                "efficiency (1/s*kW)": energy.efficiency_per_s_kw(latency_s),
+            }
+        )
+    print(render_table(rows))
+
+
+if __name__ == "__main__":
+    operator_breakdown()
+    backbone_latencies()
+    pasnet_variants()
+    bandwidth_sweep()

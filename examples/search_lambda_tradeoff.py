@@ -1,0 +1,86 @@
+"""Latency-penalty (λ) trade-off study.
+
+Two views of the accuracy/latency trade-off the λ hyper-parameter controls
+(Fig. 5 of the paper):
+
+1. *Trained* trade-off at tiny scale: run the actual differentiable search
+   (Algorithm 1) for several λ values on the synthetic dataset, finetune each
+   derived architecture and report its measured accuracy and model latency.
+2. *Full-scale* trade-off: the analytic λ-sweep over the real CIFAR-10
+   backbones with the calibrated accuracy surrogate (what the Fig. 5
+   benchmarks use).
+
+Run with:  python examples/search_lambda_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DifferentiablePolynomialSearch,
+    SearchConfig,
+    Supernet,
+    TrainConfig,
+    finetune_derived,
+    lambda_sweep,
+)
+from repro.core.surrogate import AccuracySurrogate
+from repro.data import DataLoader, synthetic_tiny, train_val_split
+from repro.evaluation import render_table
+from repro.hardware import CryptoScheduler
+from repro.models import get_backbone, vgg_tiny
+from repro.utils import seed_everything
+
+
+def trained_tradeoff() -> None:
+    print("== trained λ trade-off (tiny backbone, synthetic data) ==")
+    scheduler = CryptoScheduler()
+    rows = []
+    for lam in (0.0, 5e-3, 5e-2):
+        seed_everything(0)
+        dataset = synthetic_tiny(num_samples=128, image_size=8, noise_std=0.25)
+        train_set, val_set = train_val_split(dataset, 0.5)
+        train_loader = DataLoader(train_set, batch_size=16, seed=1)
+        val_loader = DataLoader(val_set, batch_size=16, seed=2)
+        supernet = Supernet(vgg_tiny(input_size=8))
+        search = DifferentiablePolynomialSearch(
+            supernet,
+            train_loader,
+            val_loader,
+            SearchConfig(latency_lambda=lam, num_steps=8, log_every=0),
+        )
+        derived = search.run().derived_spec
+        _, history = finetune_derived(
+            derived, train_loader, val_loader, TrainConfig(epochs=3, lr=0.08)
+        )
+        rows.append(
+            {
+                "lambda": lam,
+                "poly fraction": derived.polynomial_fraction(),
+                "latency (ms)": 1e3 * scheduler.latency_seconds(derived),
+                "val accuracy": history.best_val_accuracy,
+            }
+        )
+    print(render_table(rows))
+    print()
+
+
+def full_scale_tradeoff() -> None:
+    print("== full-scale λ sweep on ResNet-18 / CIFAR-10 (surrogate accuracy) ==")
+    backbone = get_backbone("resnet18-cifar")
+    sweep = lambda_sweep(backbone, surrogate=AccuracySurrogate(jitter_std=0.0))
+    rows = [
+        {
+            "lambda": point.lam,
+            "accuracy (%)": point.accuracy,
+            "latency (ms)": point.latency_ms,
+            "comm (MB)": point.communication_mb,
+            "ReLU elements (k)": point.relu_elements / 1e3,
+        }
+        for point in sweep.points
+    ]
+    print(render_table(rows))
+
+
+if __name__ == "__main__":
+    trained_tradeoff()
+    full_scale_tradeoff()

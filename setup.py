@@ -1,0 +1,17 @@
+"""Setup shim so ``pip install -e .`` works with the legacy (non-PEP-660)
+setuptools available in the offline environment."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PASNet (DAC 2023) reproduction: polynomial architecture search for "
+        "2PC-based secure neural network deployment"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,39 @@
+"""PASNet (DAC 2023) reproduction.
+
+The package is organized as:
+
+- :mod:`repro.nn` -- a from-scratch numpy autograd neural-network engine
+  (the substrate PyTorch provided in the original work).
+- :mod:`repro.crypto` -- an executable simulation of the 2PC secret-sharing
+  protocols (additive sharing, Beaver triples, OT-based comparison) with
+  communication accounting.
+- :mod:`repro.hardware` -- the FPGA (ZCU104) cryptographic-operator latency,
+  communication and energy model of Section III-C of the paper.
+- :mod:`repro.core` -- the paper's contribution: the trainable X^2act
+  polynomial activation, STPAI initialization, the gated supernet and the
+  differentiable hardware-aware polynomial architecture search.
+- :mod:`repro.models` -- backbone model zoo (VGG, ResNet, MobileNetV2) and
+  the PASNet-A/B/C/D variants.
+- :mod:`repro.data` -- synthetic CIFAR-10-like / ImageNet-like datasets.
+- :mod:`repro.baselines` -- re-implemented ReLU-reduction baselines and
+  published comparator numbers (CryptGPU, CryptFLOW, DeepReDuce, ...).
+- :mod:`repro.evaluation` -- table/figure generators for every experiment
+  in the paper's evaluation section.
+"""
+
+from repro import baselines, core, crypto, data, evaluation, hardware, models, nn, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "crypto",
+    "data",
+    "evaluation",
+    "hardware",
+    "models",
+    "nn",
+    "utils",
+    "__version__",
+]

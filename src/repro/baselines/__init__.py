@@ -1,0 +1,40 @@
+"""Comparison baselines: published system numbers and re-implemented
+ReLU-reduction strategies."""
+
+from repro.baselines.published import (
+    CIFAR10_BASELINE_ACCURACY,
+    CRYPTFLOW,
+    CRYPTGPU,
+    RELU_REDUCTION_ANCHORS,
+    ReLUAccuracyPoint,
+    SYSTEM_COMPARATORS,
+    SystemComparator,
+)
+from repro.baselines.relu_reduction import (
+    ALL_BASELINES,
+    BaselineResult,
+    CryptoNASBaseline,
+    DeepReDuceBaseline,
+    DelphiBaseline,
+    ReLUReductionBaseline,
+    SNLBaseline,
+    run_all_baselines,
+)
+
+__all__ = [
+    "SystemComparator",
+    "CRYPTGPU",
+    "CRYPTFLOW",
+    "SYSTEM_COMPARATORS",
+    "ReLUAccuracyPoint",
+    "RELU_REDUCTION_ANCHORS",
+    "CIFAR10_BASELINE_ACCURACY",
+    "ReLUReductionBaseline",
+    "DeepReDuceBaseline",
+    "DelphiBaseline",
+    "CryptoNASBaseline",
+    "SNLBaseline",
+    "BaselineResult",
+    "ALL_BASELINES",
+    "run_all_baselines",
+]

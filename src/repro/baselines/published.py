@@ -1,0 +1,108 @@
+"""Published comparator numbers used by the cross-work comparisons.
+
+Two groups:
+
+- **System comparators** (Table I): CryptGPU and CryptFLOW private-inference
+  latency / communication / accuracy for ResNet-50 on ImageNet, as reported
+  in the PASNet paper's Table I.
+- **ReLU-reduction comparators** (Fig. 7): accuracy-vs-ReLU-count anchor
+  points for DeepReDuce, DELPHI, CryptoNAS and SNL on CIFAR-10.  The PASNet
+  paper plots these works' curves without tabulating them; the anchors below
+  are representative points read from the respective papers' CIFAR-10
+  results and are used (a) to draw the comparison curves of the Fig. 7
+  benchmark and (b) to calibrate the heuristic baseline generators in
+  :mod:`repro.baselines.relu_reduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class SystemComparator:
+    """One row of the Table-I comparator block (ImageNet, batch size 1)."""
+
+    name: str
+    model: str
+    top1: float
+    top5: float
+    latency_s: float
+    communication_gb: float
+    efficiency_per_s_kw: float
+    platform: str
+
+
+CRYPTGPU = SystemComparator(
+    name="CryptGPU",
+    model="ResNet-50",
+    top1=78.0,
+    top5=92.0,
+    latency_s=9.31,
+    communication_gb=3.08,
+    efficiency_per_s_kw=0.15,
+    platform="GPU server",
+)
+
+CRYPTFLOW = SystemComparator(
+    name="CryptFLOW",
+    model="ResNet-50",
+    top1=76.45,
+    top5=93.23,
+    latency_s=25.9,
+    communication_gb=6.9,
+    efficiency_per_s_kw=0.096,
+    platform="CPU/GPU server",
+)
+
+SYSTEM_COMPARATORS: Tuple[SystemComparator, ...] = (CRYPTGPU, CRYPTFLOW)
+
+
+@dataclass(frozen=True)
+class ReLUAccuracyPoint:
+    """One (ReLU count, accuracy) point of a ReLU-reduction method on CIFAR-10."""
+
+    relu_count_k: float  # thousands of ReLU elements
+    accuracy: float
+
+
+#: Representative CIFAR-10 anchor points per comparison work (approximate,
+#: read from the respective publications; used for curve plotting and
+#: baseline calibration, clearly labelled as reported-not-measured).
+RELU_REDUCTION_ANCHORS: Dict[str, List[ReLUAccuracyPoint]] = {
+    "DeepReDuce": [
+        ReLUAccuracyPoint(12.9, 88.5),
+        ReLUAccuracyPoint(49.2, 92.7),
+        ReLUAccuracyPoint(197.0, 94.1),
+        ReLUAccuracyPoint(229.4, 94.4),
+    ],
+    "DELPHI": [
+        ReLUAccuracyPoint(30.0, 86.0),
+        ReLUAccuracyPoint(90.0, 89.5),
+        ReLUAccuracyPoint(180.0, 91.5),
+        ReLUAccuracyPoint(300.0, 92.5),
+    ],
+    "CryptoNAS": [
+        ReLUAccuracyPoint(50.0, 89.4),
+        ReLUAccuracyPoint(100.0, 92.2),
+        ReLUAccuracyPoint(344.0, 93.7),
+        ReLUAccuracyPoint(500.0, 94.0),
+    ],
+    "SNL": [
+        ReLUAccuracyPoint(15.0, 90.5),
+        ReLUAccuracyPoint(50.0, 93.0),
+        ReLUAccuracyPoint(120.0, 93.8),
+        ReLUAccuracyPoint(180.0, 94.2),
+    ],
+}
+
+#: Baseline (all-ReLU) accuracies of the paper's CIFAR-10 backbones — used to
+#: cross-check the surrogate calibration.
+CIFAR10_BASELINE_ACCURACY: Dict[str, float] = {
+    "vgg16": 93.5,
+    "resnet18": 93.7,
+    "resnet34": 93.8,
+    "resnet50": 95.6,
+    "mobilenetv2": 94.09,
+}

@@ -1,0 +1,79 @@
+"""PASNet core: X^2act, STPAI, the gated supernet and the hardware-aware NAS."""
+
+from repro.core.channelwise import ChannelwiseX2Act, convert_to_channelwise
+from repro.core.derive import derive_architecture, load_architecture, save_architecture
+from repro.core.random_search import (
+    EvolutionarySearch,
+    GradientFreeSearchResult,
+    RandomSearch,
+)
+from repro.core.finetune import TrainConfig, Trainer, TrainHistory, finetune_derived
+from repro.core.gated import ArchParameter, GatedActivation, GatedOperator, GatedPooling
+from repro.core.pareto import TradeOffPoint, hypervolume, pareto_frontier
+from repro.core.search import (
+    DifferentiablePolynomialSearch,
+    SearchConfig,
+    SearchHistoryEntry,
+    SearchResult,
+)
+from repro.core.stpai import STPAIConfig, iter_x2act, naive_initialize, stpai_initialize
+from repro.core.supernet import Supernet
+from repro.core.surrogate import (
+    AccuracySurrogate,
+    BackboneCalibration,
+    CIFAR10_CALIBRATION,
+    IMAGENET_CALIBRATION,
+    backbone_key,
+)
+from repro.core.sweep import (
+    DEFAULT_LAMBDAS,
+    SweepPoint,
+    SweepResult,
+    lambda_sweep,
+    relu_reduction_sweep,
+    select_architecture,
+)
+from repro.core.x2act import X2Act
+
+__all__ = [
+    "X2Act",
+    "ChannelwiseX2Act",
+    "convert_to_channelwise",
+    "RandomSearch",
+    "EvolutionarySearch",
+    "GradientFreeSearchResult",
+    "STPAIConfig",
+    "stpai_initialize",
+    "naive_initialize",
+    "iter_x2act",
+    "ArchParameter",
+    "GatedOperator",
+    "GatedActivation",
+    "GatedPooling",
+    "Supernet",
+    "SearchConfig",
+    "SearchResult",
+    "SearchHistoryEntry",
+    "DifferentiablePolynomialSearch",
+    "TrainConfig",
+    "Trainer",
+    "TrainHistory",
+    "finetune_derived",
+    "derive_architecture",
+    "save_architecture",
+    "load_architecture",
+    "TradeOffPoint",
+    "pareto_frontier",
+    "hypervolume",
+    "AccuracySurrogate",
+    "BackboneCalibration",
+    "CIFAR10_CALIBRATION",
+    "IMAGENET_CALIBRATION",
+    "backbone_key",
+    "SweepPoint",
+    "SweepResult",
+    "DEFAULT_LAMBDAS",
+    "lambda_sweep",
+    "relu_reduction_sweep",
+    "select_architecture",
+]

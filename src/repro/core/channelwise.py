@@ -1,0 +1,101 @@
+"""Channel-wise polynomial activation (SAFENet-style) — ablation module.
+
+Section III-A of the paper argues for *layer-wise* second-order polynomial
+replacement: channel-wise fine-grained replacement (as proposed by SAFENet)
+or higher-order polynomials "may destroy the neural network's convexity and
+lead to a deteriorated performance".  To let that claim be tested, this
+module provides a channel-wise variant of X^2act — one (w1, w2, b) triple per
+channel — plus a helper that swaps it into a built model so the ablation
+benchmark can finetune both granularities side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.x2act import X2Act
+from repro.models.builder import SpecNet
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class ChannelwiseX2Act(Module):
+    """Second-order polynomial activation with per-channel coefficients.
+
+    delta_c(x) = (k / sqrt(N_x)) * w1[c] * x^2 + w2[c] * x + b[c]  for NCHW
+    inputs (or per-feature coefficients for (N, F) inputs).
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        num_elements: Optional[int] = None,
+        scale_constant: float = 1.0,
+        w1_init: float = 0.0,
+        w2_init: float = 1.0,
+        b_init: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        self.num_channels = num_channels
+        self.num_elements = num_elements
+        self.scale_constant = scale_constant
+        self.w1 = Parameter(np.full(num_channels, float(w1_init)))
+        self.w2 = Parameter(np.full(num_channels, float(w2_init)))
+        self.b = Parameter(np.full(num_channels, float(b_init)))
+
+    def _shaped(self, param: Parameter, ndim: int) -> Tensor:
+        if ndim == 4:
+            return param.reshape(1, self.num_channels, 1, 1)
+        if ndim == 2:
+            return param.reshape(1, self.num_channels)
+        raise ValueError(f"unsupported activation rank {ndim}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected {self.num_channels} channels, got input shape {x.shape}"
+            )
+        n_x = self.num_elements
+        if n_x is None:
+            n_x = int(np.prod(x.shape[1:]))
+            self.num_elements = n_x
+        scale = self.scale_constant / math.sqrt(max(n_x, 1))
+        w1 = self._shaped(self.w1, x.ndim)
+        w2 = self._shaped(self.w2, x.ndim)
+        b = self._shaped(self.b, x.ndim)
+        return (x * x) * (w1 * scale) + x * w2 + b
+
+    def extra_repr(self) -> str:
+        return f"num_channels={self.num_channels}, num_elements={self.num_elements}"
+
+
+def convert_to_channelwise(net: SpecNet) -> int:
+    """Replace every layer-wise X^2act in a built model by a channel-wise one.
+
+    The per-channel coefficients are initialized from the layer-wise values,
+    so the conversion is behaviour-preserving at the moment of the swap.
+    Returns the number of activations converted.
+    """
+    converted = 0
+    for layer in net.spec.layers:
+        if layer.kind.value != "x2act":
+            continue
+        module = net.module_for(layer.name)
+        if not isinstance(module, X2Act):
+            continue
+        channelwise = ChannelwiseX2Act(
+            num_channels=layer.in_channels,
+            num_elements=module.num_elements or layer.num_activation_elements(),
+            scale_constant=module.scale_constant,
+            w1_init=float(module.w1.data),
+            w2_init=float(module.w2.data),
+            b_init=float(module.b.data),
+        )
+        net.add_module(net._module_name(layer.name), channelwise)
+        converted += 1
+    return converted

@@ -1,0 +1,31 @@
+"""Architecture derivation and (de)serialization.
+
+After the search converges, the supernet is discretized with
+OP_l(x) = OP_{l,k*}(x), k* = argmax_k α_{l,k}; the derived architecture is a
+plain :class:`repro.models.specs.ModelSpec` that can be saved to JSON,
+finetuned and evaluated under 2PC.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.core.supernet import Supernet
+from repro.models.specs import ModelSpec
+from repro.utils.serialization import load_json, save_json
+
+
+def derive_architecture(supernet: Supernet, name_suffix: str = "-searched") -> ModelSpec:
+    """Discretize a trained supernet into a concrete architecture."""
+    return supernet.derive_spec(name_suffix=name_suffix)
+
+
+def save_architecture(spec: ModelSpec, path: Union[str, Path]) -> Path:
+    """Serialize a derived architecture to JSON."""
+    return save_json(spec.to_dict(), path)
+
+
+def load_architecture(path: Union[str, Path]) -> ModelSpec:
+    """Load a previously saved architecture."""
+    return ModelSpec.from_dict(load_json(path))

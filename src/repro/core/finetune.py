@@ -1,0 +1,134 @@
+"""Training / finetuning of derived architectures.
+
+After the architecture search converges, the paper performs "transfer
+learning with STPAI": the derived (discretized) model is rebuilt, its
+polynomial activations are STPAI-initialized and the whole network is
+finetuned.  :class:`Trainer` provides the training loop used for both the
+finetune step and the baseline trainings in the examples/tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.stpai import stpai_initialize
+from repro.data.dataloader import DataLoader
+from repro.models.builder import SpecNet, build_model
+from repro.models.specs import ModelSpec
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.optim import SGD, CosineAnnealingLR
+from repro.nn.tensor import Tensor
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of the (fine)tuning loop."""
+
+    epochs: int = 5
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    cosine_schedule: bool = True
+    log_every: int = 0
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch losses and accuracies."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else 0.0
+
+
+class Trainer:
+    """SGD training loop on the numpy engine."""
+
+    def __init__(self, config: Optional[TrainConfig] = None) -> None:
+        self.config = config or TrainConfig()
+
+    def train(
+        self,
+        model: Module,
+        train_loader: DataLoader,
+        val_loader: Optional[DataLoader] = None,
+    ) -> TrainHistory:
+        config = self.config
+        optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        scheduler = (
+            CosineAnnealingLR(optimizer, t_max=config.epochs) if config.cosine_schedule else None
+        )
+        history = TrainHistory()
+        for epoch in range(config.epochs):
+            model.train()
+            losses: List[float] = []
+            correct = 0
+            seen = 0
+            for images, labels in train_loader:
+                optimizer.zero_grad()
+                logits = model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                loss.backward()
+                optimizer.step()
+                losses.append(float(loss.data))
+                correct += int((logits.data.argmax(axis=1) == labels).sum())
+                seen += len(labels)
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_accuracy.append(correct / max(seen, 1))
+            if val_loader is not None:
+                history.val_accuracy.append(self.evaluate(model, val_loader))
+            if scheduler is not None:
+                scheduler.step()
+            if config.log_every and epoch % config.log_every == 0:
+                logger.info(
+                    "epoch %d: loss %.3f train acc %.3f val acc %.3f",
+                    epoch,
+                    history.train_loss[-1],
+                    history.train_accuracy[-1],
+                    history.val_accuracy[-1] if history.val_accuracy else float("nan"),
+                )
+        return history
+
+    @staticmethod
+    def evaluate(model: Module, loader: DataLoader, topk: int = 1) -> float:
+        """Top-k accuracy of ``model`` over ``loader``."""
+        model.eval()
+        correct = 0.0
+        seen = 0
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            correct += F.accuracy(logits, labels, topk=topk) * len(labels)
+            seen += len(labels)
+        model.train()
+        return correct / max(seen, 1)
+
+
+def finetune_derived(
+    spec: ModelSpec,
+    train_loader: DataLoader,
+    val_loader: Optional[DataLoader] = None,
+    config: Optional[TrainConfig] = None,
+    stpai_seed: int = 0,
+) -> tuple[SpecNet, TrainHistory]:
+    """Build, STPAI-initialize and finetune a derived architecture."""
+    model = build_model(spec)
+    stpai_initialize(model, seed=stpai_seed)
+    trainer = Trainer(config)
+    history = trainer.train(model, train_loader, val_loader)
+    return model, history

@@ -1,0 +1,136 @@
+"""Gated (searchable) operators for the PASNet supernet.
+
+A gated operator OP_l(x) mixes its candidate operators OP_{l,k}(x) with
+softmax weights θ_{l,k} derived from trainable architecture parameters
+α_{l,k} (Eq. 17).  Two gates exist:
+
+- :class:`GatedActivation` — candidates {2PC-ReLU, 2PC-X^2act};
+- :class:`GatedPooling`    — candidates {2PC-MaxPool, 2PC-AvgPool}.
+
+Each gate also knows the hardware latency of its candidates (from the
+latency LUT), so the supernet can expose the differentiable expected latency
+Lat(α) = Σ_l Σ_j θ_{l,j} · Lat(OP_{l,j}) that enters the search loss.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.x2act import X2Act
+from repro.models.specs import LayerKind
+from repro.nn import functional as F
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.modules.pooling import AvgPool2d, MaxPool2d
+from repro.nn.tensor import Tensor
+
+
+class ArchParameter(Parameter):
+    """Architecture parameter α (distinguished from weight parameters ω)."""
+
+
+class GatedOperator(Module):
+    """Base class: candidate modules mixed by softmax(α)."""
+
+    def __init__(
+        self,
+        layer_name: str,
+        candidate_kinds: Sequence[LayerKind],
+        candidate_latencies_ms: Sequence[float],
+    ) -> None:
+        super().__init__()
+        if len(candidate_kinds) < 2:
+            raise ValueError("a gated operator needs at least two candidates")
+        if len(candidate_kinds) != len(candidate_latencies_ms):
+            raise ValueError("latencies must match the number of candidates")
+        self.layer_name = layer_name
+        self.candidate_kinds: Tuple[LayerKind, ...] = tuple(candidate_kinds)
+        self.candidate_latencies_ms = tuple(float(v) for v in candidate_latencies_ms)
+        self.alpha = ArchParameter(np.zeros(len(candidate_kinds)))
+
+    # -- architecture state ----------------------------------------------- #
+    def theta(self) -> Tensor:
+        """Softmax mixing weights θ over the candidates (differentiable)."""
+        return F.softmax(self.alpha, axis=-1)
+
+    def theta_values(self) -> np.ndarray:
+        exp = np.exp(self.alpha.data - self.alpha.data.max())
+        return exp / exp.sum()
+
+    def expected_latency_ms(self) -> Tensor:
+        """θ-weighted latency of this gate (differentiable w.r.t. α)."""
+        return (self.theta() * Tensor(np.asarray(self.candidate_latencies_ms))).sum()
+
+    def selected_index(self) -> int:
+        return int(np.argmax(self.alpha.data))
+
+    def selected_kind(self) -> LayerKind:
+        return self.candidate_kinds[self.selected_index()]
+
+    def selection_summary(self) -> Dict[str, float]:
+        weights = self.theta_values()
+        return {kind.value: float(w) for kind, w in zip(self.candidate_kinds, weights)}
+
+    # -- forward ------------------------------------------------------------ #
+    def _candidate_outputs(self, x: Tensor) -> List[Tensor]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        theta = self.theta()
+        outputs = self._candidate_outputs(x)
+        mixed: Optional[Tensor] = None
+        for index, output in enumerate(outputs):
+            term = output * theta[index]
+            mixed = term if mixed is None else mixed + term
+        assert mixed is not None
+        return mixed
+
+    def extra_repr(self) -> str:
+        kinds = ", ".join(k.value for k in self.candidate_kinds)
+        return f"layer={self.layer_name}, candidates=[{kinds}]"
+
+
+class GatedActivation(GatedOperator):
+    """Searchable activation: ReLU vs trainable X^2act."""
+
+    def __init__(
+        self,
+        layer_name: str,
+        num_elements: int,
+        relu_latency_ms: float,
+        x2act_latency_ms: float,
+        scale_constant: float = 1.0,
+    ) -> None:
+        super().__init__(
+            layer_name,
+            candidate_kinds=(LayerKind.RELU, LayerKind.X2ACT),
+            candidate_latencies_ms=(relu_latency_ms, x2act_latency_ms),
+        )
+        self.x2act = X2Act(num_elements=num_elements, scale_constant=scale_constant)
+
+    def _candidate_outputs(self, x: Tensor) -> List[Tensor]:
+        return [x.relu(), self.x2act(x)]
+
+
+class GatedPooling(GatedOperator):
+    """Searchable pooling: MaxPool vs AvgPool."""
+
+    def __init__(
+        self,
+        layer_name: str,
+        kernel: int,
+        stride: int,
+        maxpool_latency_ms: float,
+        avgpool_latency_ms: float,
+    ) -> None:
+        super().__init__(
+            layer_name,
+            candidate_kinds=(LayerKind.MAXPOOL, LayerKind.AVGPOOL),
+            candidate_latencies_ms=(maxpool_latency_ms, avgpool_latency_ms),
+        )
+        self.maxpool = MaxPool2d(kernel, stride=stride)
+        self.avgpool = AvgPool2d(kernel, stride=stride)
+
+    def _candidate_outputs(self, x: Tensor) -> List[Tensor]:
+        return [self.maxpool(x), self.avgpool(x)]

@@ -1,0 +1,64 @@
+"""Pareto-frontier extraction for accuracy/cost trade-offs (Figs. 6-7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class TradeOffPoint:
+    """One architecture on an accuracy-vs-cost plane.
+
+    ``cost`` is the quantity to minimize (ReLU count, latency, communication)
+    and ``accuracy`` the quantity to maximize.
+    """
+
+    cost: float
+    accuracy: float
+    label: str = ""
+
+    def dominates(self, other: "TradeOffPoint") -> bool:
+        """Weak Pareto dominance: no worse in both, strictly better in one."""
+        no_worse = self.cost <= other.cost and self.accuracy >= other.accuracy
+        strictly_better = self.cost < other.cost or self.accuracy > other.accuracy
+        return no_worse and strictly_better
+
+
+def pareto_frontier(points: Iterable[TradeOffPoint]) -> List[TradeOffPoint]:
+    """Return the Pareto-optimal subset sorted by increasing cost."""
+    candidates = list(points)
+    frontier = [
+        p
+        for p in candidates
+        if not any(other.dominates(p) for other in candidates if other is not p)
+    ]
+    frontier.sort(key=lambda p: (p.cost, -p.accuracy))
+    # Remove duplicates produced by ties.
+    deduped: List[TradeOffPoint] = []
+    for point in frontier:
+        if not deduped or (point.cost, point.accuracy) != (deduped[-1].cost, deduped[-1].accuracy):
+            deduped.append(point)
+    return deduped
+
+
+def hypervolume(points: Sequence[TradeOffPoint], cost_ref: float, accuracy_ref: float = 0.0) -> float:
+    """2D hypervolume (area dominated w.r.t. the reference point).
+
+    Used by the tests to check that the PASNet frontier dominates the
+    baseline frontiers in aggregate, not just point-wise.
+    """
+    frontier = sorted(pareto_frontier(points), key=lambda p: p.cost)
+    area = 0.0
+    best_accuracy = 0.0
+    prev_cost = None
+    for point in frontier:
+        if point.cost > cost_ref:
+            break
+        if prev_cost is not None and best_accuracy > accuracy_ref:
+            area += (point.cost - prev_cost) * (best_accuracy - accuracy_ref)
+        best_accuracy = max(best_accuracy, point.accuracy)
+        prev_cost = point.cost
+    if prev_cost is not None and prev_cost < cost_ref and best_accuracy > accuracy_ref:
+        area += (cost_ref - prev_cost) * (best_accuracy - accuracy_ref)
+    return area

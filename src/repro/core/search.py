@@ -1,0 +1,262 @@
+"""Differentiable cryptographic-hardware-aware architecture search (Algorithm 1).
+
+The search minimizes the bilevel objective of Eq. 18: the architecture
+parameters α are updated on the validation split with the latency-penalized
+loss ζ = ζ_CE + λ·Lat(α), while the weights ω are updated on the training
+split.  The α gradient uses the second-order DARTS approximation (Eqs. 19-20):
+a virtual weight step ω' = ω − ξ∇_ω ζ_trn, followed by a finite-difference
+Hessian-vector product computed from two perturbed weight evaluations ω±.
+
+A first-order mode (``second_order=False``) skips the virtual step and the
+Hessian correction — the ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.supernet import Supernet
+from repro.data.dataloader import DataLoader, InfiniteLoader
+from repro.models.specs import ModelSpec
+from repro.nn import functional as F
+from repro.nn.modules.base import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class SearchConfig:
+    """Hyper-parameters of the differentiable polynomial architecture search."""
+
+    #: λ — weight of the latency penalty (per millisecond of expected latency)
+    latency_lambda: float = 1e-3
+    #: number of alternating (α, ω) update steps
+    num_steps: int = 50
+    batch_size: int = 16
+    # weight (ω) optimizer — SGD per Algorithm 1 line 19
+    weight_lr: float = 0.05
+    weight_momentum: float = 0.9
+    weight_decay: float = 3e-4
+    # architecture (α) optimizer — Adam per Algorithm 1 line 15
+    arch_lr: float = 3e-3
+    arch_betas: tuple = (0.5, 0.999)
+    arch_weight_decay: float = 1e-3
+    #: virtual-step learning rate ξ; defaults to the weight LR when None
+    xi: Optional[float] = None
+    #: finite-difference scale: ε = epsilon_scale / ||∇_ω' ζ_val||
+    epsilon_scale: float = 0.01
+    #: use the second-order approximation (Eqs. 19-20) or plain first-order
+    second_order: bool = True
+    #: normalize the latency term by the all-ReLU latency so λ is comparable
+    #: across backbones
+    normalize_latency: bool = False
+    log_every: int = 10
+
+
+@dataclass
+class SearchHistoryEntry:
+    step: int
+    train_loss: float
+    val_loss: float
+    expected_latency_ms: float
+    polynomial_fraction: float
+
+
+@dataclass
+class SearchResult:
+    """Outputs of one architecture search run."""
+
+    derived_spec: ModelSpec
+    history: List[SearchHistoryEntry] = field(default_factory=list)
+    architecture_summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    final_expected_latency_ms: float = 0.0
+
+    @property
+    def polynomial_fraction(self) -> float:
+        return self.derived_spec.polynomial_fraction()
+
+
+class DifferentiablePolynomialSearch:
+    """Implements Algorithm 1 on a :class:`repro.core.supernet.Supernet`."""
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        train_loader: DataLoader,
+        val_loader: DataLoader,
+        config: Optional[SearchConfig] = None,
+    ) -> None:
+        self.supernet = supernet
+        self.config = config or SearchConfig()
+        self.train_stream = InfiniteLoader(train_loader)
+        self.val_stream = InfiniteLoader(val_loader)
+        self.weight_params: List[Parameter] = supernet.weight_parameters()
+        self.arch_params: List[Parameter] = supernet.arch_parameters()
+        if not self.arch_params:
+            raise ValueError("the supernet has no searchable gates")
+        self.weight_optimizer = SGD(
+            self.weight_params,
+            lr=self.config.weight_lr,
+            momentum=self.config.weight_momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self.arch_optimizer = Adam(
+            self.arch_params,
+            lr=self.config.arch_lr,
+            betas=self.config.arch_betas,
+            weight_decay=self.config.arch_weight_decay,
+        )
+        self._latency_scale = 1.0
+        if self.config.normalize_latency:
+            worst = float(self.supernet.expected_latency_ms().data)
+            self._latency_scale = 1.0 / max(worst, 1e-9)
+
+    # ------------------------------------------------------------------ #
+    # Loss (Section III-D): ζ(ω, α) = ζ_CE(ω, α) + λ · Lat(α)
+    # ------------------------------------------------------------------ #
+    def loss(self, images: np.ndarray, labels: np.ndarray) -> Tensor:
+        logits = self.supernet(Tensor(images))
+        ce = F.cross_entropy(logits, labels)
+        latency = self.supernet.expected_latency_ms() * self._latency_scale
+        return ce + latency * self.config.latency_lambda
+
+    def data_loss(self, images: np.ndarray, labels: np.ndarray) -> Tensor:
+        logits = self.supernet(Tensor(images))
+        return F.cross_entropy(logits, labels)
+
+    # ------------------------------------------------------------------ #
+    # Gradient helpers
+    # ------------------------------------------------------------------ #
+    def _zero_all(self) -> None:
+        self.supernet.zero_grad()
+
+    def _collect_grads(self, params: List[Parameter]) -> List[np.ndarray]:
+        return [
+            p.grad.copy() if p.grad is not None else np.zeros_like(p.data) for p in params
+        ]
+
+    def _set_arch_grads(self, grads: List[np.ndarray]) -> None:
+        for param, grad in zip(self.arch_params, grads):
+            param.grad = grad.copy()
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: one architecture update + one weight update
+    # ------------------------------------------------------------------ #
+    def _arch_gradient_second_order(
+        self, train_batch, val_batch
+    ) -> List[np.ndarray]:
+        config = self.config
+        xi = config.xi if config.xi is not None else self.weight_optimizer.lr
+
+        # Line 4-5: δω = ∂ζ_trn(ω, α)/∂ω
+        self._zero_all()
+        self.loss(*train_batch).backward()
+        grad_w = self._collect_grads(self.weight_params)
+
+        # Line 6: virtual step ω' = ω − ξ δω
+        backup = [p.data.copy() for p in self.weight_params]
+        for param, grad in zip(self.weight_params, grad_w):
+            param.data -= xi * grad
+
+        # Lines 7-9: δα' = ∂ζ_val(ω', α)/∂α and δω' = ∂ζ_val(ω', α)/∂ω'
+        self._zero_all()
+        self.loss(*val_batch).backward()
+        grad_alpha = self._collect_grads(self.arch_params)
+        grad_w_prime = self._collect_grads(self.weight_params)
+
+        # Restore ω before the finite-difference evaluations.
+        for param, saved in zip(self.weight_params, backup):
+            param.data[...] = saved
+
+        # Lines 10-13: ω± = ω ± ε δω', finite-difference Hessian-vector product
+        norm = float(np.sqrt(sum(float((g**2).sum()) for g in grad_w_prime)))
+        epsilon = config.epsilon_scale / max(norm, 1e-12)
+
+        for param, grad in zip(self.weight_params, grad_w_prime):
+            param.data += epsilon * grad
+        self._zero_all()
+        self.loss(*train_batch).backward()
+        grad_alpha_plus = self._collect_grads(self.arch_params)
+
+        for param, grad in zip(self.weight_params, grad_w_prime):
+            param.data -= 2.0 * epsilon * grad
+        self._zero_all()
+        self.loss(*train_batch).backward()
+        grad_alpha_minus = self._collect_grads(self.arch_params)
+
+        for param, saved in zip(self.weight_params, backup):
+            param.data[...] = saved
+
+        # Line 13-14: δα = δα' − ξ (δα+ − δα−) / (2ε)
+        return [
+            ga - xi * (gp - gm) / (2.0 * epsilon)
+            for ga, gp, gm in zip(grad_alpha, grad_alpha_plus, grad_alpha_minus)
+        ]
+
+    def _arch_gradient_first_order(self, val_batch) -> List[np.ndarray]:
+        self._zero_all()
+        self.loss(*val_batch).backward()
+        return self._collect_grads(self.arch_params)
+
+    def step(self, step_index: int) -> SearchHistoryEntry:
+        """One iteration of Algorithm 1 (architecture update, then weight update)."""
+        train_batch = self.train_stream.next_batch()
+        val_batch = self.val_stream.next_batch()
+
+        # -- architecture parameter update (lines 3-15) -------------------- #
+        if self.config.second_order:
+            arch_grads = self._arch_gradient_second_order(train_batch, val_batch)
+        else:
+            arch_grads = self._arch_gradient_first_order(val_batch)
+        self._set_arch_grads(arch_grads)
+        self.arch_optimizer.step()
+
+        # -- weight parameter update (lines 16-19) -------------------------- #
+        self._zero_all()
+        train_loss = self.loss(*train_batch)
+        train_loss.backward()
+        self.weight_optimizer.step()
+
+        # -- bookkeeping ------------------------------------------------------ #
+        self.supernet.eval()
+        val_loss = float(self.data_loss(*val_batch).data)
+        self.supernet.train()
+        expected_latency = float(self.supernet.expected_latency_ms().data)
+        derived = self.supernet.derive_spec()
+        entry = SearchHistoryEntry(
+            step=step_index,
+            train_loss=float(train_loss.data),
+            val_loss=val_loss,
+            expected_latency_ms=expected_latency,
+            polynomial_fraction=derived.polynomial_fraction(),
+        )
+        return entry
+
+    def run(self) -> SearchResult:
+        """Run the search loop until ``num_steps`` and return the derived model."""
+        history: List[SearchHistoryEntry] = []
+        for step_index in range(self.config.num_steps):
+            entry = self.step(step_index)
+            history.append(entry)
+            if self.config.log_every and step_index % self.config.log_every == 0:
+                logger.info(
+                    "search step %d: trn %.3f val %.3f lat %.2f ms poly %.0f%%",
+                    step_index,
+                    entry.train_loss,
+                    entry.val_loss,
+                    entry.expected_latency_ms,
+                    100 * entry.polynomial_fraction,
+                )
+        derived = self.supernet.derive_spec()
+        return SearchResult(
+            derived_spec=derived,
+            history=history,
+            architecture_summary=self.supernet.architecture_summary(),
+            final_expected_latency_ms=float(self.supernet.expected_latency_ms().data),
+        )

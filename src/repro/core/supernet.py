@@ -1,0 +1,205 @@
+"""The PASNet supernet: a backbone with gated activation / pooling operators.
+
+The supernet executes the backbone's flat specification with every
+searchable activation replaced by a :class:`GatedActivation` and every
+searchable pooling by a :class:`GatedPooling` (Section III-B).  Convolution
+weights are shared across the candidates of a gate (the paper notes they can
+be shared or separate; sharing is the DARTS default and what we implement).
+
+The supernet exposes:
+
+- ``weight_parameters()`` / ``arch_parameters()`` — the ω / α split that
+  Algorithm 1 alternates over;
+- ``expected_latency_ms()`` — the differentiable latency term Lat(α);
+- ``derive_spec()`` — the argmax-discretized architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.gated import ArchParameter, GatedActivation, GatedOperator, GatedPooling
+from repro.hardware.latency import LatencyModel
+from repro.hardware.lut import LatencyTable, build_latency_table
+from repro.models.specs import (
+    ACTIVATION_KINDS,
+    POOLING_KINDS,
+    LayerKind,
+    LayerSpec,
+    ModelSpec,
+)
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.modules.conv import Conv2d, Linear
+from repro.nn.modules.norm import BatchNorm2d
+from repro.nn.modules.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.tensor import Tensor
+
+
+class Supernet(Module):
+    """Gated supernet over a backbone model specification."""
+
+    def __init__(
+        self,
+        backbone: ModelSpec,
+        latency_table: Optional[LatencyTable] = None,
+        latency_model: Optional[LatencyModel] = None,
+        with_batchnorm: bool = True,
+    ) -> None:
+        super().__init__()
+        self.backbone = backbone
+        self.with_batchnorm = with_batchnorm
+        self.latency_table = latency_table or build_latency_table(backbone, latency_model)
+        self._validate(backbone)
+        for layer in backbone.layers:
+            for attr_name, module in self._make_modules(layer).items():
+                self.add_module(attr_name, module)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(spec: ModelSpec) -> None:
+        for layer in spec.layers:
+            if layer.kind == LayerKind.ADD and not layer.residual_from:
+                raise ValueError(
+                    f"layer {layer.name!r}: supernets require identity residual "
+                    "shortcuts (residual_from) — use a *-tiny backbone or a "
+                    "sequential spec"
+                )
+
+    @staticmethod
+    def _module_name(layer_name: str, suffix: str = "") -> str:
+        return layer_name.replace("/", "_").replace("-", "_") + suffix
+
+    def _make_modules(self, layer: LayerSpec) -> Dict[str, Module]:
+        name = self._module_name(layer.name)
+        kind = layer.kind
+        table = self.latency_table
+        if kind == LayerKind.CONV:
+            modules: Dict[str, Module] = {
+                name: Conv2d(
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    groups=layer.groups,
+                    bias=not self.with_batchnorm,
+                )
+            }
+            if self.with_batchnorm:
+                modules[self._module_name(layer.name, "_bn")] = BatchNorm2d(layer.out_channels)
+            return modules
+        if kind == LayerKind.LINEAR:
+            return {name: Linear(layer.in_channels, layer.out_channels)}
+        if kind in ACTIVATION_KINDS:
+            if layer.searchable:
+                return {
+                    name: GatedActivation(
+                        layer.name,
+                        num_elements=layer.num_activation_elements(),
+                        relu_latency_ms=1e3 * table.seconds(layer.name, LayerKind.RELU),
+                        x2act_latency_ms=1e3 * table.seconds(layer.name, LayerKind.X2ACT),
+                    )
+                }
+            return {}
+        if kind in POOLING_KINDS:
+            if layer.searchable:
+                return {
+                    name: GatedPooling(
+                        layer.name,
+                        kernel=layer.kernel,
+                        stride=layer.stride,
+                        maxpool_latency_ms=1e3 * table.seconds(layer.name, LayerKind.MAXPOOL),
+                        avgpool_latency_ms=1e3 * table.seconds(layer.name, LayerKind.AVGPOOL),
+                    )
+                }
+            return {
+                name: MaxPool2d(layer.kernel, stride=layer.stride)
+                if kind == LayerKind.MAXPOOL
+                else AvgPool2d(layer.kernel, stride=layer.stride)
+            }
+        if kind == LayerKind.GLOBAL_AVGPOOL:
+            return {name: GlobalAvgPool2d()}
+        return {}
+
+    def module_for(self, layer_name: str, suffix: str = "") -> Module:
+        return getattr(self, self._module_name(layer_name, suffix))
+
+    # ------------------------------------------------------------------ #
+    # Parameter partition (Algorithm 1 alternates over these two sets)
+    # ------------------------------------------------------------------ #
+    def arch_parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters() if isinstance(p, ArchParameter)]
+
+    def weight_parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters() if not isinstance(p, ArchParameter)]
+
+    def gates(self) -> List[GatedOperator]:
+        return [m for m in self.modules() if isinstance(m, GatedOperator)]
+
+    # ------------------------------------------------------------------ #
+    # Latency term and architecture derivation
+    # ------------------------------------------------------------------ #
+    def fixed_latency_ms(self) -> float:
+        """Latency of the non-searchable layers (constant w.r.t. α)."""
+        total = 0.0
+        for layer in self.backbone.layers:
+            if not layer.searchable:
+                total += 1e3 * self.latency_table.seconds(layer.name, layer.kind)
+        return total
+
+    def expected_latency_ms(self, include_fixed: bool = False) -> Tensor:
+        """Differentiable Lat(α) = Σ_l Σ_j θ_{l,j} Lat(OP_{l,j})."""
+        total: Optional[Tensor] = None
+        for gate in self.gates():
+            term = gate.expected_latency_ms()
+            total = term if total is None else total + term
+        if total is None:
+            total = Tensor(np.array(0.0))
+        if include_fixed:
+            total = total + Tensor(np.array(self.fixed_latency_ms()))
+        return total
+
+    def derive_assignment(self) -> Dict[str, LayerKind]:
+        """argmax_k α_{l,k} for every gate (the discretization step)."""
+        return {gate.layer_name: gate.selected_kind() for gate in self.gates()}
+
+    def derive_spec(self, name_suffix: str = "-searched") -> ModelSpec:
+        """Discretize the supernet into a concrete architecture spec."""
+        derived = self.backbone.replace_kinds(self.derive_assignment())
+        return derived.rename(self.backbone.name + name_suffix)
+
+    def architecture_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-gate softmax weights (for logging and the examples)."""
+        return {gate.layer_name: gate.selection_summary() for gate in self.gates()}
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        cache: Dict[str, Tensor] = {}
+        for layer in self.backbone.layers:
+            kind = layer.kind
+            if kind == LayerKind.CONV:
+                x = self.module_for(layer.name)(x)
+                if self.with_batchnorm:
+                    x = self.module_for(layer.name, "_bn")(x)
+            elif kind in ACTIVATION_KINDS:
+                if layer.searchable:
+                    x = self.module_for(layer.name)(x)
+                elif kind == LayerKind.RELU:
+                    x = x.relu()
+                else:
+                    raise ValueError("non-searchable X2ACT layers need a derived SpecNet")
+            elif kind in POOLING_KINDS or kind in (
+                LayerKind.LINEAR,
+                LayerKind.GLOBAL_AVGPOOL,
+            ):
+                x = self.module_for(layer.name)(x)
+            elif kind == LayerKind.FLATTEN:
+                x = x.flatten(1)
+            elif kind == LayerKind.ADD:
+                x = x + cache[layer.residual_from]
+            else:
+                raise ValueError(f"supernet cannot execute layer kind {kind}")
+            cache[layer.name] = x
+        return x

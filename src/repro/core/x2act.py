@@ -1,0 +1,92 @@
+"""The trainable X^2act polynomial activation function (Eq. 4).
+
+.. math::
+
+    \\delta(x) = \\frac{c}{\\sqrt{N_x}} w_1 x^2 + w_2 x + b
+
+where ``w1``, ``w2`` and ``b`` are trainable scalars and ``N_x`` is the
+number of elements of the feature map the activation is applied to.  The
+``c / sqrt(N_x)`` factor balances the gradient magnitude of ``w1`` against
+the other model weights (Section III-A, "Learning rate"), and the layer-wise
+(not channel-wise) granularity preserves the convexity argument the paper
+cites for second-order polynomial activations.
+
+Under 2PC the same function costs one square protocol and two
+plaintext-scalar multiplications (Eq. 14) instead of an OT comparison flow —
+this is the cheap operator the architecture search trades ReLUs for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class X2Act(Module):
+    """Trainable second-order polynomial activation.
+
+    Args:
+        num_elements: N_x, the number of elements of the incoming feature map
+            (per sample).  When ``None`` it is inferred lazily from the first
+            forward pass.
+        scale_constant: the constant c in Eq. 4.
+        w1_init / w2_init / b_init: initial coefficient values.  The defaults
+            follow STPAI (straight-through polynomial activation
+            initialization): w1 and b start near zero and w2 near one, so the
+            activation initially behaves like the identity and pretrained
+            ReLU-network weights remain usable.
+    """
+
+    def __init__(
+        self,
+        num_elements: Optional[int] = None,
+        scale_constant: float = 1.0,
+        w1_init: float = 0.0,
+        w2_init: float = 1.0,
+        b_init: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.num_elements = num_elements
+        self.scale_constant = scale_constant
+        self.w1 = Parameter(np.array(float(w1_init)))
+        self.w2 = Parameter(np.array(float(w2_init)))
+        self.b = Parameter(np.array(float(b_init)))
+
+    # ------------------------------------------------------------------ #
+    def _gradient_scale(self, x: Tensor) -> float:
+        n_x = self.num_elements
+        if n_x is None:
+            n_x = int(np.prod(x.shape[1:]))
+            self.num_elements = n_x
+        return self.scale_constant / math.sqrt(max(n_x, 1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = self._gradient_scale(x)
+        return (x * x) * (self.w1 * scale) + x * self.w2 + self.b
+
+    def coefficients(self) -> dict:
+        """Exported coefficients for the 2PC inference engine."""
+        return {
+            "w1": float(self.w1.data),
+            "w2": float(self.w2.data),
+            "b": float(self.b.data),
+            "c": self.scale_constant,
+            "num_elements": self.num_elements,
+        }
+
+    def effective_polynomial(self) -> tuple[float, float, float]:
+        """Return (a2, a1, a0) of the plain polynomial a2 x^2 + a1 x + a0."""
+        n_x = max(self.num_elements or 1, 1)
+        a2 = self.scale_constant / math.sqrt(n_x) * float(self.w1.data)
+        return a2, float(self.w2.data), float(self.b.data)
+
+    def extra_repr(self) -> str:
+        return (
+            f"num_elements={self.num_elements}, w1={float(self.w1.data):.4f}, "
+            f"w2={float(self.w2.data):.4f}, b={float(self.b.data):.4f}"
+        )

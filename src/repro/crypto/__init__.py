@@ -1,0 +1,59 @@
+"""Two-party computation (2PC) substrate.
+
+Executable simulation of the cryptographic building blocks of the paper:
+fixed-point ring arithmetic, additive secret sharing, Beaver-triple products,
+the OT-based comparison flow, and the per-operator protocols (2PC-Conv,
+2PC-ReLU, 2PC-MaxPool, 2PC-AvgPool, 2PC-X^2act).  All inter-server messages
+flow through a :class:`repro.crypto.channel.Channel` so communication volume
+and round counts can be measured and compared with the analytical model in
+:mod:`repro.hardware`.
+"""
+
+from repro.crypto import protocols
+from repro.crypto.channel import Channel, CommunicationLog
+from repro.crypto.context import TwoPartyContext, make_context
+from repro.crypto.dealer import TrustedDealer
+from repro.crypto.ot import OTFlow, OTFlowCost, one_of_four_ot
+from repro.crypto.ring import DEFAULT_RING, PAPER_RING, FixedPointRing
+from repro.crypto.stats import ProtocolStatistics, collect_statistics
+from repro.crypto.sharing import (
+    SharePair,
+    add_public,
+    add_shares,
+    neg_shares,
+    reconstruct,
+    reconstruct_ring,
+    scale_shares,
+    scale_shares_integer,
+    share,
+    share_ring_elements,
+    sub_shares,
+)
+
+__all__ = [
+    "protocols",
+    "Channel",
+    "CommunicationLog",
+    "TwoPartyContext",
+    "make_context",
+    "TrustedDealer",
+    "OTFlow",
+    "OTFlowCost",
+    "one_of_four_ot",
+    "FixedPointRing",
+    "DEFAULT_RING",
+    "PAPER_RING",
+    "SharePair",
+    "share",
+    "share_ring_elements",
+    "reconstruct",
+    "reconstruct_ring",
+    "add_shares",
+    "sub_shares",
+    "neg_shares",
+    "add_public",
+    "scale_shares",
+    "scale_shares_integer",
+    "ProtocolStatistics",
+    "collect_statistics",
+]

@@ -1,0 +1,107 @@
+"""Simulated point-to-point channel between the two computing servers.
+
+Every message exchanged by the 2PC protocols flows through a
+:class:`Channel`, which records per-direction byte counts and communication
+rounds.  The recorded volumes are the executable counterpart of the
+analytical communication model in :mod:`repro.hardware.latency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Message:
+    """A single message: sender, receiver, payload size and a tag for audits."""
+
+    sender: int
+    receiver: int
+    num_bytes: int
+    tag: str = ""
+
+
+@dataclass
+class CommunicationLog:
+    """Aggregated communication statistics of a protocol execution."""
+
+    messages: List[Message] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.num_bytes for m in self.messages)
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 1e6
+
+    @property
+    def rounds(self) -> int:
+        """Number of direction changes + 1 (a crude but standard round count)."""
+        if not self.messages:
+            return 0
+        rounds = 1
+        for prev, cur in zip(self.messages, self.messages[1:]):
+            if cur.sender != prev.sender:
+                rounds += 1
+        return rounds
+
+    def bytes_by_tag(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for m in self.messages:
+            out[m.tag] = out.get(m.tag, 0) + m.num_bytes
+        return out
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+
+class Channel:
+    """An in-process bidirectional channel between server 0 and server 1."""
+
+    def __init__(self, element_bytes: int = 4) -> None:
+        """``element_bytes`` is the on-the-wire size of one ring element
+        (4 bytes for the paper's 32-bit ring)."""
+        self.element_bytes = element_bytes
+        self.log = CommunicationLog()
+
+    def send(self, sender: int, receiver: int, payload: np.ndarray, tag: str = "") -> np.ndarray:
+        """Transfer ``payload`` from ``sender`` to ``receiver``.
+
+        The payload is returned unchanged (the simulation is in-process).
+        Ring elements (stored as uint64 regardless of the configured ring
+        width) are counted as ``element_bytes`` each; any other dtype is
+        counted at its native width (uint8 bit payloads count one byte each).
+        """
+        if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
+            raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
+        payload = np.asarray(payload)
+        if payload.dtype in (np.uint64, np.int64):
+            num_bytes = int(payload.size) * self.element_bytes
+        else:
+            num_bytes = int(payload.nbytes)
+        self.log.messages.append(Message(sender, receiver, num_bytes, tag))
+        return payload
+
+    def exchange(
+        self, payload0: np.ndarray, payload1: np.ndarray, tag: str = ""
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Simultaneously send ``payload0`` (from S0 to S1) and ``payload1``
+        (from S1 to S0); returns what each party receives: (recv_by_0, recv_by_1)."""
+        received_by_1 = self.send(0, 1, payload0, tag=tag)
+        received_by_0 = self.send(1, 0, payload1, tag=tag)
+        return received_by_0, received_by_1
+
+    def reset(self) -> None:
+        self.log.clear()
+
+    @property
+    def total_bytes(self) -> int:
+        return self.log.total_bytes
+
+    @property
+    def rounds(self) -> int:
+        return self.log.rounds

@@ -1,0 +1,122 @@
+"""Trusted dealer for correlated randomness (offline phase).
+
+The online 2PC protocols consume Beaver triples (for products), Beaver pairs
+(for squares) and bit triples (for AND gates inside the comparison flow).
+In deployments this correlated randomness is produced by an OT-based or
+HE-based offline phase; the paper (like CrypTen and Delphi) separates it from
+the online latency it reports, so the reproduction models it as a local
+dealer.  The dealer never sees the secret inputs — it only outputs shares of
+random correlated values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+from repro.crypto.sharing import SharePair, share_ring_elements
+
+
+@dataclass
+class BeaverTriple:
+    """Shares of (A, B, Z) with Z = A ⊗ B for a generic product ⊗."""
+
+    a: SharePair
+    b: SharePair
+    z: SharePair
+
+
+@dataclass
+class BeaverPair:
+    """Shares of (A, Z) with Z = A ⊙ A (elementwise), used by the square protocol."""
+
+    a: SharePair
+    z: SharePair
+
+
+@dataclass
+class BitTriple:
+    """XOR-shares of bits (a, b, c) with c = a AND b, used by GMW AND gates."""
+
+    a0: np.ndarray
+    a1: np.ndarray
+    b0: np.ndarray
+    b1: np.ndarray
+    c0: np.ndarray
+    c1: np.ndarray
+
+
+class TrustedDealer:
+    """Generates correlated randomness for the online protocols."""
+
+    def __init__(self, ring: FixedPointRing = DEFAULT_RING, seed: int = 0) -> None:
+        self.ring = ring
+        self.rng = np.random.default_rng(seed)
+        self.triples_generated = 0
+        self.bit_triples_generated = 0
+
+    # -- arithmetic triples ------------------------------------------------ #
+    def triple(
+        self,
+        shape_a: Tuple[int, ...],
+        shape_b: Tuple[int, ...],
+        product: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> BeaverTriple:
+        """Generate a Beaver triple for an arbitrary bilinear product.
+
+        ``product`` maps ring-element arrays of the given shapes to the ring
+        elements of A ⊗ B (e.g. elementwise product, matmul or convolution),
+        and must consist of ring additions/multiplications only so the wrap
+        semantics are preserved.
+        """
+        a_plain = self.ring.random(shape_a, self.rng)
+        b_plain = self.ring.random(shape_b, self.rng)
+        with np.errstate(over="ignore"):
+            z_plain = self.ring.wrap(product(a_plain, b_plain))
+        self.triples_generated += int(np.prod(z_plain.shape))
+        return BeaverTriple(
+            a=share_ring_elements(a_plain, self.ring, self.rng),
+            b=share_ring_elements(b_plain, self.ring, self.rng),
+            z=share_ring_elements(z_plain, self.ring, self.rng),
+        )
+
+    def elementwise_triple(self, shape: Tuple[int, ...]) -> BeaverTriple:
+        """Beaver triple for the Hadamard product."""
+        return self.triple(shape, shape, self.ring.mul)
+
+    def square_pair(self, shape: Tuple[int, ...]) -> BeaverPair:
+        """Beaver pair (A, A^2) for the square protocol (Eq. 3)."""
+        a_plain = self.ring.random(shape, self.rng)
+        z_plain = self.ring.mul(a_plain, a_plain)
+        self.triples_generated += int(np.prod(shape))
+        return BeaverPair(
+            a=share_ring_elements(a_plain, self.ring, self.rng),
+            z=share_ring_elements(z_plain, self.ring, self.rng),
+        )
+
+    # -- bit triples --------------------------------------------------------- #
+    def bit_triple(self, shape: Tuple[int, ...]) -> BitTriple:
+        """XOR-shared AND triple used by the GMW comparison circuit."""
+        a = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        b = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        c = a & b
+        a0 = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        b0 = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        c0 = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        self.bit_triples_generated += int(np.prod(shape))
+        return BitTriple(a0=a0, a1=a ^ a0, b0=b0, b1=b ^ b0, c0=c0, c1=c ^ c0)
+
+    # -- shared randomness --------------------------------------------------- #
+    def random_shared_bit(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """XOR shares of uniformly random bits."""
+        bit = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        mask = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        return mask, bit ^ mask
+
+    def random_shared_ring(self, shape: Tuple[int, ...]) -> SharePair:
+        """Additive shares of uniformly random ring elements."""
+        value = self.ring.random(shape, self.rng)
+        return share_ring_elements(value, self.ring, self.rng)

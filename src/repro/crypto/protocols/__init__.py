@@ -1,0 +1,72 @@
+"""Online 2PC protocols for every DNN operator the paper evaluates."""
+
+from repro.crypto.protocols.activation import (
+    secure_relu,
+    secure_square_activation,
+    secure_x2act,
+)
+from repro.crypto.protocols.argmax import secure_argmax, secure_max
+from repro.crypto.protocols.normalization import (
+    secure_batchnorm_public,
+    secure_batchnorm_shared,
+)
+from repro.crypto.protocols.arithmetic import (
+    add_public,
+    multiply,
+    multiply_public,
+    square,
+)
+from repro.crypto.protocols.comparison import (
+    bit_to_arithmetic,
+    drelu,
+    millionaire_gt,
+    secure_and,
+    secure_not,
+    secure_xor,
+    select,
+)
+from repro.crypto.protocols.linear import (
+    fold_batchnorm,
+    ring_conv2d,
+    ring_matmul,
+    secure_conv2d,
+    secure_conv2d_public_weight,
+    secure_linear,
+    secure_linear_public_weight,
+)
+from repro.crypto.protocols.pooling import (
+    secure_avgpool2d,
+    secure_global_avgpool,
+    secure_maxpool2d,
+)
+
+__all__ = [
+    "multiply",
+    "square",
+    "multiply_public",
+    "add_public",
+    "millionaire_gt",
+    "drelu",
+    "secure_and",
+    "secure_xor",
+    "secure_not",
+    "bit_to_arithmetic",
+    "select",
+    "secure_relu",
+    "secure_x2act",
+    "secure_square_activation",
+    "secure_conv2d",
+    "secure_conv2d_public_weight",
+    "secure_linear",
+    "secure_linear_public_weight",
+    "ring_conv2d",
+    "ring_matmul",
+    "fold_batchnorm",
+    "secure_maxpool2d",
+    "secure_avgpool2d",
+    "secure_global_avgpool",
+    "secure_argmax",
+    "secure_max",
+    "secure_batchnorm_public",
+    "secure_batchnorm_shared",
+]

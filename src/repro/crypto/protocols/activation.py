@@ -1,0 +1,55 @@
+"""Secure activation functions: 2PC-ReLU and 2PC-X^2act.
+
+2PC-ReLU needs the OT-based comparison flow (expensive — the motivation for
+the whole paper); 2PC-X^2act needs one square protocol plus plaintext-scalar
+multiplications (cheap).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.protocols.arithmetic import add_public, multiply_public, square
+from repro.crypto.protocols.comparison import drelu, select
+from repro.crypto.sharing import SharePair, add_shares
+
+
+def secure_relu(ctx: TwoPartyContext, x: SharePair, tag: str = "relu") -> SharePair:
+    """2PC-ReLU: ReLU(x) = x * DReLU(x) via comparison + multiplexing."""
+    bit = drelu(ctx, x, tag=f"{tag}/drelu")
+    return select(ctx, x, bit, tag=f"{tag}/select")
+
+
+def secure_x2act(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    w1: float,
+    w2: float,
+    b: float,
+    num_elements: Optional[int] = None,
+    scale_constant: float = 1.0,
+    tag: str = "x2act",
+) -> SharePair:
+    """2PC-X^2act: delta(x) = (c/sqrt(Nx)) * w1 * x^2 + w2 * x + b.
+
+    ``w1``, ``w2`` and ``b`` are the trained polynomial coefficients (model
+    parameters, public to the compute servers in the paper's deployment);
+    ``num_elements`` is Nx, the number of elements of the feature map, and
+    ``scale_constant`` is the constant c of Eq. 4.
+    """
+    n_x = num_elements if num_elements is not None else int(np.prod(x.shape[1:]))
+    effective_w1 = scale_constant / math.sqrt(max(n_x, 1)) * w1
+    squared = square(ctx, x, truncate=True, tag=f"{tag}/square")
+    quad_term = multiply_public(ctx, squared, np.array(effective_w1), tag=f"{tag}/w1")
+    lin_term = multiply_public(ctx, x, np.array(w2), tag=f"{tag}/w2")
+    out = add_shares(quad_term, lin_term)
+    return add_public(ctx, out, np.array(b))
+
+
+def secure_square_activation(ctx: TwoPartyContext, x: SharePair, tag: str = "sq") -> SharePair:
+    """Plain x^2 activation (CryptoNets-style), kept for the baselines."""
+    return square(ctx, x, truncate=True, tag=tag)

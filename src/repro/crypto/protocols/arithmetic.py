@@ -1,0 +1,109 @@
+"""Polynomial (linear and multiplicative) operators over secret-shared data.
+
+Implements the Beaver-triple based multiplication (Eq. 2) and square (Eq. 3)
+protocols of Section II-B, plus elementwise helpers used by the secure
+activation and pooling protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.sharing import SharePair
+
+
+def _open_difference(
+    ctx: TwoPartyContext, x: SharePair, a: SharePair, tag: str
+) -> np.ndarray:
+    """Jointly reconstruct E = X - A (both parties learn E).
+
+    Each party sends its share of the difference to the other (one round of
+    bidirectional communication), mirroring ``rec([E])`` in the paper.
+    """
+    ring = ctx.ring
+    e0 = ring.sub(x.share0, a.share0)
+    e1 = ring.sub(x.share1, a.share1)
+    ctx.channel.exchange(e0, e1, tag=tag)
+    return ring.add(e0, e1)
+
+
+def multiply(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    y: SharePair,
+    product: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    truncate: bool = True,
+    tag: str = "mul",
+) -> SharePair:
+    """Secure product [R] = [X] ⊗ [Y] with a Beaver triple (Eq. 2).
+
+    ``product`` is the bilinear map on ring elements (defaults to the
+    Hadamard product).  ``truncate`` should be True when both operands carry
+    fixed-point scale (so the result must be rescaled by 2^{-f}) and False
+    when one operand is a plain integer (e.g. a 0/1 selection bit).
+    """
+    ring = ctx.ring
+    prod = product or ring.mul
+    triple = ctx.dealer.triple(x.shape, y.shape, prod)
+
+    e = _open_difference(ctx, x, triple.a, tag=f"{tag}/open-e")
+    f = _open_difference(ctx, y, triple.b, tag=f"{tag}/open-f")
+
+    with np.errstate(over="ignore"):
+        # R_Si = -i * E⊗F + X_Si⊗F + E⊗Y_Si + Z_Si      (Eq. 2)
+        ef = ring.wrap(prod(e, f))
+        r0 = ring.add(ring.add(ring.wrap(prod(x.share0, f)), ring.wrap(prod(e, y.share0))), triple.z.share0)
+        r1 = ring.add(ring.add(ring.wrap(prod(x.share1, f)), ring.wrap(prod(e, y.share1))), triple.z.share1)
+        r1 = ring.sub(r1, ef)
+
+    result = SharePair(r0, r1, ring)
+    if truncate:
+        result = SharePair(
+            ring.truncate_local(result.share0, party=0),
+            ring.truncate_local(result.share1, party=1),
+            ring,
+        )
+    return result
+
+
+def square(ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str = "square") -> SharePair:
+    """Secure elementwise square [R] = [X] ⊙ [X] with a Beaver pair (Eq. 3)."""
+    ring = ctx.ring
+    pair = ctx.dealer.square_pair(x.shape)
+    e = _open_difference(ctx, x, pair.a, tag=f"{tag}/open-e")
+    with np.errstate(over="ignore"):
+        # R_Si = Z_Si + 2 E ⊙ A_Si + E ⊙ E (the E⊙E term is public; add once)
+        two_e = ring.scalar_mul(e, 2)
+        r0 = ring.add(pair.z.share0, ring.mul(two_e, pair.a.share0))
+        r1 = ring.add(pair.z.share1, ring.mul(two_e, pair.a.share1))
+        r0 = ring.add(r0, ring.mul(e, e))
+    result = SharePair(r0, r1, ring)
+    if truncate:
+        result = SharePair(
+            ring.truncate_local(result.share0, party=0),
+            ring.truncate_local(result.share1, party=1),
+            ring,
+        )
+    return result
+
+
+def multiply_public(
+    ctx: TwoPartyContext, x: SharePair, public: np.ndarray, tag: str = "mul-public"
+) -> SharePair:
+    """Multiply a shared tensor by a public real-valued tensor (no interaction)."""
+    ring = ctx.ring
+    encoded = ring.encode(np.asarray(public, dtype=np.float64))
+    with np.errstate(over="ignore"):
+        s0 = ring.truncate_local(ring.mul(x.share0, encoded), party=0)
+        s1 = ring.truncate_local(ring.mul(x.share1, encoded), party=1)
+    return SharePair(s0, s1, ring)
+
+
+def add_public(ctx: TwoPartyContext, x: SharePair, public: np.ndarray) -> SharePair:
+    """Add a public real-valued tensor to a shared tensor (S0 adds by convention)."""
+    ring = ctx.ring
+    encoded = ring.encode(np.asarray(public, dtype=np.float64))
+    return SharePair(ring.add(x.share0, np.broadcast_to(encoded, x.shape).copy()), x.share1.copy(), ring)

@@ -1,0 +1,183 @@
+"""Secure comparison: the non-polynomial core of 2PC private inference.
+
+The comparison protocol ("millionaires' problem") determines whose value is
+larger without revealing the values.  Following the paper's OT-flow
+(Section III-C.1) the values are decomposed into 2-bit digits; a 1-of-4 OT
+per digit transfers masked greater-than / equality indicator bits, which are
+then combined with a GMW-style prefix circuit (AND gates from dealer bit
+triples) into a single XOR-shared comparison bit.
+
+On top of the raw comparison this module builds:
+
+- :func:`drelu` -- XOR-shared derivative of ReLU, i.e. the bit (x > 0),
+  computed from the shares' MSBs and a carry comparison;
+- :func:`bit_to_arithmetic` -- B2A conversion of an XOR-shared bit;
+- :func:`select` -- multiplexing a shared value by a shared bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.ot import one_of_four_ot
+from repro.crypto.protocols.arithmetic import multiply
+from repro.crypto.sharing import SharePair
+
+XorSharedBit = Tuple[np.ndarray, np.ndarray]
+
+
+def secure_and(
+    ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: str = "and"
+) -> XorSharedBit:
+    """GMW AND gate on XOR-shared bits using a dealer bit triple.
+
+    Each party opens (x ^ a) and (y ^ b); the shares of x AND y are then a
+    local affine combination of the opened values and the triple shares.
+    """
+    x0, x1 = x
+    y0, y1 = y
+    triple = ctx.dealer.bit_triple(x0.shape)
+    d0 = x0 ^ triple.a0
+    d1 = x1 ^ triple.a1
+    e0 = y0 ^ triple.b0
+    e1 = y1 ^ triple.b1
+    # Open d = x ^ a and e = y ^ b (two bits per element, each direction).
+    ctx.channel.exchange(
+        np.stack([d0, e0]).astype(np.uint8), np.stack([d1, e1]).astype(np.uint8), tag=tag
+    )
+    d = d0 ^ d1
+    e = e0 ^ e1
+    z0 = triple.c0 ^ (d & triple.b0) ^ (e & triple.a0) ^ (d & e)
+    z1 = triple.c1 ^ (d & triple.b1) ^ (e & triple.a1)
+    return z0.astype(np.uint8), z1.astype(np.uint8)
+
+
+def secure_xor(x: XorSharedBit, y: XorSharedBit) -> XorSharedBit:
+    """XOR of XOR-shared bits is local."""
+    return (x[0] ^ y[0]).astype(np.uint8), (x[1] ^ y[1]).astype(np.uint8)
+
+
+def secure_not(x: XorSharedBit) -> XorSharedBit:
+    """NOT flips one party's share."""
+    return (x[0] ^ np.uint8(1)).astype(np.uint8), x[1].astype(np.uint8)
+
+
+def millionaire_gt(
+    ctx: TwoPartyContext,
+    value_s0: np.ndarray,
+    value_s1: np.ndarray,
+    bit_width: int,
+    digit_bits: int = 2,
+    tag: str = "cmp",
+) -> XorSharedBit:
+    """Secure greater-than between a value held by S0 and one held by S1.
+
+    Args:
+        value_s0: unsigned integers (dtype uint64) private to server 0.
+        value_s1: unsigned integers private to server 1, same shape.
+        bit_width: number of bits of the compared values.
+        digit_bits: digit size for the OT decomposition (paper uses 2).
+
+    Returns:
+        XOR shares of the bit ``value_s0 > value_s1``.
+    """
+    if value_s0.shape != value_s1.shape:
+        raise ValueError("compared values must have the same shape")
+    if bit_width % digit_bits:
+        raise ValueError("digit_bits must divide bit_width")
+    num_digits = bit_width // digit_bits
+    radix = 1 << digit_bits
+    shape = value_s0.shape
+
+    value_s0 = value_s0.astype(np.uint64)
+    value_s1 = value_s1.astype(np.uint64)
+    digit_mask = np.uint64(radix - 1)
+
+    rng = ctx.dealer.rng
+
+    # Per-digit OT: S0 prepares masked (gt, eq) indicator bits for every
+    # candidate digit value, S1 selects with its own digit.  After this loop
+    # gt_shares[i] / eq_shares[i] are XOR-shared indicator bits.
+    gt_shares = []
+    eq_shares = []
+    for i in range(num_digits):
+        a_digit = ((value_s0 >> np.uint64(i * digit_bits)) & digit_mask).astype(np.uint8)
+        b_digit = ((value_s1 >> np.uint64(i * digit_bits)) & digit_mask).astype(np.uint8)
+        pad_gt = rng.integers(0, 2, size=shape, dtype=np.uint8)
+        pad_eq = rng.integers(0, 2, size=shape, dtype=np.uint8)
+        candidates = np.arange(radix, dtype=np.uint8).reshape((radix,) + (1,) * len(shape))
+        gt_table = (a_digit[None, ...] > candidates).astype(np.uint8) ^ pad_gt[None, ...]
+        eq_table = (a_digit[None, ...] == candidates).astype(np.uint8) ^ pad_eq[None, ...]
+        # Pack gt/eq into one 2-bit payload per candidate for a single OT.
+        payload = (gt_table << 1) | eq_table
+        received = one_of_four_ot(ctx, payload, b_digit, tag=f"{tag}/ot-digit{i}")
+        gt_shares.append((pad_gt, (received >> 1) & np.uint8(1)))
+        eq_shares.append((pad_eq, received & np.uint8(1)))
+
+    # Prefix combination from the most significant digit downwards:
+    #   result  = XOR_i ( eq_prefix_i AND gt_i )
+    #   eq_prefix updates with AND of eq_i.
+    # The terms are mutually exclusive so XOR == OR.
+    result: XorSharedBit = (
+        np.zeros(shape, dtype=np.uint8),
+        np.zeros(shape, dtype=np.uint8),
+    )
+    eq_prefix: XorSharedBit = (
+        np.ones(shape, dtype=np.uint8),
+        np.zeros(shape, dtype=np.uint8),
+    )
+    for i in reversed(range(num_digits)):
+        term = secure_and(ctx, eq_prefix, gt_shares[i], tag=f"{tag}/and-gt{i}")
+        result = secure_xor(result, term)
+        if i:  # the last equality update is never used
+            eq_prefix = secure_and(ctx, eq_prefix, eq_shares[i], tag=f"{tag}/and-eq{i}")
+    return result
+
+
+def drelu(ctx: TwoPartyContext, x: SharePair, tag: str = "drelu") -> XorSharedBit:
+    """XOR-shared DReLU bit: 1 where the shared value is positive.
+
+    Uses the identity  msb(x) = msb(x0) ^ msb(x1) ^ carry  where ``carry`` is
+    the carry out of adding the low k-1 bits of the two shares; the carry is
+    obtained with one millionaire comparison between values privately held by
+    the two servers.  DReLU is the complement of the MSB.
+    """
+    ring = ctx.ring
+    half = np.uint64((1 << (ring.ring_bits - 1)) - 1)
+    low0 = ring.low_bits(x.share0)
+    low1 = ring.low_bits(x.share1)
+    # carry = (low0 + low1) >= 2^{k-1}  <=>  low0 > (2^{k-1} - 1) - low1
+    threshold_s1 = (half - low1).astype(np.uint64)
+    carry = millionaire_gt(
+        ctx, low0, threshold_s1, bit_width=ring.ring_bits, tag=f"{tag}/carry"
+    )
+    msb = secure_xor(carry, (ring.msb(x.share0), ring.msb(x.share1)))
+    return secure_not(msb)
+
+
+def bit_to_arithmetic(ctx: TwoPartyContext, bit: XorSharedBit, tag: str = "b2a") -> SharePair:
+    """Convert an XOR-shared bit into additive shares of the same bit value.
+
+    b = b0 ^ b1 = b0 + b1 - 2*b0*b1; the cross term is computed with one
+    Beaver multiplication over the ring (integer-valued, no truncation).
+    """
+    ring = ctx.ring
+    b0, b1 = bit
+    zeros = np.zeros(b0.shape, dtype=np.uint64)
+    lifted0 = SharePair(b0.astype(np.uint64), zeros.copy(), ring)
+    lifted1 = SharePair(zeros.copy(), b1.astype(np.uint64), ring)
+    cross = multiply(ctx, lifted0, lifted1, truncate=False, tag=f"{tag}/cross")
+    s0 = ring.sub(ring.add(lifted0.share0, lifted1.share0), ring.scalar_mul(cross.share0, 2))
+    s1 = ring.sub(ring.add(lifted0.share1, lifted1.share1), ring.scalar_mul(cross.share1, 2))
+    return SharePair(s0, s1, ring)
+
+
+def select(
+    ctx: TwoPartyContext, x: SharePair, bit: XorSharedBit, tag: str = "select"
+) -> SharePair:
+    """Return shares of ``x * bit`` (bit in {0,1}) — the ReLU multiplexer."""
+    arith_bit = bit_to_arithmetic(ctx, bit, tag=f"{tag}/b2a")
+    return multiply(ctx, x, arith_bit, truncate=False, tag=f"{tag}/mux")

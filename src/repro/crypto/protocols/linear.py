@@ -1,0 +1,174 @@
+"""Secure linear algebra: 2PC convolution and fully-connected layers.
+
+Both use the generic Beaver-triple multiplication of
+:func:`repro.crypto.protocols.arithmetic.multiply` with the bilinear map set
+to a ring convolution / matrix product, exactly as described for 2PC-Conv in
+Section III-C.6 of the paper.  Batch normalization is folded into the
+convolution weights before secure evaluation (the paper notes BN "can be
+fused into the convolution layer").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.protocols.arithmetic import add_public, multiply
+from repro.crypto.ring import FixedPointRing
+from repro.crypto.sharing import SharePair
+
+
+# --------------------------------------------------------------------------- #
+# Ring-element linear algebra (used as the Beaver bilinear maps)
+# --------------------------------------------------------------------------- #
+def ring_matmul(ring: FixedPointRing, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over the ring (wrap-around uint64 arithmetic)."""
+    with np.errstate(over="ignore"):
+        return ring.wrap(np.matmul(a.astype(np.uint64), b.astype(np.uint64)))
+
+
+def ring_conv2d(
+    ring: FixedPointRing,
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """NCHW convolution over the ring.
+
+    ``x`` has shape (N, IC, H, W) and ``weight`` (OC, IC, KH, KW); both are
+    ring elements (uint64).  The accumulation wraps modulo 2^k, which is the
+    correct semantics for secret-shared evaluation.
+    """
+    n, ic, h, w = x.shape
+    oc, icw, kh, kw = weight.shape
+    if icw != ic:
+        raise ValueError(f"weight expects {icw} input channels, input has {ic}")
+    x = x.astype(np.uint64)
+    weight = weight.astype(np.uint64)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    hp, wp = x.shape[2], x.shape[3]
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    sn, sc, sh, sw = x.strides
+    cols = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, ic, kh, kw, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+    )
+    cols = cols.reshape(n, ic * kh * kw, oh * ow)
+    w_mat = weight.reshape(oc, ic * kh * kw)
+    with np.errstate(over="ignore"):
+        out = np.matmul(w_mat[None, :, :], cols)
+    return ring.wrap(out.reshape(n, oc, oh, ow))
+
+
+# --------------------------------------------------------------------------- #
+# Secure layers
+# --------------------------------------------------------------------------- #
+def secure_conv2d(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    weight: SharePair,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+    tag: str = "conv",
+) -> SharePair:
+    """2PC-Conv: convolution between secret-shared activations and weights."""
+
+    def product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ring_conv2d(ctx.ring, a, b, stride=stride, padding=padding)
+
+    out = multiply(ctx, x, weight, product=product, truncate=True, tag=tag)
+    if bias is not None:
+        out = add_public(ctx, out, np.asarray(bias).reshape(1, -1, 1, 1))
+    return out
+
+
+def secure_conv2d_public_weight(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> SharePair:
+    """Convolution with a *public* (model-vendor) weight: no triple needed.
+
+    Each server convolves its share with the public weight locally; only the
+    fixed-point truncation is performed on the result.
+    """
+    ring = ctx.ring
+    w_enc = ring.encode(weight)
+    out0 = ring_conv2d(ring, x.share0, w_enc, stride=stride, padding=padding)
+    out1 = ring_conv2d(ring, x.share1, w_enc, stride=stride, padding=padding)
+    out = SharePair(
+        ring.truncate_local(out0, party=0), ring.truncate_local(out1, party=1), ring
+    )
+    if bias is not None:
+        out = add_public(ctx, out, np.asarray(bias).reshape(1, -1, 1, 1))
+    return out
+
+
+def secure_linear(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    weight: SharePair,
+    bias: Optional[np.ndarray] = None,
+    tag: str = "linear",
+) -> SharePair:
+    """2PC fully-connected layer: [Y] = [X] @ [W^T] + b."""
+
+    def product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return ring_matmul(ctx.ring, a, np.swapaxes(b, -1, -2))
+
+    out = multiply(ctx, x, weight, product=product, truncate=True, tag=tag)
+    if bias is not None:
+        out = add_public(ctx, out, np.asarray(bias).reshape(1, -1))
+    return out
+
+
+def secure_linear_public_weight(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+) -> SharePair:
+    """Fully-connected layer with a public weight matrix."""
+    ring = ctx.ring
+    w_enc = ring.encode(weight).T
+    out0 = ring_matmul(ring, x.share0, w_enc)
+    out1 = ring_matmul(ring, x.share1, w_enc)
+    out = SharePair(
+        ring.truncate_local(out0, party=0), ring.truncate_local(out1, party=1), ring
+    )
+    if bias is not None:
+        out = add_public(ctx, out, np.asarray(bias).reshape(1, -1))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Batch-normalization folding
+# --------------------------------------------------------------------------- #
+def fold_batchnorm(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    bn_scale: np.ndarray,
+    bn_shift: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an inference-time batch norm into the preceding convolution.
+
+    Given conv weight (OC, IC, KH, KW), conv bias (OC,) and the BN affine
+    form ``y = scale * x + shift``, returns the fused (weight, bias).
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    bn_scale = np.asarray(bn_scale, dtype=np.float64)
+    bn_shift = np.asarray(bn_shift, dtype=np.float64)
+    fused_weight = weight * bn_scale.reshape(-1, 1, 1, 1)
+    base_bias = np.zeros(weight.shape[0]) if bias is None else np.asarray(bias, dtype=np.float64)
+    fused_bias = base_bias * bn_scale + bn_shift
+    return fused_weight, fused_bias

@@ -1,0 +1,68 @@
+"""Secure normalization protocols.
+
+At inference time batch normalization is an affine map with public (model
+vendor) parameters, so the preferred deployment folds it into the previous
+convolution (:func:`repro.crypto.protocols.linear.fold_batchnorm`).  Two
+stand-alone variants are provided for architectures where folding is not
+possible (e.g. a BN that follows a residual addition):
+
+- :func:`secure_batchnorm_public` — affine map with public scale/shift
+  (local scaling + truncation, no interaction);
+- :func:`secure_batchnorm_shared` — affine map whose scale/shift are secret
+  shared (one Beaver multiplication per element).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.protocols.arithmetic import add_public, multiply, multiply_public
+from repro.crypto.sharing import SharePair, add_shares
+
+
+def _reshape_per_channel(values: np.ndarray, ndim: int) -> np.ndarray:
+    """Broadcast per-channel parameters over an NCHW (or NC) tensor."""
+    values = np.asarray(values, dtype=np.float64)
+    if ndim == 4:
+        return values.reshape(1, -1, 1, 1)
+    if ndim == 2:
+        return values.reshape(1, -1)
+    raise ValueError(f"unsupported activation rank {ndim}")
+
+
+def secure_batchnorm_public(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    scale: np.ndarray,
+    shift: np.ndarray,
+    tag: str = "bn",
+) -> SharePair:
+    """Inference-time BN with public per-channel scale and shift.
+
+    ``y = scale * x + shift`` — scaling is local on each share (with the
+    usual fixed-point truncation) and the shift is added by S0.
+    """
+    ndim = len(x.shape)
+    scaled = multiply_public(ctx, x, _reshape_per_channel(scale, ndim), tag=f"{tag}/scale")
+    return add_public(ctx, scaled, _reshape_per_channel(shift, ndim))
+
+
+def secure_batchnorm_shared(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    scale: SharePair,
+    shift: SharePair,
+    tag: str = "bn-shared",
+) -> SharePair:
+    """Inference-time BN whose affine parameters are themselves secret shared.
+
+    Used when the model vendor does not want to reveal even the BN statistics
+    to the other compute server.  Costs one elementwise Beaver multiplication.
+    """
+    if scale.shape != x.shape or shift.shape != x.shape:
+        raise ValueError(
+            "shared BN expects scale/shift already broadcast to the activation shape"
+        )
+    scaled = multiply(ctx, x, scale, truncate=True, tag=f"{tag}/scale")
+    return add_shares(scaled, shift)

@@ -1,0 +1,84 @@
+"""Secure pooling: 2PC-MaxPool (comparison-based) and 2PC-AvgPool (linear)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.protocols.comparison import drelu, select
+from repro.crypto.sharing import SharePair, add_shares, scale_shares, sub_shares
+
+
+def _extract_windows(share: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Rearrange an NCHW share into windows (N, C, OH, OW, K*K)."""
+    n, c, h, w = share.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    sn, sc, sh, sw = share.strides
+    windows = np.lib.stride_tricks.as_strided(
+        share,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+    )
+    return windows.reshape(n, c, oh, ow, kernel * kernel).copy()
+
+
+def secure_maxpool2d(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    kernel_size: int = 2,
+    stride: int | None = None,
+    tag: str = "maxpool",
+) -> SharePair:
+    """2PC-MaxPool: window maxima via repeated secure pairwise max.
+
+    max(a, b) = b + ReLU(a - b), so each reduction step costs one comparison
+    flow plus one multiplexer — this is why MaxPool is nearly as expensive as
+    ReLU under 2PC (Eq. 13).
+    """
+    stride = stride or kernel_size
+    ring = ctx.ring
+    win0 = _extract_windows(x.share0, kernel_size, stride)
+    win1 = _extract_windows(x.share1, kernel_size, stride)
+    k = win0.shape[-1]
+
+    current = SharePair(win0[..., 0].copy(), win1[..., 0].copy(), ring)
+    for i in range(1, k):
+        candidate = SharePair(win0[..., i].copy(), win1[..., i].copy(), ring)
+        diff = sub_shares(candidate, current)
+        bit = drelu(ctx, diff, tag=f"{tag}/cmp{i}")
+        gated = select(ctx, diff, bit, tag=f"{tag}/sel{i}")
+        current = add_shares(current, gated)
+    return current
+
+
+def secure_avgpool2d(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    kernel_size: int = 2,
+    stride: int | None = None,
+    tag: str = "avgpool",
+) -> SharePair:
+    """2PC-AvgPool: window sum (local) followed by a public scaling."""
+    stride = stride or kernel_size
+    ring = ctx.ring
+    win0 = _extract_windows(x.share0, kernel_size, stride)
+    win1 = _extract_windows(x.share1, kernel_size, stride)
+    with np.errstate(over="ignore"):
+        sum0 = ring.wrap(win0.sum(axis=-1, dtype=np.uint64))
+        sum1 = ring.wrap(win1.sum(axis=-1, dtype=np.uint64))
+    summed = SharePair(sum0, sum1, ring)
+    return scale_shares(summed, 1.0 / (kernel_size * kernel_size))
+
+
+def secure_global_avgpool(ctx: TwoPartyContext, x: SharePair, tag: str = "gap") -> SharePair:
+    """Global average pooling producing (N, C) shares."""
+    ring = ctx.ring
+    n, c, h, w = x.shape
+    with np.errstate(over="ignore"):
+        sum0 = ring.wrap(x.share0.reshape(n, c, -1).sum(axis=-1, dtype=np.uint64))
+        sum1 = ring.wrap(x.share1.reshape(n, c, -1).sum(axis=-1, dtype=np.uint64))
+    summed = SharePair(sum0, sum1, ring)
+    return scale_shares(summed, 1.0 / (h * w))

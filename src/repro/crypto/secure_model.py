@@ -1,0 +1,152 @@
+"""End-to-end 2PC private inference over a derived PASNet architecture.
+
+The :class:`SecureInferenceEngine` walks the layer specification of a model
+(see :mod:`repro.models.specs`), applies the corresponding 2PC protocol to
+the secret-shared activations, and returns the plaintext logits together
+with the measured communication volume — the executable counterpart of the
+private-inference deployment of Fig. 3 (right-hand side).
+
+The client secret-shares its query between the two servers; the model
+weights live with the model vendor (server 0) and are therefore evaluated
+with the "public weight" protocol variants (no weight-sharing triples), which
+matches Delphi-style deployments and the paper's latency model where weight
+transfers are not part of the online communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.crypto.context import TwoPartyContext, make_context
+from repro.crypto.protocols.activation import secure_relu, secure_x2act
+from repro.crypto.protocols.linear import (
+    fold_batchnorm,
+    secure_conv2d_public_weight,
+    secure_linear_public_weight,
+)
+from repro.crypto.protocols.pooling import (
+    secure_avgpool2d,
+    secure_global_avgpool,
+    secure_maxpool2d,
+)
+from repro.crypto.sharing import SharePair, reconstruct, share
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+
+
+@dataclass
+class SecureInferenceResult:
+    """Outputs of a private-inference run."""
+
+    logits: np.ndarray
+    communication_bytes: int
+    communication_rounds: int
+    per_layer_bytes: Dict[str, int] = field(default_factory=dict)
+
+
+class SecureInferenceEngine:
+    """Runs a :class:`repro.models.specs.ModelSpec` under simulated 2PC."""
+
+    def __init__(self, ctx: Optional[TwoPartyContext] = None) -> None:
+        self.ctx = ctx or make_context()
+
+    def run(
+        self,
+        spec: ModelSpec,
+        weights: Dict[str, Dict[str, np.ndarray]],
+        inputs: np.ndarray,
+    ) -> SecureInferenceResult:
+        """Execute private inference.
+
+        Args:
+            spec: the model layer specification (a *derived* architecture —
+                every activation is concretely ReLU or X^2act).
+            weights: mapping layer-name -> parameter dict as produced by
+                :func:`repro.models.builder.export_layer_weights`.
+            inputs: plaintext client query, NCHW float array.
+
+        Returns:
+            A :class:`SecureInferenceResult` with plaintext logits and the
+            measured communication.
+        """
+        ctx = self.ctx
+        ctx.reset_communication()
+        shared = share(inputs, ctx.ring, ctx.rng)
+        per_layer: Dict[str, int] = {}
+        cache: Dict[str, SharePair] = {}
+
+        for layer in spec.layers:
+            before = ctx.communication_bytes
+            shared = self._run_layer(layer, weights.get(layer.name, {}), shared, cache)
+            cache[layer.name] = shared
+            per_layer[layer.name] = ctx.communication_bytes - before
+
+        logits = reconstruct(shared)
+        return SecureInferenceResult(
+            logits=logits,
+            communication_bytes=ctx.communication_bytes,
+            communication_rounds=ctx.communication_rounds,
+            per_layer_bytes=per_layer,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_layer(
+        self,
+        layer: LayerSpec,
+        params: Dict[str, np.ndarray],
+        x: SharePair,
+        cache: Dict[str, SharePair],
+    ) -> SharePair:
+        ctx = self.ctx
+        kind = layer.kind
+        if kind == LayerKind.CONV:
+            weight = params["weight"]
+            bias = params.get("bias")
+            if "bn_scale" in params:
+                weight, bias = fold_batchnorm(
+                    weight, bias, params["bn_scale"], params["bn_shift"]
+                )
+            return secure_conv2d_public_weight(
+                ctx, x, weight, bias, stride=layer.stride, padding=layer.padding
+            )
+        if kind == LayerKind.LINEAR:
+            return secure_linear_public_weight(
+                ctx, x, params["weight"], params.get("bias")
+            )
+        if kind == LayerKind.RELU:
+            return secure_relu(ctx, x)
+        if kind == LayerKind.X2ACT:
+            return secure_x2act(
+                ctx,
+                x,
+                w1=float(params.get("w1", 0.0)),
+                w2=float(params.get("w2", 1.0)),
+                b=float(params.get("b", 0.0)),
+                num_elements=layer.num_activation_elements(),
+                scale_constant=float(params.get("c", 1.0)),
+            )
+        if kind == LayerKind.MAXPOOL:
+            return secure_maxpool2d(ctx, x, kernel_size=layer.kernel, stride=layer.stride)
+        if kind == LayerKind.AVGPOOL:
+            return secure_avgpool2d(ctx, x, kernel_size=layer.kernel, stride=layer.stride)
+        if kind == LayerKind.GLOBAL_AVGPOOL:
+            return secure_global_avgpool(ctx, x)
+        if kind == LayerKind.FLATTEN:
+            ring = self.ctx.ring
+            n = x.shape[0]
+            return SharePair(
+                x.share0.reshape(n, -1).copy(), x.share1.reshape(n, -1).copy(), ring
+            )
+        if kind == LayerKind.ADD:
+            if not layer.residual_from:
+                raise NotImplementedError(
+                    "secure inference of ADD layers requires an identity shortcut "
+                    "(residual_from); analysis-only specs with projection shortcuts "
+                    "cannot be executed directly"
+                )
+            from repro.crypto.sharing import add_shares
+
+            return add_shares(x, cache[layer.residual_from])
+        raise ValueError(f"unsupported layer kind for secure inference: {kind}")

@@ -1,0 +1,34 @@
+"""Synthetic datasets, loaders, splits and transforms."""
+
+from repro.data.dataloader import DataLoader, InfiniteLoader
+from repro.data.splits import SubsetDataset, train_val_split
+from repro.data.synthetic import (
+    CIFAR10_INFO,
+    IMAGENET_INFO,
+    TINY_INFO,
+    DatasetInfo,
+    SyntheticImageDataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_tiny,
+)
+from repro.data.transforms import compose, normalize, random_crop, random_horizontal_flip
+
+__all__ = [
+    "DatasetInfo",
+    "SyntheticImageDataset",
+    "synthetic_cifar10",
+    "synthetic_imagenet",
+    "synthetic_tiny",
+    "CIFAR10_INFO",
+    "IMAGENET_INFO",
+    "TINY_INFO",
+    "DataLoader",
+    "InfiniteLoader",
+    "SubsetDataset",
+    "train_val_split",
+    "normalize",
+    "random_crop",
+    "random_horizontal_flip",
+    "compose",
+]

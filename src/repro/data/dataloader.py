@@ -1,0 +1,70 @@
+"""Minibatch iteration over synthetic datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+
+
+class DataLoader:
+    """Shuffling minibatch loader yielding (images, labels) numpy arrays."""
+
+    def __init__(
+        self,
+        dataset: SyntheticImageDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            images = np.stack([self.dataset[int(i)][0] for i in batch_idx])
+            labels = np.array([self.dataset[int(i)][1] for i in batch_idx])
+            yield images, labels
+
+    def sample_batch(self, batch_size: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one random minibatch (used by the NAS inner loop)."""
+        size = batch_size or self.batch_size
+        batch_idx = self._rng.integers(0, len(self.dataset), size=size)
+        images = np.stack([self.dataset[int(i)][0] for i in batch_idx])
+        labels = np.array([self.dataset[int(i)][1] for i in batch_idx])
+        return images, labels
+
+
+class InfiniteLoader:
+    """Wraps a DataLoader into an endless minibatch stream."""
+
+    def __init__(self, loader: DataLoader) -> None:
+        self.loader = loader
+        self._iterator = iter(loader)
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        try:
+            return next(self._iterator)
+        except StopIteration:
+            self._iterator = iter(self.loader)
+            return next(self._iterator)

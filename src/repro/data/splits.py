@@ -1,0 +1,61 @@
+"""Dataset splitting utilities.
+
+The paper's NAS protocol re-splits the CIFAR-10 *training* set 50%/50% into a
+weight-training half and an architecture-validation half (Section IV-A);
+:func:`train_val_split` reproduces that split for the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+
+
+class SubsetDataset:
+    """A view over a subset of another dataset."""
+
+    def __init__(self, base: SyntheticImageDataset, indices: np.ndarray) -> None:
+        self.base = base
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.info = base.info
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.base[int(self.indices[index])]
+
+    @property
+    def num_classes(self) -> int:
+        return self.base.num_classes
+
+    @property
+    def image_shape(self):
+        return self.base.image_shape
+
+    def as_arrays(self):
+        images = np.stack([self[i][0] for i in range(len(self))])
+        labels = np.array([self[i][1] for i in range(len(self))])
+        return images, labels
+
+
+def train_val_split(
+    dataset: SyntheticImageDataset, val_fraction: float = 0.5, seed: int = 0
+) -> Tuple[SubsetDataset, SubsetDataset]:
+    """Split a dataset into (train, val) subsets.
+
+    The default 50/50 split matches the paper's architecture-search protocol:
+    the first half updates the weight parameters ω, the second half updates
+    the architecture parameters α.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(dataset))
+    split = int(round(len(dataset) * (1.0 - val_fraction)))
+    if split == 0 or split == len(dataset):
+        raise ValueError("split produces an empty subset; use more samples")
+    return SubsetDataset(dataset, indices[:split]), SubsetDataset(dataset, indices[split:])

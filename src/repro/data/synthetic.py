@@ -1,0 +1,149 @@
+"""Synthetic image-classification datasets.
+
+The original evaluation uses CIFAR-10 and ImageNet.  Neither is available in
+this offline environment, so this module generates deterministic synthetic
+datasets with the same tensor shapes and the same train/validation split
+semantics: each class is defined by a smooth random "texture prototype"
+(a low-frequency random field plus class-specific sinusoidal gratings), and a
+sample is the prototype under a random gain, shift and additive noise.
+
+The datasets are linearly non-trivial but learnable by small CNNs within a
+few hundred numpy-engine steps, which is what the search/finetune code path
+needs; they are *not* a substitute for the paper's absolute accuracy numbers
+(those are recorded separately as reported values in
+:mod:`repro.models.pasnet_variants` and :mod:`repro.baselines.published`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Shape metadata of a dataset."""
+
+    name: str
+    num_classes: int
+    image_size: int
+    channels: int = 3
+
+
+CIFAR10_INFO = DatasetInfo("synthetic-cifar10", num_classes=10, image_size=32)
+IMAGENET_INFO = DatasetInfo("synthetic-imagenet", num_classes=1000, image_size=224)
+TINY_INFO = DatasetInfo("synthetic-tiny", num_classes=10, image_size=16)
+
+
+class SyntheticImageDataset:
+    """Deterministic synthetic dataset of class-prototype images."""
+
+    def __init__(
+        self,
+        info: DatasetInfo,
+        num_samples: int,
+        seed: int = 0,
+        noise_std: float = 0.35,
+        signal_gain: float = 1.0,
+    ) -> None:
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        self.info = info
+        self.num_samples = num_samples
+        self.seed = seed
+        self.noise_std = noise_std
+        self.signal_gain = signal_gain
+        self._prototype_cache: dict[int, np.ndarray] = {}
+        rng = np.random.default_rng(seed + 1)
+        self._labels = rng.integers(0, info.num_classes, size=num_samples)
+        self._sample_seeds = rng.integers(0, 2**31 - 1, size=num_samples)
+
+    # ------------------------------------------------------------------ #
+    def _prototype(self, label: int) -> np.ndarray:
+        """The smooth class prototype of shape (C, S, S), generated lazily.
+
+        Prototypes are derived from (dataset seed, class index) so they are
+        deterministic, and cached per class; ImageNet-shaped datasets with
+        1000 classes only ever materialize the prototypes of classes that are
+        actually sampled.
+        """
+        if label in self._prototype_cache:
+            return self._prototype_cache[label]
+        info = self.info
+        size = info.image_size
+        coarse = max(size // 8, 2)
+        rng = np.random.default_rng((self.seed, label))
+        ys, xs = np.meshgrid(np.linspace(0, 1, size), np.linspace(0, 1, size), indexing="ij")
+        # Low-frequency random field upsampled to full resolution.
+        field = rng.normal(0.0, 1.0, size=(info.channels, coarse, coarse))
+        field = np.repeat(np.repeat(field, size // coarse + 1, axis=1), size // coarse + 1, axis=2)
+        field = field[:, :size, :size]
+        # Class-specific grating so classes differ even at low resolution.
+        fx, fy = rng.uniform(1.0, 4.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        grating = np.sin(2 * np.pi * (fx * xs + fy * ys) + phase)
+        prototype = 0.7 * field + 0.6 * grating[None, :, :]
+        rms = np.sqrt((prototype**2).mean())
+        prototype = prototype / max(rms, 1e-8)
+        self._prototype_cache[label] = prototype
+        return prototype
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(index)
+        label = int(self._labels[index])
+        rng = np.random.default_rng(int(self._sample_seeds[index]))
+        prototype = self._prototype(label)
+        gain = self.signal_gain * rng.uniform(0.8, 1.2)
+        shift = rng.normal(0.0, 0.1, size=(self.info.channels, 1, 1))
+        noise = rng.normal(0.0, self.noise_std, size=prototype.shape)
+        image = gain * prototype + shift + noise
+        return image.astype(np.float64), label
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, int]]:
+        for index in range(self.num_samples):
+            yield self[index]
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize the whole dataset as (X, y) arrays."""
+        images = np.stack([self[i][0] for i in range(self.num_samples)])
+        return images, self._labels.copy()
+
+    @property
+    def num_classes(self) -> int:
+        return self.info.num_classes
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return (self.info.channels, self.info.image_size, self.info.image_size)
+
+
+# --------------------------------------------------------------------------- #
+# Named constructors matching the paper's datasets
+# --------------------------------------------------------------------------- #
+def synthetic_cifar10(num_samples: int = 512, seed: int = 0, **kwargs) -> SyntheticImageDataset:
+    """CIFAR-10-shaped synthetic dataset (3 x 32 x 32, 10 classes)."""
+    return SyntheticImageDataset(CIFAR10_INFO, num_samples, seed=seed, **kwargs)
+
+
+def synthetic_imagenet(num_samples: int = 16, seed: int = 0, **kwargs) -> SyntheticImageDataset:
+    """ImageNet-shaped synthetic dataset (3 x 224 x 224, 1000 classes).
+
+    Only small sample counts are practical with the numpy engine; the shape
+    is what matters (latency/communication analyses and secure-inference
+    smoke tests).
+    """
+    return SyntheticImageDataset(IMAGENET_INFO, num_samples, seed=seed, **kwargs)
+
+
+def synthetic_tiny(num_samples: int = 256, seed: int = 0, num_classes: int = 10,
+                   image_size: int = 16, **kwargs) -> SyntheticImageDataset:
+    """Small dataset (default 3 x 16 x 16) for the numpy-trainable demos."""
+    info = DatasetInfo("synthetic-tiny", num_classes=num_classes, image_size=image_size)
+    return SyntheticImageDataset(info, num_samples, seed=seed, **kwargs)

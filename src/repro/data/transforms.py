@@ -1,0 +1,59 @@
+"""Lightweight data augmentation / normalization transforms (NCHW numpy)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def normalize(mean: float = 0.0, std: float = 1.0) -> Transform:
+    """Channel-agnostic normalization ``(x - mean) / std``."""
+    if std <= 0:
+        raise ValueError("std must be positive")
+
+    def apply(batch: np.ndarray, _rng: np.random.Generator) -> np.ndarray:
+        return (batch - mean) / std
+
+    return apply
+
+
+def random_horizontal_flip(probability: float = 0.5) -> Transform:
+    """Flip each image left-right with the given probability."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(batch.shape[0]) < probability
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def random_crop(padding: int = 2) -> Transform:
+    """Zero-pad then randomly crop back to the original size (CIFAR-style)."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = batch.shape
+        padded = np.pad(batch, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        out = np.empty_like(batch)
+        offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+        offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+        for i in range(n):
+            out[i] = padded[i, :, offsets_y[i] : offsets_y[i] + h, offsets_x[i] : offsets_x[i] + w]
+        return out
+
+    return apply
+
+
+def compose(transforms: Sequence[Transform]) -> Transform:
+    """Chain transforms left to right."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transforms:
+            batch = transform(batch, rng)
+        return batch
+
+    return apply

@@ -1,0 +1,40 @@
+"""Evaluation harness: regenerate every table and figure of the paper."""
+
+from repro.evaluation.figures import (
+    FIG1_PAPER_MS,
+    FIG5B_PAPER,
+    Figure5Series,
+    accuracy_at_budget,
+    figure1_breakdown,
+    figure5_sweep,
+    figure6_pareto,
+    figure7_crosswork,
+)
+from repro.evaluation.report import render_series, render_table
+from repro.evaluation.tables import (
+    CrossWorkSpeedup,
+    Table1Row,
+    comparator_rows,
+    crosswork_speedups,
+    paper_vs_measured_costs,
+    table1_rows,
+)
+
+__all__ = [
+    "figure1_breakdown",
+    "figure5_sweep",
+    "figure6_pareto",
+    "figure7_crosswork",
+    "accuracy_at_budget",
+    "Figure5Series",
+    "FIG1_PAPER_MS",
+    "FIG5B_PAPER",
+    "render_table",
+    "render_series",
+    "Table1Row",
+    "table1_rows",
+    "comparator_rows",
+    "crosswork_speedups",
+    "paper_vs_measured_costs",
+    "CrossWorkSpeedup",
+]

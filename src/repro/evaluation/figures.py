@@ -1,0 +1,199 @@
+"""Regenerate the data series behind every figure of the paper.
+
+Each function returns plain dictionaries/lists (no plotting dependency) and
+is wrapped by a benchmark in ``benchmarks/`` that prints the regenerated
+series next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.published import RELU_REDUCTION_ANCHORS
+from repro.baselines.relu_reduction import run_all_baselines
+from repro.core.pareto import TradeOffPoint, pareto_frontier
+from repro.core.surrogate import AccuracySurrogate
+from repro.core.sweep import DEFAULT_LAMBDAS, lambda_sweep, relu_reduction_sweep
+from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.hardware.lut import build_latency_table
+from repro.models.zoo import FIG5_BACKBONES, get_backbone
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 1 — 2PC operator latency breakdown of a ResNet-50 bottleneck block
+# --------------------------------------------------------------------------- #
+#: The paper's reported per-operator latencies (ms) for the breakdown block.
+FIG1_PAPER_MS: Dict[str, float] = {
+    "Conv1 (1x1, 256->64)": 1.9,
+    "ReLU1 (56x56x64)": 193.3,
+    "Conv2 (3x3, 64->64)": 3.2,
+    "ReLU2 (56x56x64)": 193.3,
+    "Conv3 (1x1, 64->256)": 2.4,
+    "Conv4 (1x1, 256->256)": 2.4,
+    "Add1 (56x56x256)": 0.1,
+    "ReLU3 (56x56x256)": 772.2,
+}
+
+
+def figure1_breakdown(latency_model: Optional[LatencyModel] = None) -> List[Dict[str, float]]:
+    """Per-operator latency of the ImageNet ResNet-50 stage-1 bottleneck.
+
+    Returns one row per operator with the measured (model) latency and the
+    paper's reported latency, plus the ReLU share of the block total.
+    """
+    lm = latency_model or DEFAULT_LATENCY_MODEL
+    size = 56
+    operators = {
+        "Conv1 (1x1, 256->64)": lm.conv(size, size, 256, 64, 1),
+        "ReLU1 (56x56x64)": lm.relu(size, 64),
+        "Conv2 (3x3, 64->64)": lm.conv(size, size, 64, 64, 3),
+        "ReLU2 (56x56x64)": lm.relu(size, 64),
+        "Conv3 (1x1, 64->256)": lm.conv(size, size, 64, 256, 1),
+        "Conv4 (1x1, 256->256)": lm.conv(size, size, 256, 256, 1),
+        "Add1 (56x56x256)": lm.residual_add(size, 256),
+        "ReLU3 (56x56x256)": lm.relu(size, 256),
+    }
+    total_ms = sum(cost.total_ms for cost in operators.values())
+    relu_ms = sum(cost.total_ms for name, cost in operators.items() if name.startswith("ReLU"))
+    rows = []
+    for name, cost in operators.items():
+        rows.append(
+            {
+                "operator": name,
+                "measured_ms": cost.total_ms,
+                "paper_ms": FIG1_PAPER_MS[name],
+            }
+        )
+    rows.append(
+        {
+            "operator": "ReLU share of block",
+            "measured_ms": 100.0 * relu_ms / total_ms,
+            "paper_ms": 99.0,
+        }
+    )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5 — accuracy and latency of searched models vs λ on CIFAR-10
+# --------------------------------------------------------------------------- #
+#: Paper-reported all-ReLU CIFAR-10 latencies (ms) and all-poly speedups.
+FIG5B_PAPER = {
+    "vgg16-cifar": {"all_relu_ms": 382.0, "all_poly_speedup": 20.0},
+    "mobilenetv2-cifar": {"all_relu_ms": 1543.0, "all_poly_speedup": 15.0},
+    "resnet18-cifar": {"all_relu_ms": 324.0, "all_poly_speedup": 26.0},
+    "resnet34-cifar": {"all_relu_ms": 435.0, "all_poly_speedup": 19.0},
+    "resnet50-cifar": {"all_relu_ms": 922.0, "all_poly_speedup": 25.0},
+}
+
+
+@dataclass
+class Figure5Series:
+    """Accuracy and latency series of one backbone across the λ sweep."""
+
+    backbone: str
+    labels: List[str] = field(default_factory=list)
+    accuracy: List[float] = field(default_factory=list)
+    latency_ms: List[float] = field(default_factory=list)
+    relu_elements: List[int] = field(default_factory=list)
+
+    @property
+    def all_relu_latency_ms(self) -> float:
+        return self.latency_ms[0]
+
+    @property
+    def all_poly_latency_ms(self) -> float:
+        return self.latency_ms[-1]
+
+    @property
+    def all_poly_speedup(self) -> float:
+        return self.all_relu_latency_ms / self.all_poly_latency_ms
+
+    @property
+    def max_accuracy_drop(self) -> float:
+        return self.accuracy[0] - min(self.accuracy)
+
+
+def figure5_sweep(
+    backbones: Sequence[str] = tuple(FIG5_BACKBONES),
+    lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+    surrogate: Optional[AccuracySurrogate] = None,
+) -> Dict[str, Figure5Series]:
+    """λ-sweep every Fig. 5 backbone; feeds both Fig. 5(a) and Fig. 5(b)."""
+    surrogate = surrogate or AccuracySurrogate()
+    labels = ["all-ReLU"] + [f"lambda{i+1}" for i in range(len(lambdas))] + ["all-poly"]
+    out: Dict[str, Figure5Series] = {}
+    for name in backbones:
+        spec = get_backbone(name)
+        sweep = lambda_sweep(spec, lambdas=lambdas, surrogate=surrogate)
+        series = Figure5Series(backbone=name, labels=labels)
+        for point in sweep.points:
+            series.accuracy.append(point.accuracy)
+            series.latency_ms.append(point.latency_ms)
+            series.relu_elements.append(point.relu_elements)
+        out[name] = series
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 — accuracy vs ReLU-count trade-off and Pareto frontier
+# --------------------------------------------------------------------------- #
+def figure6_pareto(
+    backbones: Sequence[str] = tuple(FIG5_BACKBONES),
+    num_points: int = 12,
+    surrogate: Optional[AccuracySurrogate] = None,
+) -> Dict[str, object]:
+    """Per-backbone accuracy-vs-ReLU-count traces and the combined frontier."""
+    surrogate = surrogate or AccuracySurrogate()
+    traces: Dict[str, List[TradeOffPoint]] = {}
+    all_points: List[TradeOffPoint] = []
+    for name in backbones:
+        spec = get_backbone(name)
+        points = relu_reduction_sweep(spec, num_points=num_points, surrogate=surrogate)
+        trace = [
+            TradeOffPoint(cost=p.relu_elements / 1e3, accuracy=p.accuracy, label=name)
+            for p in points
+        ]
+        traces[name] = trace
+        all_points.extend(trace)
+    frontier = pareto_frontier(all_points)
+    return {"traces": traces, "frontier": frontier}
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7 — cross-work ReLU-reduction comparison
+# --------------------------------------------------------------------------- #
+def figure7_crosswork(
+    backbone_name: str = "resnet18-cifar",
+    num_points: int = 10,
+    surrogate: Optional[AccuracySurrogate] = None,
+) -> Dict[str, List[TradeOffPoint]]:
+    """PASNet Pareto points vs the re-implemented baselines and published anchors.
+
+    Returns a mapping method -> list of (ReLU count [k], accuracy) points;
+    the PASNet entry is the Pareto frontier across the Fig. 6 traces.
+    """
+    surrogate = surrogate or AccuracySurrogate()
+    figure6 = figure6_pareto(num_points=num_points, surrogate=surrogate)
+    curves: Dict[str, List[TradeOffPoint]] = {"PASNet (ours)": list(figure6["frontier"])}
+
+    backbone = get_backbone(backbone_name)
+    baseline_results = run_all_baselines(backbone, num_points=num_points, surrogate=surrogate)
+    for method, results in baseline_results.items():
+        curves[method] = [
+            TradeOffPoint(cost=r.relu_elements / 1e3, accuracy=r.accuracy, label=method)
+            for r in results
+        ]
+    for method, anchors in RELU_REDUCTION_ANCHORS.items():
+        curves[f"{method} (published)"] = [
+            TradeOffPoint(cost=a.relu_count_k, accuracy=a.accuracy, label=method)
+            for a in anchors
+        ]
+    return curves
+
+
+def accuracy_at_budget(points: Sequence[TradeOffPoint], budget_k: float) -> float:
+    """Best accuracy among points with ReLU count <= budget (in thousands)."""
+    eligible = [p.accuracy for p in points if p.cost <= budget_k]
+    return max(eligible) if eligible else float("nan")

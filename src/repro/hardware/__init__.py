@@ -1,0 +1,48 @@
+"""FPGA cryptographic-operator performance model (Section III-C).
+
+Analytical latency, communication and energy models for the 2PC DNN
+operators, a per-layer latency lookup table for the NAS loss, and a
+hardware scheduler that turns a derived architecture into an execution
+schedule on the ZCU104 pair.
+"""
+
+from repro.hardware.comm import CommunicationReport, communication_report
+from repro.hardware.device import GPU_SERVER, ZCU104, FPGADevice, GPUDevice
+from repro.hardware.dse import DesignPoint, explore_device_parallelism, explore_network_bandwidth
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import (
+    DEFAULT_LATENCY_MODEL,
+    LatencyModel,
+    OperatorCost,
+    ZERO_COST,
+)
+from repro.hardware.lut import LatencyTable, build_latency_table, candidate_kinds, layer_cost
+from repro.hardware.network import LAN_1GBPS, WAN_100MBPS, NetworkModel
+from repro.hardware.scheduler import CryptoScheduler, Schedule, ScheduledLayer
+
+__all__ = [
+    "FPGADevice",
+    "GPUDevice",
+    "ZCU104",
+    "GPU_SERVER",
+    "NetworkModel",
+    "LAN_1GBPS",
+    "WAN_100MBPS",
+    "LatencyModel",
+    "DEFAULT_LATENCY_MODEL",
+    "OperatorCost",
+    "ZERO_COST",
+    "LatencyTable",
+    "build_latency_table",
+    "layer_cost",
+    "candidate_kinds",
+    "CryptoScheduler",
+    "Schedule",
+    "ScheduledLayer",
+    "CommunicationReport",
+    "communication_report",
+    "EnergyModel",
+    "DesignPoint",
+    "explore_network_bandwidth",
+    "explore_device_parallelism",
+]

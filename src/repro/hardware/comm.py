@@ -1,0 +1,48 @@
+"""Communication-volume model for 2PC private inference.
+
+Reports the online communication in bytes of a derived architecture — the
+"Comm. (MB/GB)" columns of Table I.  The per-operator volumes are the ones
+the latency equations already account for (see
+:class:`repro.hardware.latency.LatencyModel`), aggregated per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from repro.hardware.lut import layer_cost
+from repro.models.specs import ModelSpec
+
+
+@dataclass
+class CommunicationReport:
+    """Total and per-layer online communication of one private inference."""
+
+    model_name: str
+    total_bytes: float
+    per_layer_bytes: Dict[str, float]
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 1e6
+
+    @property
+    def total_gigabytes(self) -> float:
+        return self.total_bytes / 1e9
+
+
+def communication_report(
+    spec: ModelSpec, latency_model: Optional[LatencyModel] = None
+) -> CommunicationReport:
+    """Aggregate the analytical per-operator communication volumes."""
+    latency_model = latency_model or DEFAULT_LATENCY_MODEL
+    per_layer: Dict[str, float] = {}
+    for layer in spec.layers:
+        per_layer[layer.name] = layer_cost(latency_model, layer).communication_bytes
+    return CommunicationReport(
+        model_name=spec.name,
+        total_bytes=sum(per_layer.values()),
+        per_layer_bytes=per_layer,
+    )

@@ -1,0 +1,59 @@
+"""FPGA device models.
+
+The paper's case study deploys both servers on Xilinx ZCU104 MPSoC boards
+with a 128-bit load/store bus, 32-bit data words (four words per beat) and a
+200 MHz accelerator clock.  The computational parallelism ``PP`` that enters
+the latency equations (Section III-C) differs between the comparison engine
+(bit-serial OT processing) and the convolution engine (DSP array); both are
+exposed as device parameters, with defaults calibrated so that the operator
+latencies of Fig. 1 are reproduced to within a small factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Performance-model parameters of one FPGA accelerator card."""
+
+    name: str = "ZCU104"
+    frequency_hz: float = 200e6
+    #: parallelism of the comparison / OT processing engine (lanes)
+    comparison_parallelism: int = 40
+    #: parallelism of the convolution MAC array (effective DSP lanes)
+    conv_parallelism: int = 512
+    #: parallelism of elementwise polynomial units (square / scale / add)
+    elementwise_parallelism: int = 40
+    #: bits per data word processed by the crypto datapath
+    word_bits: int = 32
+    #: board power draw in watts under full load (ZCU104 edge platform);
+    #: calibrated so the Table-I efficiency column (1/(s*kW)) is reproduced
+    #: from the paper's latency numbers (two boards together draw ~16 W).
+    power_watts: float = 8.0
+
+    def cycles_to_seconds(self, cycles: float, parallelism: int) -> float:
+        """Convert a cycle count executed on ``parallelism`` lanes to seconds."""
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        return cycles / (parallelism * self.frequency_hz)
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Coarse GPU server model used for the CryptGPU-style comparators.
+
+    Only the power figure matters for the energy-efficiency comparison in
+    Table I; the comparator latencies themselves are the published numbers.
+    """
+
+    name: str = "V100-server"
+    power_watts: float = 700.0
+
+
+#: Default device used throughout the benchmarks (the paper's ZCU104 setup).
+ZCU104 = FPGADevice()
+
+#: The server-class GPU platform CryptGPU / CryptFLOW run on.
+GPU_SERVER = GPUDevice()

@@ -1,0 +1,106 @@
+"""Design-space exploration over the hardware and network parameters.
+
+The paper's pitch is a closed "algorithm <-> hardware" loop: the searched
+architecture depends on the device's comparison/convolution parallelism and
+on the network between the two servers.  This module sweeps those knobs and
+reports, for a given backbone, how the optimal architecture (all-ReLU vs
+searched vs all-polynomial) and its latency shift — the data behind the
+ablation benchmark ``bench_dse_hardware.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Sequence
+
+from repro.hardware.device import FPGADevice, ZCU104
+from repro.hardware.latency import LatencyModel
+from repro.hardware.lut import build_latency_table
+from repro.hardware.network import LAN_1GBPS, NetworkModel
+from repro.models.specs import ModelSpec
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One hardware/network configuration and the resulting model latencies."""
+
+    label: str
+    bandwidth_gbps: float
+    comparison_parallelism: int
+    conv_parallelism: int
+    all_relu_ms: float
+    all_poly_ms: float
+    searched_ms: float
+    searched_poly_fraction: float
+
+    @property
+    def poly_speedup(self) -> float:
+        return self.all_relu_ms / self.all_poly_ms
+
+
+def _searched_under(spec: ModelSpec, model: LatencyModel, lam: float) -> ModelSpec:
+    # Imported here to avoid a package-level core <-> hardware cycle.
+    from repro.core.surrogate import AccuracySurrogate
+    from repro.core.sweep import select_architecture
+
+    table = build_latency_table(spec, model)
+    return select_architecture(spec, lam, table=table, surrogate=AccuracySurrogate(jitter_std=0.0))
+
+
+def explore_network_bandwidth(
+    spec: ModelSpec,
+    bandwidths_gbps: Sequence[float] = (0.1, 0.5, 1.0, 4.0, 10.0),
+    device: FPGADevice = ZCU104,
+    lam: float = 1e-3,
+    base_latency_s: float = LAN_1GBPS.base_latency_s,
+) -> List[DesignPoint]:
+    """Sweep the server-to-server bandwidth at a fixed device configuration."""
+    points: List[DesignPoint] = []
+    for bandwidth in bandwidths_gbps:
+        network = NetworkModel(
+            name=f"{bandwidth:g}GBps", bandwidth_bps=8e9 * bandwidth, base_latency_s=base_latency_s
+        )
+        model = LatencyModel(device=device, network=network)
+        table = build_latency_table(spec, model)
+        searched = _searched_under(spec, model, lam)
+        points.append(
+            DesignPoint(
+                label=network.name,
+                bandwidth_gbps=bandwidth,
+                comparison_parallelism=device.comparison_parallelism,
+                conv_parallelism=device.conv_parallelism,
+                all_relu_ms=1e3 * table.total_seconds(spec.with_all_relu()),
+                all_poly_ms=1e3 * table.total_seconds(spec.with_all_polynomial()),
+                searched_ms=1e3 * table.total_seconds(searched),
+                searched_poly_fraction=searched.polynomial_fraction(),
+            )
+        )
+    return points
+
+
+def explore_device_parallelism(
+    spec: ModelSpec,
+    comparison_lanes: Sequence[int] = (10, 20, 40, 80, 160),
+    network: NetworkModel = LAN_1GBPS,
+    lam: float = 1e-3,
+) -> List[DesignPoint]:
+    """Sweep the comparison-engine parallelism at a fixed network."""
+    points: List[DesignPoint] = []
+    for lanes in comparison_lanes:
+        device = dc_replace(ZCU104, comparison_parallelism=lanes)
+        model = LatencyModel(device=device, network=network)
+        table = build_latency_table(spec, model)
+        searched = _searched_under(spec, model, lam)
+        points.append(
+            DesignPoint(
+                label=f"{lanes}-lane comparison engine",
+                bandwidth_gbps=network.bandwidth_bps / 8e9,
+                comparison_parallelism=lanes,
+                conv_parallelism=device.conv_parallelism,
+                all_relu_ms=1e3 * table.total_seconds(spec.with_all_relu()),
+                all_poly_ms=1e3 * table.total_seconds(spec.with_all_polynomial()),
+                searched_ms=1e3 * table.total_seconds(searched),
+                searched_poly_fraction=searched.polynomial_fraction(),
+            )
+        )
+    return points

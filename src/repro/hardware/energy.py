@@ -1,0 +1,44 @@
+"""Energy and efficiency model.
+
+The paper reports energy efficiency as 1 / (latency x power), i.e.
+"Effi. (1/(ms*kW))" for CIFAR-10 and "1/(s*kW)" for ImageNet in Table I.
+The edge FPGA pair draws far less power than the GPU server systems the
+comparators run on, which is where the >1000x efficiency gap comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import FPGADevice, GPUDevice, ZCU104
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Power model of the two-server deployment (both boards active)."""
+
+    device_power_watts: float = 2 * ZCU104.power_watts
+
+    @classmethod
+    def for_fpga_pair(cls, device: FPGADevice = ZCU104) -> "EnergyModel":
+        return cls(device_power_watts=2 * device.power_watts)
+
+    @classmethod
+    def for_gpu_server(cls, device: GPUDevice) -> "EnergyModel":
+        return cls(device_power_watts=device.power_watts)
+
+    def energy_joules(self, latency_s: float) -> float:
+        """Energy of one private inference."""
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        return latency_s * self.device_power_watts
+
+    def efficiency_per_s_kw(self, latency_s: float) -> float:
+        """1 / (latency[s] * power[kW]) — the ImageNet column of Table I."""
+        if latency_s <= 0:
+            raise ValueError("latency must be positive")
+        return 1.0 / (latency_s * self.device_power_watts / 1e3)
+
+    def efficiency_per_ms_kw(self, latency_s: float) -> float:
+        """1 / (latency[ms] * power[kW]) — the CIFAR-10 column of Table I."""
+        return self.efficiency_per_s_kw(latency_s) / 1e3

@@ -1,0 +1,108 @@
+"""Latency lookup table: per-layer operator costs for a model specification.
+
+The NAS loss needs the latency of every candidate operator at every choice
+point (Lat(OP_{l,j}) in the paper); recomputing the analytical model inside
+the training loop would be wasteful, so the costs are precomputed into a
+:class:`LatencyTable` keyed by layer name and candidate kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel, OperatorCost, ZERO_COST
+from repro.models.specs import (
+    ACTIVATION_KINDS,
+    POOLING_KINDS,
+    LayerKind,
+    LayerSpec,
+    ModelSpec,
+)
+
+
+def layer_cost(model: LatencyModel, layer: LayerSpec) -> OperatorCost:
+    """Latency/communication cost of one concrete layer."""
+    kind = layer.kind
+    if kind == LayerKind.CONV:
+        return model.conv(
+            fi=layer.input_size,
+            fo=layer.output_size,
+            ic=layer.in_channels // layer.groups,
+            oc=layer.out_channels,
+            kernel=layer.kernel,
+        )
+    if kind == LayerKind.LINEAR:
+        return model.linear(layer.in_channels, layer.out_channels)
+    if kind == LayerKind.RELU:
+        return model.relu(layer.input_size, layer.in_channels)
+    if kind == LayerKind.X2ACT:
+        return model.x2act(layer.input_size, layer.in_channels)
+    if kind == LayerKind.MAXPOOL:
+        return model.maxpool(layer.input_size, layer.in_channels, kernel=layer.kernel)
+    if kind == LayerKind.AVGPOOL:
+        return model.avgpool(layer.input_size, layer.in_channels, kernel=layer.kernel)
+    if kind == LayerKind.GLOBAL_AVGPOOL:
+        return model.avgpool(layer.input_size, layer.in_channels, kernel=layer.input_size)
+    if kind == LayerKind.ADD:
+        return model.residual_add(layer.input_size, layer.in_channels)
+    if kind == LayerKind.BATCHNORM:
+        return model.batchnorm(layer.input_size, layer.in_channels)
+    if kind == LayerKind.FLATTEN:
+        return ZERO_COST
+    raise ValueError(f"no latency model for layer kind {kind}")
+
+
+def candidate_kinds(layer: LayerSpec) -> Tuple[LayerKind, ...]:
+    """The operator candidates a searchable layer chooses between."""
+    if layer.kind in ACTIVATION_KINDS:
+        return (LayerKind.RELU, LayerKind.X2ACT)
+    if layer.kind in POOLING_KINDS:
+        return (LayerKind.MAXPOOL, LayerKind.AVGPOOL)
+    return (layer.kind,)
+
+
+@dataclass
+class LatencyTable:
+    """Per-layer, per-candidate latency lookup table for one model spec."""
+
+    model_name: str
+    entries: Dict[str, Dict[LayerKind, OperatorCost]] = field(default_factory=dict)
+
+    def cost(self, layer_name: str, kind: LayerKind) -> OperatorCost:
+        try:
+            return self.entries[layer_name][kind]
+        except KeyError as exc:
+            raise KeyError(
+                f"no LUT entry for layer {layer_name!r} with kind {kind}"
+            ) from exc
+
+    def seconds(self, layer_name: str, kind: LayerKind) -> float:
+        return self.cost(layer_name, kind).total_s
+
+    def layer_names(self) -> List[str]:
+        return list(self.entries)
+
+    def total_seconds(self, spec: ModelSpec) -> float:
+        """Total latency of a concrete (derived) architecture."""
+        return sum(self.cost(layer.name, layer.kind).total_s for layer in spec.layers)
+
+    def total_cost(self, spec: ModelSpec) -> OperatorCost:
+        total = ZERO_COST
+        for layer in spec.layers:
+            total = total + self.cost(layer.name, layer.kind)
+        return total
+
+
+def build_latency_table(
+    spec: ModelSpec, model: Optional[LatencyModel] = None
+) -> LatencyTable:
+    """Precompute the operator latency LUT for every layer and candidate kind."""
+    model = model or DEFAULT_LATENCY_MODEL
+    table = LatencyTable(model_name=spec.name)
+    for layer in spec.layers:
+        per_kind: Dict[LayerKind, OperatorCost] = {}
+        for kind in candidate_kinds(layer):
+            per_kind[kind] = layer_cost(model, layer.with_kind(kind))
+        table.entries[layer.name] = per_kind
+    return table

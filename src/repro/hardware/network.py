@@ -1,0 +1,37 @@
+"""Network model between the two computing servers.
+
+The paper's setup connects the two ZCU104 boards through a 1 GB/s LAN
+router; every protocol round pays a base latency ``T_bc`` plus the payload
+size divided by the raw bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point link model used by the latency equations."""
+
+    name: str = "1GBps-LAN"
+    #: raw link bandwidth in bits per second (1 GB/s = 8e9 bit/s)
+    bandwidth_bps: float = 8e9
+    #: base (per-message) latency in seconds: router + protocol stack
+    base_latency_s: float = 50e-6
+
+    def transfer_time(self, num_bits: float) -> float:
+        """Time to push ``num_bits`` through the link including base latency."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        return self.base_latency_s + num_bits / self.bandwidth_bps
+
+    def transfer_time_bytes(self, num_bytes: float) -> float:
+        return self.transfer_time(8.0 * num_bytes)
+
+
+#: The paper's evaluation network: 1 GB/s LAN.
+LAN_1GBPS = NetworkModel()
+
+#: A slower WAN-ish setting used by the ablation benchmarks.
+WAN_100MBPS = NetworkModel(name="100Mbps-WAN", bandwidth_bps=1e8, base_latency_s=5e-3)

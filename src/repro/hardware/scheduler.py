@@ -1,0 +1,111 @@
+"""Cryptographic hardware scheduler.
+
+Maps a concrete (derived) model specification onto the FPGA accelerator and
+produces a per-layer execution schedule.  Two pipelining modes mirror the
+"coarse-grained and fine-grained pipeline structures" the paper's FPGA
+implementation uses:
+
+- ``sequential``: layers execute back-to-back; total latency is the plain sum
+  (this is the model behind Eqs. 11-16 and what the latency LUT reports).
+- ``overlapped``: the communication of a layer is overlapped with the
+  computation of the *next* layer, the standard coarse-grained pipeline on a
+  dual-engine accelerator; the schedule reports the resulting makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
+
+from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel, OperatorCost
+from repro.hardware.lut import build_latency_table, layer_cost
+from repro.models.specs import ModelSpec
+
+ScheduleMode = Literal["sequential", "overlapped"]
+
+
+@dataclass
+class ScheduledLayer:
+    """One entry of the execution schedule."""
+
+    name: str
+    kind: str
+    start_s: float
+    computation_s: float
+    communication_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.computation_s + self.communication_s
+
+
+@dataclass
+class Schedule:
+    """Full execution schedule of a model on the 2PC accelerator pair."""
+
+    model_name: str
+    mode: ScheduleMode
+    layers: List[ScheduledLayer] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        return max((layer.end_s for layer in self.layers), default=0.0)
+
+    @property
+    def makespan_ms(self) -> float:
+        return 1e3 * self.makespan_s
+
+    @property
+    def total_computation_s(self) -> float:
+        return sum(layer.computation_s for layer in self.layers)
+
+    @property
+    def total_communication_s(self) -> float:
+        return sum(layer.communication_s for layer in self.layers)
+
+    def bottleneck(self, top: int = 5) -> List[ScheduledLayer]:
+        """The ``top`` slowest layers (Fig. 1-style breakdown)."""
+        return sorted(
+            self.layers, key=lambda l: l.computation_s + l.communication_s, reverse=True
+        )[:top]
+
+
+class CryptoScheduler:
+    """Builds execution schedules from model specs and the latency model."""
+
+    def __init__(self, latency_model: Optional[LatencyModel] = None) -> None:
+        self.latency_model = latency_model or DEFAULT_LATENCY_MODEL
+
+    def schedule(self, spec: ModelSpec, mode: ScheduleMode = "sequential") -> Schedule:
+        if mode not in ("sequential", "overlapped"):
+            raise ValueError(f"unknown schedule mode {mode!r}")
+        schedule = Schedule(model_name=spec.name, mode=mode)
+        clock = 0.0
+        prev_comm_end = 0.0
+        for layer in spec.layers:
+            cost = layer_cost(self.latency_model, layer)
+            if mode == "sequential":
+                start = clock
+                clock = start + cost.total_s
+            else:
+                # Computation may start once the previous layer's computation
+                # finished AND its communication has delivered the operands.
+                start = max(clock, prev_comm_end)
+                clock = start + cost.computation_s
+                prev_comm_end = clock + cost.communication_s
+            schedule.layers.append(
+                ScheduledLayer(
+                    name=layer.name,
+                    kind=layer.kind.value,
+                    start_s=start,
+                    computation_s=cost.computation_s,
+                    communication_s=cost.communication_s,
+                )
+            )
+        return schedule
+
+    def latency_seconds(self, spec: ModelSpec, mode: ScheduleMode = "sequential") -> float:
+        return self.schedule(spec, mode=mode).makespan_s
+
+    def per_layer_costs(self, spec: ModelSpec) -> Dict[str, OperatorCost]:
+        return {layer.name: layer_cost(self.latency_model, layer) for layer in spec.layers}

@@ -1,0 +1,61 @@
+"""Backbone model zoo, architecture IR and the PASNet Table-I variants."""
+
+from repro.models.builder import SpecNet, build_model, export_layer_weights
+from repro.models.mobilenet import build_mobilenetv2_spec, mobilenetv2_cifar, mobilenetv2_imagenet
+from repro.models.pasnet_variants import (
+    PAPER_REPORTED_ACCURACY,
+    PAPER_REPORTED_IMAGENET_COST,
+    PASNET_VARIANTS,
+    build_variant,
+    pasnet_a,
+    pasnet_b,
+    pasnet_c,
+    pasnet_d,
+)
+from repro.models.resnet import build_resnet_spec, resnet18_cifar, resnet50_imagenet, resnet_tiny
+from repro.models.specs import (
+    ACTIVATION_KINDS,
+    NON_POLYNOMIAL_KINDS,
+    POOLING_KINDS,
+    LayerKind,
+    LayerSpec,
+    ModelSpec,
+    SpecBuilder,
+)
+from repro.models.vgg import build_vgg_spec, vgg16_cifar, vgg_tiny
+from repro.models.zoo import FIG5_BACKBONES, available_backbones, get_backbone, register_backbone
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "ModelSpec",
+    "SpecBuilder",
+    "ACTIVATION_KINDS",
+    "POOLING_KINDS",
+    "NON_POLYNOMIAL_KINDS",
+    "SpecNet",
+    "build_model",
+    "export_layer_weights",
+    "build_vgg_spec",
+    "vgg16_cifar",
+    "vgg_tiny",
+    "build_resnet_spec",
+    "resnet18_cifar",
+    "resnet50_imagenet",
+    "resnet_tiny",
+    "build_mobilenetv2_spec",
+    "mobilenetv2_cifar",
+    "mobilenetv2_imagenet",
+    "pasnet_a",
+    "pasnet_b",
+    "pasnet_c",
+    "pasnet_d",
+    "build_variant",
+    "PASNET_VARIANTS",
+    "PAPER_REPORTED_ACCURACY",
+    "PAPER_REPORTED_IMAGENET_COST",
+    "available_backbones",
+    "get_backbone",
+    "register_backbone",
+    "FIG5_BACKBONES",
+]

@@ -1,0 +1,157 @@
+"""Build trainable numpy modules from flat model specifications.
+
+:class:`SpecNet` executes a :class:`repro.models.specs.ModelSpec` directly:
+convolutions (optionally followed by batch normalization), ReLU / X^2act
+activations, pooling, identity residual additions, global average pooling
+and the classifier head.  It is the bridge between the architecture IR used
+by the search/latency analyses and the numpy training engine, and its
+weights can be exported for the 2PC secure inference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+from repro.nn.modules.base import Module
+from repro.nn.modules.conv import Conv2d, Linear
+from repro.nn.modules.norm import BatchNorm2d
+from repro.nn.modules.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.tensor import Tensor
+
+
+class SpecNet(Module):
+    """A trainable network executing a flat (derived) model specification."""
+
+    def __init__(self, spec: ModelSpec, with_batchnorm: bool = True) -> None:
+        super().__init__()
+        self.spec = spec
+        self.with_batchnorm = with_batchnorm
+        self._validate(spec)
+        for layer in spec.layers:
+            for attr_name, module in self._make_modules(layer).items():
+                self.add_module(attr_name, module)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(spec: ModelSpec) -> None:
+        for layer in spec.layers:
+            if layer.kind == LayerKind.ADD and not layer.residual_from:
+                raise ValueError(
+                    f"layer {layer.name!r}: SpecNet requires ADD layers to set "
+                    "residual_from (identity shortcut); analysis-only specs with "
+                    "projection shortcuts cannot be built as trainable modules"
+                )
+
+    @staticmethod
+    def _module_name(layer_name: str, suffix: str = "") -> str:
+        safe = layer_name.replace("/", "_").replace("-", "_")
+        return f"{safe}{suffix}"
+
+    def _make_modules(self, layer: LayerSpec) -> Dict[str, Module]:
+        # Imported lazily to keep repro.models importable without triggering
+        # the repro.core package initialization (which itself uses the model
+        # zoo), avoiding a circular import at package load time.
+        from repro.core.x2act import X2Act
+
+        kind = layer.kind
+        name = self._module_name(layer.name)
+        if kind == LayerKind.CONV:
+            modules: Dict[str, Module] = {
+                name: Conv2d(
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    groups=layer.groups,
+                    bias=not self.with_batchnorm,
+                )
+            }
+            if self.with_batchnorm:
+                modules[self._module_name(layer.name, "_bn")] = BatchNorm2d(layer.out_channels)
+            return modules
+        if kind == LayerKind.LINEAR:
+            return {name: Linear(layer.in_channels, layer.out_channels)}
+        if kind == LayerKind.X2ACT:
+            return {name: X2Act(num_elements=layer.num_activation_elements())}
+        if kind == LayerKind.MAXPOOL:
+            return {name: MaxPool2d(layer.kernel, stride=layer.stride)}
+        if kind == LayerKind.AVGPOOL:
+            return {name: AvgPool2d(layer.kernel, stride=layer.stride)}
+        if kind == LayerKind.GLOBAL_AVGPOOL:
+            return {name: GlobalAvgPool2d()}
+        # RELU, FLATTEN and ADD need no parametric module.
+        return {}
+
+    def module_for(self, layer_name: str, suffix: str = "") -> Module:
+        return getattr(self, self._module_name(layer_name, suffix))
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        cache: Dict[str, Tensor] = {}
+        for layer in self.spec.layers:
+            kind = layer.kind
+            if kind == LayerKind.CONV:
+                x = self.module_for(layer.name)(x)
+                if self.with_batchnorm:
+                    x = self.module_for(layer.name, "_bn")(x)
+            elif kind in (LayerKind.LINEAR, LayerKind.X2ACT, LayerKind.MAXPOOL,
+                          LayerKind.AVGPOOL, LayerKind.GLOBAL_AVGPOOL):
+                x = self.module_for(layer.name)(x)
+            elif kind == LayerKind.RELU:
+                x = x.relu()
+            elif kind == LayerKind.FLATTEN:
+                x = x.flatten(1)
+            elif kind == LayerKind.ADD:
+                x = x + cache[layer.residual_from]
+            else:
+                raise ValueError(f"SpecNet cannot execute layer kind {kind}")
+            cache[layer.name] = x
+        return x
+
+
+def build_model(spec: ModelSpec, with_batchnorm: bool = True) -> SpecNet:
+    """Construct a trainable :class:`SpecNet` from a derived architecture."""
+    return SpecNet(spec, with_batchnorm=with_batchnorm)
+
+
+def export_layer_weights(net: SpecNet) -> Dict[str, Dict[str, np.ndarray]]:
+    """Export per-layer weights in the format the secure inference engine uses.
+
+    Convolution layers include the batch-norm affine form (scale/shift) so the
+    2PC engine can fold it; X^2act layers export their polynomial
+    coefficients.
+    """
+    from repro.core.x2act import X2Act
+
+    weights: Dict[str, Dict[str, np.ndarray]] = {}
+    for layer in net.spec.layers:
+        kind = layer.kind
+        if kind == LayerKind.CONV:
+            conv: Conv2d = net.module_for(layer.name)  # type: ignore[assignment]
+            entry: Dict[str, np.ndarray] = {"weight": conv.weight.data.copy()}
+            if conv.bias is not None:
+                entry["bias"] = conv.bias.data.copy()
+            if net.with_batchnorm:
+                bn: BatchNorm2d = net.module_for(layer.name, "_bn")  # type: ignore[assignment]
+                scale, shift = bn.fused_affine()
+                entry["bn_scale"] = scale
+                entry["bn_shift"] = shift
+            weights[layer.name] = entry
+        elif kind == LayerKind.LINEAR:
+            linear: Linear = net.module_for(layer.name)  # type: ignore[assignment]
+            entry = {"weight": linear.weight.data.copy()}
+            if linear.bias is not None:
+                entry["bias"] = linear.bias.data.copy()
+            weights[layer.name] = entry
+        elif kind == LayerKind.X2ACT:
+            activation: X2Act = net.module_for(layer.name)  # type: ignore[assignment]
+            weights[layer.name] = {
+                key: np.asarray(value)
+                for key, value in activation.coefficients().items()
+                if value is not None
+            }
+    return weights

@@ -1,0 +1,111 @@
+"""MobileNetV2 backbone specification.
+
+MobileNetV2's inverted residual blocks use an expansion 1x1 convolution, a
+depthwise 3x3 convolution (both followed by ReLU6 — treated as ReLU by the
+comparison-protocol cost model) and a linear 1x1 projection.  Its large
+activation maps at high expansion ratios are why the all-ReLU MobileNetV2 is
+the slowest CIFAR-10 backbone in Fig. 5(b) despite having the fewest MACs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.models.specs import LayerKind, ModelSpec, SpecBuilder
+
+#: (expansion t, output channels c, repeats n, first stride s) per stage —
+#: the standard MobileNetV2 configuration.
+MOBILENETV2_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    builder: SpecBuilder, in_channels: int, out_channels: int, expansion: int,
+    stride: int, block: str
+) -> None:
+    hidden = in_channels * expansion
+    anchor = builder.last_layer_name
+    if expansion != 1:
+        builder.conv(hidden, kernel=1, padding=0, block=block)
+        builder.activation(LayerKind.RELU, block=block)
+    builder.conv(hidden, kernel=3, stride=stride, groups=hidden, block=block)
+    builder.activation(LayerKind.RELU, block=block)
+    builder.conv(out_channels, kernel=1, padding=0, block=block)
+    if stride == 1 and in_channels == out_channels:
+        builder.residual_add(block=block, residual_from=anchor)
+
+
+def build_mobilenetv2_spec(
+    input_size: int = 224,
+    in_channels: int = 3,
+    num_classes: int = 1000,
+    width_multiplier: float = 1.0,
+    config: Sequence[Tuple[int, int, int, int]] = MOBILENETV2_CONFIG,
+) -> ModelSpec:
+    """Build a flat MobileNetV2 specification.
+
+    For CIFAR-size inputs the stem stride and the first down-sampling stage
+    are reduced to stride 1, the common CIFAR adaptation.
+    """
+    def scaled(channels: int) -> int:
+        return max(8, int(round(channels * width_multiplier)))
+
+    builder = SpecBuilder(
+        name=f"mobilenetv2-{input_size}",
+        input_size=input_size,
+        in_channels=in_channels,
+        num_classes=num_classes,
+    )
+    cifar_mode = input_size < 64
+    stem_stride = 1 if cifar_mode else 2
+    builder.conv(scaled(32), kernel=3, stride=stem_stride, block="stem")
+    builder.activation(LayerKind.RELU, block="stem")
+
+    current = scaled(32)
+    for stage_index, (expansion, channels, repeats, stride) in enumerate(config, start=1):
+        out_channels = scaled(channels)
+        for block_index in range(repeats):
+            block_stride = stride if block_index == 0 else 1
+            if cifar_mode and stage_index == 2 and block_index == 0:
+                block_stride = 1  # keep 32x32 resolution one stage longer
+            _inverted_residual(
+                builder,
+                current,
+                out_channels,
+                expansion,
+                block_stride,
+                block=f"stage{stage_index}/block{block_index}",
+            )
+            current = out_channels
+
+    builder.conv(scaled(1280), kernel=1, padding=0, block="head")
+    builder.activation(LayerKind.RELU, block="head")
+    builder.global_avgpool(block="head")
+    builder.linear(num_classes, block="head")
+    return builder.build()
+
+
+def mobilenetv2_cifar(num_classes: int = 10) -> ModelSpec:
+    return build_mobilenetv2_spec(input_size=32, num_classes=num_classes)
+
+
+def mobilenetv2_imagenet(num_classes: int = 1000) -> ModelSpec:
+    return build_mobilenetv2_spec(input_size=224, num_classes=num_classes)
+
+
+def mobilenetv2_tiny(input_size: int = 16, num_classes: int = 10) -> ModelSpec:
+    """A width-0.25, two-stage MobileNetV2 trainable with the numpy engine."""
+    tiny_config = ((1, 8, 1, 1), (4, 16, 2, 2))
+    return build_mobilenetv2_spec(
+        input_size=input_size,
+        num_classes=num_classes,
+        width_multiplier=0.25,
+        config=tiny_config,
+    )

@@ -1,0 +1,136 @@
+"""The four PASNet model variants evaluated in Table I.
+
+- PASNet-A: light-weight, ResNet-18 backbone, all-polynomial operators.
+- PASNet-B: heavy-weight, ResNet-50 backbone, all-polynomial operators.
+- PASNet-C: heavy-weight, ResNet-50 backbone, keeps 4 ReLU operators
+  (the highest-accuracy variant).
+- PASNet-D: medium-weight, MobileNetV2 backbone, all-polynomial operators.
+
+Each variant is expressed as a derived :class:`repro.models.specs.ModelSpec`
+at either the CIFAR-10 (32x32) or ImageNet (224x224) input size, ready for
+the latency/communication/energy analyses that regenerate Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal
+
+from repro.models.mobilenet import build_mobilenetv2_spec
+from repro.models.resnet import build_resnet_spec
+from repro.models.specs import LayerKind, ModelSpec
+
+Dataset = Literal["cifar10", "imagenet"]
+
+#: Top-1 / Top-5 accuracies the paper reports for each variant (Table I).
+PAPER_REPORTED_ACCURACY: Dict[str, Dict[str, float]] = {
+    "PASNet-A": {"cifar10_top1": 93.37, "imagenet_top1": 70.54, "imagenet_top5": 89.59},
+    "PASNet-B": {"cifar10_top1": 95.31, "imagenet_top1": 78.79, "imagenet_top5": 93.99},
+    "PASNet-C": {"cifar10_top1": 95.33, "imagenet_top1": 79.25, "imagenet_top5": 94.38},
+    "PASNet-D": {"cifar10_top1": 92.82, "imagenet_top1": 71.36, "imagenet_top5": 90.15},
+}
+
+#: Latency (s) / communication (GB) the paper reports on ImageNet (Table I).
+PAPER_REPORTED_IMAGENET_COST: Dict[str, Dict[str, float]] = {
+    "PASNet-A": {"latency_s": 0.063, "comm_gb": 0.035},
+    "PASNet-B": {"latency_s": 0.228, "comm_gb": 0.162},
+    "PASNet-C": {"latency_s": 0.539, "comm_gb": 0.368},
+    "PASNet-D": {"latency_s": 0.184, "comm_gb": 0.103},
+}
+
+
+def _dataset_args(dataset: Dataset) -> Dict[str, int]:
+    if dataset == "cifar10":
+        return {"input_size": 32, "num_classes": 10}
+    if dataset == "imagenet":
+        return {"input_size": 224, "num_classes": 1000}
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def _keep_k_relus(spec: ModelSpec, k: int) -> ModelSpec:
+    """Return the all-polynomial spec with ``k`` strategically kept ReLUs.
+
+    PASNet-C keeps four 2PC-ReLU operators.  The searched architecture keeps
+    one ReLU per residual stage, placed after the stage's spatial-reduction
+    convolution (good accuracy leverage at moderate comparison cost); the
+    reproduction mirrors that placement, keeping up to ``k`` of them.
+    """
+    activations = spec.layers_of_kind(LayerKind.RELU, LayerKind.X2ACT)
+    per_stage: Dict[str, list] = {}
+    for layer in activations:
+        stage = layer.block.split("/")[0]
+        if stage.startswith("stage"):
+            per_stage.setdefault(stage, []).append(layer.name)
+    keep = set()
+    for names in per_stage.values():
+        # the activation following the stride convolution is the second one
+        # of the stage's first block (fall back to the first if absent)
+        keep.add(names[1] if len(names) > 1 else names[0])
+    keep = set(sorted(keep)[:k]) if len(keep) > k else keep
+    if len(keep) < k:
+        remaining = [l.name for l in activations if l.name not in keep]
+        keep.update(remaining[: k - len(keep)])
+    assignment = {}
+    for layer in activations:
+        assignment[layer.name] = LayerKind.RELU if layer.name in keep else LayerKind.X2ACT
+    pooling = {
+        layer.name: LayerKind.AVGPOOL
+        for layer in spec.layers_of_kind(LayerKind.MAXPOOL)
+        if layer.searchable
+    }
+    assignment.update(pooling)
+    return spec.replace_kinds(assignment)
+
+
+def pasnet_a(dataset: Dataset = "imagenet") -> ModelSpec:
+    """PASNet-A: all-polynomial ResNet-18."""
+    spec = build_resnet_spec("resnet18", **_dataset_args(dataset))
+    return spec.with_all_polynomial().rename(f"PASNet-A-{dataset}")
+
+
+def pasnet_b(dataset: Dataset = "imagenet") -> ModelSpec:
+    """PASNet-B: all-polynomial ResNet-50."""
+    spec = build_resnet_spec("resnet50", **_dataset_args(dataset))
+    return spec.with_all_polynomial().rename(f"PASNet-B-{dataset}")
+
+
+def pasnet_c(dataset: Dataset = "imagenet", num_relu_layers: int = 4) -> ModelSpec:
+    """PASNet-C: ResNet-50 with ``num_relu_layers`` 2PC-ReLU operators kept."""
+    spec = build_resnet_spec("resnet50", **_dataset_args(dataset))
+    return _keep_k_relus(spec, num_relu_layers).rename(f"PASNet-C-{dataset}")
+
+
+def pasnet_d(dataset: Dataset = "imagenet") -> ModelSpec:
+    """PASNet-D: all-polynomial MobileNetV2."""
+    spec = build_mobilenetv2_spec(**_dataset_args(dataset))
+    return spec.with_all_polynomial().rename(f"PASNet-D-{dataset}")
+
+
+@dataclass(frozen=True)
+class PASNetVariant:
+    """Descriptor tying a variant name to its backbone and construction."""
+
+    name: str
+    backbone: str
+    description: str
+
+
+PASNET_VARIANTS = {
+    "PASNet-A": PASNetVariant("PASNet-A", "resnet18", "light-weight, all polynomial"),
+    "PASNet-B": PASNetVariant("PASNet-B", "resnet50", "heavy-weight, all polynomial"),
+    "PASNet-C": PASNetVariant("PASNet-C", "resnet50", "heavy-weight, 4 ReLU layers kept"),
+    "PASNet-D": PASNetVariant("PASNet-D", "mobilenetv2", "medium-weight, all polynomial"),
+}
+
+
+def build_variant(name: str, dataset: Dataset = "imagenet") -> ModelSpec:
+    """Construct any Table-I variant by name."""
+    builders = {
+        "PASNet-A": pasnet_a,
+        "PASNet-B": pasnet_b,
+        "PASNet-C": pasnet_c,
+        "PASNet-D": pasnet_d,
+    }
+    if name not in builders:
+        raise KeyError(f"unknown PASNet variant {name!r}; options: {sorted(builders)}")
+    return builders[name](dataset)

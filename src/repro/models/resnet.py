@@ -1,0 +1,159 @@
+"""ResNet backbone specifications (ResNet-18/34/50).
+
+The flat specs include every convolution, activation, pooling, shortcut
+convolution and residual addition, so the latency/communication/ReLU-count
+analyses are exact.  A small ``resnet_tiny`` variant with identity-only
+shortcuts is provided for the numpy-trainable search demos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.models.specs import LayerKind, ModelSpec, SpecBuilder
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Stage configuration of a ResNet variant."""
+
+    name: str
+    block: str  # "basic" or "bottleneck"
+    stage_blocks: Tuple[int, int, int, int]
+    stage_planes: Tuple[int, int, int, int] = (64, 128, 256, 512)
+
+    @property
+    def expansion(self) -> int:
+        return 4 if self.block == "bottleneck" else 1
+
+
+RESNET_CONFIGS = {
+    "resnet18": ResNetConfig("resnet18", "basic", (2, 2, 2, 2)),
+    "resnet34": ResNetConfig("resnet34", "basic", (3, 4, 6, 3)),
+    "resnet50": ResNetConfig("resnet50", "bottleneck", (3, 4, 6, 3)),
+}
+
+
+def _basic_block(builder: SpecBuilder, planes: int, stride: int, block: str,
+                 needs_projection: bool) -> None:
+    builder.conv(planes, kernel=3, stride=stride, block=block)
+    builder.activation(LayerKind.RELU, block=block)
+    builder.conv(planes, kernel=3, stride=1, block=block)
+    if needs_projection:
+        # Projection shortcut (1x1 conv) — counted for latency purposes.
+        builder.conv(planes, kernel=1, stride=1, padding=0, block=f"{block}/shortcut")
+    builder.residual_add(block=block)
+    builder.activation(LayerKind.RELU, block=block)
+
+
+def _bottleneck_block(builder: SpecBuilder, planes: int, stride: int, block: str,
+                      needs_projection: bool) -> None:
+    out_planes = planes * 4
+    builder.conv(planes, kernel=1, stride=1, padding=0, block=block)
+    builder.activation(LayerKind.RELU, block=block)
+    builder.conv(planes, kernel=3, stride=stride, block=block)
+    builder.activation(LayerKind.RELU, block=block)
+    builder.conv(out_planes, kernel=1, stride=1, padding=0, block=block)
+    if needs_projection:
+        builder.conv(out_planes, kernel=1, stride=1, padding=0, block=f"{block}/shortcut")
+    builder.residual_add(block=block)
+    builder.activation(LayerKind.RELU, block=block)
+
+
+def build_resnet_spec(
+    config_name: str = "resnet50",
+    input_size: int = 224,
+    in_channels: int = 3,
+    num_classes: int = 1000,
+) -> ModelSpec:
+    """Build a flat ResNet specification.
+
+    ImageNet-size inputs (>= 64 px) use the 7x7/2 stem + 3x3/2 max pooling;
+    smaller (CIFAR) inputs use the standard 3x3/1 stem without pooling.
+    """
+    if config_name not in RESNET_CONFIGS:
+        raise KeyError(f"unknown ResNet config {config_name!r}; options: {sorted(RESNET_CONFIGS)}")
+    config = RESNET_CONFIGS[config_name]
+    builder = SpecBuilder(
+        name=f"{config.name}-{input_size}",
+        input_size=input_size,
+        in_channels=in_channels,
+        num_classes=num_classes,
+    )
+    imagenet_stem = input_size >= 64
+    if imagenet_stem:
+        builder.conv(64, kernel=7, stride=2, padding=3, block="stem")
+        builder.activation(LayerKind.RELU, block="stem")
+        builder.pool(LayerKind.MAXPOOL, kernel=3, stride=2, padding=1, block="stem")
+    else:
+        builder.conv(64, kernel=3, stride=1, block="stem")
+        builder.activation(LayerKind.RELU, block="stem")
+
+    in_planes = 64
+    make_block = _bottleneck_block if config.block == "bottleneck" else _basic_block
+    for stage_index, (planes, num_blocks) in enumerate(
+        zip(config.stage_planes, config.stage_blocks), start=1
+    ):
+        for block_index in range(num_blocks):
+            stride = 2 if (block_index == 0 and stage_index > 1) else 1
+            out_planes = planes * config.expansion
+            needs_projection = stride != 1 or in_planes != out_planes
+            block_name = f"stage{stage_index}/block{block_index}"
+            make_block(builder, planes, stride, block_name, needs_projection)
+            in_planes = out_planes
+
+    builder.global_avgpool(block="head")
+    builder.linear(num_classes, block="head")
+    return builder.build()
+
+
+def resnet18_cifar(num_classes: int = 10) -> ModelSpec:
+    return build_resnet_spec("resnet18", input_size=32, num_classes=num_classes)
+
+
+def resnet34_cifar(num_classes: int = 10) -> ModelSpec:
+    return build_resnet_spec("resnet34", input_size=32, num_classes=num_classes)
+
+
+def resnet50_cifar(num_classes: int = 10) -> ModelSpec:
+    return build_resnet_spec("resnet50", input_size=32, num_classes=num_classes)
+
+
+def resnet18_imagenet(num_classes: int = 1000) -> ModelSpec:
+    return build_resnet_spec("resnet18", input_size=224, num_classes=num_classes)
+
+
+def resnet50_imagenet(num_classes: int = 1000) -> ModelSpec:
+    return build_resnet_spec("resnet50", input_size=224, num_classes=num_classes)
+
+
+def resnet_tiny(input_size: int = 16, num_classes: int = 10,
+                channels: Sequence[int] = (8, 16)) -> ModelSpec:
+    """A small residual network with identity-only shortcuts.
+
+    Executable (and trainable) by the sequential spec builder: the residual
+    ADD layers reference the output of the convolution opening the block, so
+    no projection shortcut is needed.
+    """
+    builder = SpecBuilder(
+        name=f"resnet_tiny-{input_size}",
+        input_size=input_size,
+        in_channels=3,
+        num_classes=num_classes,
+    )
+    builder.conv(channels[0], kernel=3, block="stem")
+    builder.activation(LayerKind.RELU, block="stem")
+    for stage_index, width in enumerate(channels, start=1):
+        block = f"stage{stage_index}"
+        # Down-sample / widen transition (not a residual block).
+        transition = builder.conv(width, kernel=3, stride=2 if stage_index > 1 else 1, block=block)
+        builder.activation(LayerKind.RELU, block=block)
+        anchor = builder.conv(width, kernel=3, block=block)
+        builder.activation(LayerKind.RELU, block=block)
+        builder.conv(width, kernel=3, block=block)
+        builder.residual_add(block=block, residual_from=anchor.name)
+        builder.activation(LayerKind.RELU, block=block)
+    builder.global_avgpool(block="head")
+    builder.linear(num_classes, block="head")
+    return builder.build()

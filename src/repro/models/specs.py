@@ -1,0 +1,462 @@
+"""Layer-level intermediate representation of DNN architectures.
+
+Every backbone in the model zoo, every supernet choice point and every
+searched (derived) PASNet architecture is described as a :class:`ModelSpec`:
+an ordered list of :class:`LayerSpec` entries carrying the geometry
+(channels, spatial size, kernel, stride) that the hardware latency model,
+the communication model, the ReLU-counting analysis and the secure inference
+engine all consume.
+
+The IR is deliberately flat: residual additions appear as ``ADD`` layers so
+that latency/communication/ReLU counts of ResNet-style models are exact,
+while the trainable module implementations keep their real topology in
+:mod:`repro.models.resnet` / :mod:`repro.models.mobilenet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class LayerKind(str, Enum):
+    """Operator categories understood by the latency model and protocols."""
+
+    CONV = "conv"
+    LINEAR = "linear"
+    RELU = "relu"
+    X2ACT = "x2act"
+    MAXPOOL = "maxpool"
+    AVGPOOL = "avgpool"
+    GLOBAL_AVGPOOL = "global_avgpool"
+    FLATTEN = "flatten"
+    ADD = "add"
+    BATCHNORM = "batchnorm"
+
+
+#: the non-polynomial (comparison-protocol) operator kinds
+NON_POLYNOMIAL_KINDS = frozenset({LayerKind.RELU, LayerKind.MAXPOOL})
+#: activation kinds a gated activation operator chooses between
+ACTIVATION_KINDS = frozenset({LayerKind.RELU, LayerKind.X2ACT})
+#: pooling kinds a gated pooling operator chooses between
+POOLING_KINDS = frozenset({LayerKind.MAXPOOL, LayerKind.AVGPOOL})
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Geometry and kind of one layer.
+
+    Attributes:
+        name: unique layer name within the model.
+        kind: operator category.
+        in_channels / out_channels: channel counts (equal for activations).
+        kernel, stride, padding, groups: convolution / pooling geometry.
+        input_size: spatial size FI of the (square) input feature map.
+        searchable: True when this layer is a NAS choice point (an activation
+            that may become polynomial, or a pooling that may become average).
+        block: name of the owning backbone block (for reporting).
+        residual_from: for ADD layers executed by the sequential builder, the
+            name of the earlier layer whose output is added (identity
+            shortcut).  Analysis-only specs may leave it empty.
+    """
+
+    name: str
+    kind: LayerKind
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    input_size: int = 1
+    searchable: bool = False
+    block: str = ""
+    residual_from: str = ""
+
+    # -- geometry helpers ------------------------------------------------ #
+    @property
+    def output_size(self) -> int:
+        """Spatial size of the output feature map."""
+        if self.kind in (LayerKind.CONV, LayerKind.MAXPOOL, LayerKind.AVGPOOL):
+            return (self.input_size + 2 * self.padding - self.kernel) // self.stride + 1
+        if self.kind == LayerKind.GLOBAL_AVGPOOL:
+            return 1
+        if self.kind in (LayerKind.LINEAR, LayerKind.FLATTEN):
+            return 1
+        return self.input_size
+
+    @property
+    def output_channels(self) -> int:
+        return self.out_channels if self.out_channels else self.in_channels
+
+    def num_activation_elements(self) -> int:
+        """Number of elements of the input feature map (FI^2 * IC)."""
+        return self.input_size * self.input_size * max(self.in_channels, 1)
+
+    def num_output_elements(self) -> int:
+        return self.output_size * self.output_size * max(self.output_channels, 1)
+
+    def macs(self) -> int:
+        """Multiply-accumulate count (convolution and linear layers only)."""
+        if self.kind == LayerKind.CONV:
+            fo = self.output_size
+            return (
+                self.kernel
+                * self.kernel
+                * fo
+                * fo
+                * (self.in_channels // self.groups)
+                * self.out_channels
+            )
+        if self.kind == LayerKind.LINEAR:
+            return self.in_channels * self.out_channels
+        return 0
+
+    def with_kind(self, kind: LayerKind) -> "LayerSpec":
+        """Return a copy of the layer with a different operator kind."""
+        return dc_replace(self, kind=kind)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An ordered, flat layer specification of a DNN architecture."""
+
+    name: str
+    input_size: int
+    in_channels: int
+    num_classes: int
+    layers: Tuple[LayerSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate layer names in model {self.name}")
+
+    # -- traversal --------------------------------------------------------- #
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> LayerSpec:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in model {self.name}")
+
+    def layers_of_kind(self, *kinds: LayerKind) -> List[LayerSpec]:
+        wanted = set(kinds)
+        return [layer for layer in self.layers if layer.kind in wanted]
+
+    def searchable_layers(self) -> List[LayerSpec]:
+        """Choice points of the NAS supernet (activations and poolings)."""
+        return [layer for layer in self.layers if layer.searchable]
+
+    # -- counting ----------------------------------------------------------- #
+    def relu_count(self) -> int:
+        """Total number of ReLU *elements* (the unit used by Figs. 6-7)."""
+        return sum(
+            layer.num_activation_elements()
+            for layer in self.layers
+            if layer.kind == LayerKind.RELU
+        )
+
+    def relu_layer_count(self) -> int:
+        return len(self.layers_of_kind(LayerKind.RELU))
+
+    def polynomial_activation_count(self) -> int:
+        return len(self.layers_of_kind(LayerKind.X2ACT))
+
+    def comparison_element_count(self) -> int:
+        """Elements that require the OT comparison flow (ReLU and MaxPool)."""
+        return sum(
+            layer.num_activation_elements()
+            for layer in self.layers
+            if layer.kind in NON_POLYNOMIAL_KINDS
+        )
+
+    def polynomial_fraction(self) -> float:
+        """Fraction of searchable activation layers that are polynomial."""
+        activations = [l for l in self.layers if l.kind in ACTIVATION_KINDS]
+        if not activations:
+            return 0.0
+        poly = sum(1 for l in activations if l.kind == LayerKind.X2ACT)
+        return poly / len(activations)
+
+    def total_macs(self) -> int:
+        return sum(layer.macs() for layer in self.layers)
+
+    def kind_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for layer in self.layers:
+            hist[layer.kind.value] = hist.get(layer.kind.value, 0) + 1
+        return hist
+
+    # -- architecture rewriting --------------------------------------------- #
+    def replace_kinds(self, assignment: Dict[str, LayerKind]) -> "ModelSpec":
+        """Return a new spec with the given layers' kinds replaced.
+
+        ``assignment`` maps layer names to new kinds; every replacement must
+        stay within the layer's legal choice set (ReLU <-> X^2act,
+        MaxPool <-> AvgPool).
+        """
+        new_layers = []
+        for layer in self.layers:
+            if layer.name in assignment:
+                new_kind = assignment[layer.name]
+                legal = (
+                    ACTIVATION_KINDS
+                    if layer.kind in ACTIVATION_KINDS
+                    else POOLING_KINDS
+                    if layer.kind in POOLING_KINDS
+                    else {layer.kind}
+                )
+                if new_kind not in legal:
+                    raise ValueError(
+                        f"cannot replace {layer.name} ({layer.kind}) with {new_kind}"
+                    )
+                new_layers.append(layer.with_kind(new_kind))
+            else:
+                new_layers.append(layer)
+        return dc_replace(self, layers=tuple(new_layers))
+
+    def with_all_polynomial(self) -> "ModelSpec":
+        """All-poly variant: every ReLU -> X^2act and every MaxPool -> AvgPool."""
+        assignment = {}
+        for layer in self.layers:
+            if layer.kind == LayerKind.RELU:
+                assignment[layer.name] = LayerKind.X2ACT
+            elif layer.kind == LayerKind.MAXPOOL and layer.searchable:
+                assignment[layer.name] = LayerKind.AVGPOOL
+        return self.replace_kinds(assignment)
+
+    def with_all_relu(self) -> "ModelSpec":
+        """All-ReLU variant: every X^2act back to ReLU."""
+        assignment = {
+            layer.name: LayerKind.RELU
+            for layer in self.layers
+            if layer.kind == LayerKind.X2ACT
+        }
+        return self.replace_kinds(assignment)
+
+    def rename(self, new_name: str) -> "ModelSpec":
+        return dc_replace(self, name=new_name)
+
+    # -- (de)serialization ---------------------------------------------------- #
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "input_size": self.input_size,
+            "in_channels": self.in_channels,
+            "num_classes": self.num_classes,
+            "layers": [
+                {
+                    "name": l.name,
+                    "kind": l.kind.value,
+                    "in_channels": l.in_channels,
+                    "out_channels": l.out_channels,
+                    "kernel": l.kernel,
+                    "stride": l.stride,
+                    "padding": l.padding,
+                    "groups": l.groups,
+                    "input_size": l.input_size,
+                    "searchable": l.searchable,
+                    "block": l.block,
+                    "residual_from": l.residual_from,
+                }
+                for l in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ModelSpec":
+        layers = tuple(
+            LayerSpec(
+                name=entry["name"],
+                kind=LayerKind(entry["kind"]),
+                in_channels=entry.get("in_channels", 0),
+                out_channels=entry.get("out_channels", 0),
+                kernel=entry.get("kernel", 1),
+                stride=entry.get("stride", 1),
+                padding=entry.get("padding", 0),
+                groups=entry.get("groups", 1),
+                input_size=entry.get("input_size", 1),
+                searchable=entry.get("searchable", False),
+                block=entry.get("block", ""),
+                residual_from=entry.get("residual_from", ""),
+            )
+            for entry in data["layers"]
+        )
+        return cls(
+            name=data["name"],
+            input_size=data["input_size"],
+            in_channels=data["in_channels"],
+            num_classes=data["num_classes"],
+            layers=layers,
+        )
+
+
+class SpecBuilder:
+    """Helper that tracks feature-map geometry while appending layers.
+
+    The backbone generators use this to produce consistent flat specs without
+    manually recomputing the spatial size after every stride.
+    """
+
+    def __init__(self, name: str, input_size: int, in_channels: int, num_classes: int) -> None:
+        self.name = name
+        self.input_size = input_size
+        self.in_channels = in_channels
+        self.num_classes = num_classes
+        self._layers: List[LayerSpec] = []
+        self._size = input_size
+        self._channels = in_channels
+        self._counters: Dict[str, int] = {}
+
+    # -- internals -------------------------------------------------------- #
+    def _next_name(self, prefix: str) -> str:
+        index = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = index
+        return f"{prefix}{index}"
+
+    def _append(self, layer: LayerSpec) -> LayerSpec:
+        self._layers.append(layer)
+        self._size = layer.output_size
+        self._channels = layer.output_channels
+        return layer
+
+    @property
+    def current_size(self) -> int:
+        return self._size
+
+    @property
+    def current_channels(self) -> int:
+        return self._channels
+
+    @property
+    def last_layer_name(self) -> str:
+        """Name of the most recently appended layer (empty before the first)."""
+        return self._layers[-1].name if self._layers else ""
+
+    # -- layer appenders ----------------------------------------------------- #
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        block: str = "",
+    ) -> LayerSpec:
+        padding = kernel // 2 if padding is None else padding
+        return self._append(
+            LayerSpec(
+                name=self._next_name("conv"),
+                kind=LayerKind.CONV,
+                in_channels=self._channels,
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+                groups=groups,
+                input_size=self._size,
+                block=block,
+            )
+        )
+
+    def activation(self, kind: LayerKind = LayerKind.RELU, searchable: bool = True,
+                   block: str = "") -> LayerSpec:
+        if kind not in ACTIVATION_KINDS:
+            raise ValueError(f"{kind} is not an activation kind")
+        return self._append(
+            LayerSpec(
+                name=self._next_name("act"),
+                kind=kind,
+                in_channels=self._channels,
+                out_channels=self._channels,
+                input_size=self._size,
+                searchable=searchable,
+                block=block,
+            )
+        )
+
+    def pool(self, kind: LayerKind = LayerKind.MAXPOOL, kernel: int = 2, stride: Optional[int] = None,
+             padding: int = 0, searchable: bool = True, block: str = "") -> LayerSpec:
+        if kind not in POOLING_KINDS:
+            raise ValueError(f"{kind} is not a pooling kind")
+        return self._append(
+            LayerSpec(
+                name=self._next_name("pool"),
+                kind=kind,
+                in_channels=self._channels,
+                out_channels=self._channels,
+                kernel=kernel,
+                stride=stride if stride is not None else kernel,
+                padding=padding,
+                input_size=self._size,
+                searchable=searchable,
+                block=block,
+            )
+        )
+
+    def residual_add(self, block: str = "", residual_from: str = "") -> LayerSpec:
+        return self._append(
+            LayerSpec(
+                name=self._next_name("add"),
+                kind=LayerKind.ADD,
+                in_channels=self._channels,
+                out_channels=self._channels,
+                input_size=self._size,
+                block=block,
+                residual_from=residual_from,
+            )
+        )
+
+    def global_avgpool(self, block: str = "") -> LayerSpec:
+        return self._append(
+            LayerSpec(
+                name=self._next_name("gap"),
+                kind=LayerKind.GLOBAL_AVGPOOL,
+                in_channels=self._channels,
+                out_channels=self._channels,
+                input_size=self._size,
+                block=block,
+            )
+        )
+
+    def flatten(self) -> LayerSpec:
+        flattened = self._channels * self._size * self._size
+        layer = LayerSpec(
+            name=self._next_name("flatten"),
+            kind=LayerKind.FLATTEN,
+            in_channels=self._channels,
+            out_channels=flattened,
+            input_size=self._size,
+        )
+        self._layers.append(layer)
+        self._size = 1
+        self._channels = flattened
+        return layer
+
+    def linear(self, out_features: int, block: str = "") -> LayerSpec:
+        return self._append(
+            LayerSpec(
+                name=self._next_name("fc"),
+                kind=LayerKind.LINEAR,
+                in_channels=self._channels,
+                out_channels=out_features,
+                input_size=1,
+                block=block,
+            )
+        )
+
+    def build(self) -> ModelSpec:
+        return ModelSpec(
+            name=self.name,
+            input_size=self.input_size,
+            in_channels=self.in_channels,
+            num_classes=self.num_classes,
+            layers=tuple(self._layers),
+        )

@@ -1,0 +1,91 @@
+"""VGG backbone specifications (VGG-11 and VGG-16).
+
+The paper uses VGG-16 as one of its search backbones; every Conv-ReLU(-Pool)
+group becomes a supernet choice point (ReLU vs X^2act, MaxPool vs AvgPool).
+Besides the full-size CIFAR-10/ImageNet specs used by the latency and
+ReLU-count analyses, a ``vgg_tiny`` variant with few channels is provided for
+the runnable (numpy-trainable) search demos and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Union
+
+from repro.models.specs import LayerKind, ModelSpec, SpecBuilder
+
+# Configuration strings in the torchvision convention: ints are conv output
+# channels, "M" inserts a pooling layer.
+VGG_CONFIGS: Dict[str, Sequence[Union[int, str]]] = {
+    "vgg11": (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg16": (
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ),
+    "vgg_tiny": (8, "M", 16, "M", 32, "M"),
+}
+
+
+def build_vgg_spec(
+    config_name: str = "vgg16",
+    input_size: int = 32,
+    in_channels: int = 3,
+    num_classes: int = 10,
+    classifier_width: int = 512,
+) -> ModelSpec:
+    """Build a flat VGG specification.
+
+    For the 32x32 CIFAR-10 setting a single hidden classifier layer of
+    ``classifier_width`` is used (the standard CIFAR VGG adaptation); for the
+    224x224 ImageNet setting two 4096-wide hidden layers follow torchvision.
+    """
+    if config_name not in VGG_CONFIGS:
+        raise KeyError(f"unknown VGG config {config_name!r}; options: {sorted(VGG_CONFIGS)}")
+    config = VGG_CONFIGS[config_name]
+    builder = SpecBuilder(
+        name=f"{config_name}-{input_size}",
+        input_size=input_size,
+        in_channels=in_channels,
+        num_classes=num_classes,
+    )
+    block_index = 0
+    for entry in config:
+        if entry == "M":
+            builder.pool(LayerKind.MAXPOOL, kernel=2, block=f"stage{block_index}")
+            block_index += 1
+        else:
+            builder.conv(int(entry), kernel=3, block=f"stage{block_index}")
+            builder.activation(LayerKind.RELU, block=f"stage{block_index}")
+    builder.flatten()
+    if input_size >= 224:
+        hidden_dims = (4096, 4096)
+    else:
+        hidden_dims = (classifier_width,)
+    for width in hidden_dims:
+        builder.linear(width, block="classifier")
+        builder.activation(LayerKind.RELU, block="classifier")
+    builder.linear(num_classes, block="classifier")
+    return builder.build()
+
+
+def vgg16_cifar(num_classes: int = 10) -> ModelSpec:
+    """VGG-16 at the CIFAR-10 input size (the Fig. 5 backbone)."""
+    return build_vgg_spec("vgg16", input_size=32, num_classes=num_classes)
+
+
+def vgg16_imagenet(num_classes: int = 1000) -> ModelSpec:
+    """VGG-16 at the ImageNet input size."""
+    return build_vgg_spec("vgg16", input_size=224, num_classes=num_classes)
+
+
+def vgg11_cifar(num_classes: int = 10) -> ModelSpec:
+    return build_vgg_spec("vgg11", input_size=32, num_classes=num_classes)
+
+
+def vgg_tiny(input_size: int = 16, num_classes: int = 10) -> ModelSpec:
+    """A few-thousand-parameter VGG-style net trainable with the numpy engine."""
+    return build_vgg_spec(
+        "vgg_tiny", input_size=input_size, num_classes=num_classes, classifier_width=32
+    )

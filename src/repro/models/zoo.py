@@ -1,0 +1,81 @@
+"""Backbone model zoo: a name-indexed registry of specification builders.
+
+The registry mirrors the "backbone model zoo" box in Fig. 3: the search
+framework samples a backbone, constructs its supernet and returns the
+searched polynomial model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.mobilenet import (
+    build_mobilenetv2_spec,
+    mobilenetv2_cifar,
+    mobilenetv2_imagenet,
+    mobilenetv2_tiny,
+)
+from repro.models.resnet import (
+    build_resnet_spec,
+    resnet18_cifar,
+    resnet18_imagenet,
+    resnet34_cifar,
+    resnet50_cifar,
+    resnet50_imagenet,
+    resnet_tiny,
+)
+from repro.models.specs import ModelSpec
+from repro.models.vgg import (
+    build_vgg_spec,
+    vgg11_cifar,
+    vgg16_cifar,
+    vgg16_imagenet,
+    vgg_tiny,
+)
+
+_REGISTRY: Dict[str, Callable[..., ModelSpec]] = {
+    # CIFAR-10 scale (the Fig. 5 backbones)
+    "vgg16-cifar": vgg16_cifar,
+    "vgg11-cifar": vgg11_cifar,
+    "resnet18-cifar": resnet18_cifar,
+    "resnet34-cifar": resnet34_cifar,
+    "resnet50-cifar": resnet50_cifar,
+    "mobilenetv2-cifar": mobilenetv2_cifar,
+    # ImageNet scale (Table I)
+    "vgg16-imagenet": vgg16_imagenet,
+    "resnet18-imagenet": resnet18_imagenet,
+    "resnet50-imagenet": resnet50_imagenet,
+    "mobilenetv2-imagenet": mobilenetv2_imagenet,
+    # Numpy-trainable tiny variants (examples and tests)
+    "vgg-tiny": vgg_tiny,
+    "resnet-tiny": resnet_tiny,
+    "mobilenetv2-tiny": mobilenetv2_tiny,
+}
+
+#: The five backbones the paper searches over on CIFAR-10 (Fig. 5).
+FIG5_BACKBONES: List[str] = [
+    "vgg16-cifar",
+    "mobilenetv2-cifar",
+    "resnet18-cifar",
+    "resnet34-cifar",
+    "resnet50-cifar",
+]
+
+
+def available_backbones() -> List[str]:
+    """Names accepted by :func:`get_backbone`."""
+    return sorted(_REGISTRY)
+
+
+def get_backbone(name: str, **kwargs) -> ModelSpec:
+    """Build a backbone specification by registry name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown backbone {name!r}; options: {available_backbones()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def register_backbone(name: str, builder: Callable[..., ModelSpec]) -> None:
+    """Register a custom backbone builder (downstream extension hook)."""
+    if name in _REGISTRY:
+        raise ValueError(f"backbone {name!r} is already registered")
+    _REGISTRY[name] = builder

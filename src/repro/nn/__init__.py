@@ -1,0 +1,65 @@
+"""A from-scratch numpy autograd neural-network engine.
+
+This package is the substrate the original PASNet implementation obtained
+from PyTorch: tensors with reverse-mode autodiff, convolutional layers,
+normalization, pooling, optimizers and classification losses.  It is small
+but complete enough to run the PASNet differentiable architecture search and
+the plaintext reference inference for every backbone in the model zoo.
+"""
+
+from repro.nn import functional, init, optim
+from repro.nn.functional import accuracy, cross_entropy
+from repro.nn.modules import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    HardSwish,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    ReLU6,
+    Sequential,
+    Sigmoid,
+    Square,
+    Tanh,
+)
+from repro.nn.tensor import Tensor, concatenate, stack
+
+__all__ = [
+    "Tensor",
+    "stack",
+    "concatenate",
+    "functional",
+    "init",
+    "optim",
+    "cross_entropy",
+    "accuracy",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Flatten",
+    "Conv2d",
+    "Linear",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Square",
+    "Sigmoid",
+    "Tanh",
+    "HardSwish",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+]

@@ -1,0 +1,307 @@
+"""Neural-network functional operations on :class:`repro.nn.tensor.Tensor`.
+
+Implements the convolution / pooling / normalization / loss primitives used
+by the PASNet backbones.  Convolution and pooling are implemented with
+``im2col`` (stride-tricks based) lowering so that a pure-numpy engine remains
+fast enough for the search and training experiments in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# --------------------------------------------------------------------------- #
+# im2col helpers
+# --------------------------------------------------------------------------- #
+def _im2col_indices(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Extract sliding windows from an already-padded NCHW array.
+
+    Returns an array of shape (N, C, KH, KW, OH, OW) that is a *view* of x.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    sn, sc, sh_, sw_ = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh_, sw_, sh_ * sh, sw_ * sw)
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> np.ndarray:
+    """Inverse of :func:`_im2col_indices` accumulating overlapping windows.
+
+    ``cols`` has shape (N, C, KH, KW, OH, OW); the result has ``x_shape``
+    (the padded input shape).
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += cols[:, :, i, j]
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2D convolution over an NCHW input.
+
+    ``weight`` has shape (OC, IC // groups, KH, KW).  Grouped convolution is
+    supported because MobileNetV2's depthwise layers need it.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, ic, h, w = x.shape
+    oc, icg, kh, kw = weight.shape
+    if ic % groups or oc % groups:
+        raise ValueError(f"channels ({ic}, {oc}) not divisible by groups={groups}")
+    if icg != ic // groups:
+        raise ValueError(
+            f"weight expects {icg} input channels per group but input has {ic // groups}"
+        )
+
+    ph, pw = padding
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = _im2col_indices(x_pad, (kh, kw), stride)  # (N, IC, KH, KW, OH, OW)
+    oh, ow = cols.shape[4], cols.shape[5]
+
+    cols_g = cols.reshape(n, groups, icg, kh, kw, oh, ow)
+    w_g = weight.data.reshape(groups, oc // groups, icg, kh, kw)
+    # out[n, g, o, y, x] = sum_{c,i,j} cols_g[n, g, c, i, j, y, x] * w_g[g, o, c, i, j]
+    out = np.einsum("ngcijyx,gocij->ngoyx", cols_g, w_g, optimize=True)
+    out = out.reshape(n, oc, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_g = grad.reshape(n, groups, oc // groups, oh, ow)
+        if weight.requires_grad:
+            grad_w = np.einsum("ngcijyx,ngoyx->gocij", cols_g, grad_g, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = np.einsum("gocij,ngoyx->ngcijyx", w_g, grad_g, optimize=True)
+            grad_cols = grad_cols.reshape(n, ic, kh, kw, oh, ow)
+            grad_x_pad = _col2im(grad_cols, x_pad.shape, (kh, kw), stride)
+            if ph or pw:
+                grad_x = grad_x_pad[:, :, ph : ph + h, pw : pw + w]
+            else:
+                grad_x = grad_x_pad
+            x._accumulate(grad_x)
+
+    requires = any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(out)
+    return Tensor(out, requires_grad=True, parents=parents, backward=backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for (N, in_features) inputs."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    """Max pooling over NCHW input."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    ph, pw = padding
+    x_pad = np.pad(
+        x.data,
+        ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+        constant_values=-np.inf,
+    )
+    cols = _im2col_indices(x_pad, kernel, stride)  # (N, C, KH, KW, OH, OW)
+    oh, ow = cols.shape[4], cols.shape[5]
+    flat = cols.reshape(n, c, kernel[0] * kernel[1], oh, ow)
+    arg = flat.argmax(axis=2)
+    out = np.take_along_axis(flat, arg[:, :, None], axis=2).squeeze(2)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.zeros_like(flat)
+        np.put_along_axis(grad_cols, arg[:, :, None], grad[:, :, None], axis=2)
+        grad_cols = grad_cols.reshape(n, c, kernel[0], kernel[1], oh, ow)
+        grad_x_pad = _col2im(grad_cols, x_pad.shape, kernel, stride)
+        if ph or pw:
+            grad_x = grad_x_pad[:, :, ph : ph + h, pw : pw + w]
+        else:
+            grad_x = grad_x_pad
+        x._accumulate(grad_x)
+
+    if not x.requires_grad:
+        return Tensor(out)
+    return Tensor(out, requires_grad=True, parents=(x,), backward=backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    """Average pooling over NCHW input."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    ph, pw = padding
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = _im2col_indices(x_pad, kernel, stride)
+    oh, ow = cols.shape[4], cols.shape[5]
+    window = kernel[0] * kernel[1]
+    out = cols.mean(axis=(2, 3))
+
+    def backward(grad: np.ndarray) -> None:
+        grad_cols = np.broadcast_to(
+            grad[:, :, None, None] / window, (n, c, kernel[0], kernel[1], oh, ow)
+        ).copy()
+        grad_x_pad = _col2im(grad_cols, x_pad.shape, kernel, stride)
+        if ph or pw:
+            grad_x = grad_x_pad[:, :, ph : ph + h, pw : pw + w]
+        else:
+            grad_x = grad_x_pad
+        x._accumulate(grad_x)
+
+    if not x.requires_grad:
+        return Tensor(out)
+    return Tensor(out, requires_grad=True, parents=(x,), backward=backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only the common ``output_size=1`` and exact
+    divisors are supported (sufficient for the backbone zoo)."""
+    _, _, h, w = x.shape
+    if h % output_size or w % output_size:
+        raise ValueError(
+            f"adaptive_avg_pool2d requires divisible sizes, got {(h, w)} -> {output_size}"
+        )
+    kernel = (h // output_size, w // output_size)
+    return avg_pool2d(x, kernel, stride=kernel)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dimensions, keeping (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------------- #
+# Normalization
+# --------------------------------------------------------------------------- #
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel dimension of NCHW input.
+
+    ``running_mean``/``running_var`` are updated in place during training,
+    matching the torch.nn.BatchNorm2d contract the backbones expect.
+    """
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_t = Tensor(mean.reshape(1, -1, 1, 1))
+    inv_std = Tensor(1.0 / np.sqrt(var.reshape(1, -1, 1, 1) + eps))
+    x_hat = (x - mean_t) * inv_std
+    return x_hat * gamma.reshape(1, -1, 1, 1) + beta.reshape(1, -1, 1, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Losses and classification helpers
+# --------------------------------------------------------------------------- #
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    log_sum = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_sum
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy for integer class targets of shape (N,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray, topk: int = 1) -> float:
+    """Top-k accuracy in [0, 1]."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets)
+    if topk == 1:
+        pred = scores.argmax(axis=-1)
+        return float((pred == targets).mean())
+    top = np.argsort(-scores, axis=-1)[:, :topk]
+    hits = (top == targets[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,63 @@
+"""Weight initializers for the numpy neural-network engine."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def set_init_rng(seed: int) -> None:
+    """Reset the RNG used by the initializers (for reproducible experiments)."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialization (appropriate for ReLU / X^2act networks)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(max(fan_in, 1))
+    return _GLOBAL_RNG.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], gain: float = math.sqrt(2.0)) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return _GLOBAL_RNG.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _GLOBAL_RNG.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01) -> np.ndarray:
+    return _GLOBAL_RNG.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    return _GLOBAL_RNG.uniform(low, high, size=shape)

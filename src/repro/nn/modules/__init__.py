@@ -1,0 +1,30 @@
+"""Neural network modules (layers and containers)."""
+
+from repro.nn.modules.activation import HardSwish, ReLU, ReLU6, Sigmoid, Square, Tanh
+from repro.nn.modules.base import Flatten, Identity, Module, ModuleList, Parameter, Sequential
+from repro.nn.modules.conv import Conv2d, Linear
+from repro.nn.modules.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.modules.pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Identity",
+    "Flatten",
+    "Conv2d",
+    "Linear",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "Square",
+    "Sigmoid",
+    "Tanh",
+    "HardSwish",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+]

@@ -1,0 +1,49 @@
+"""Activation modules.
+
+``ReLU`` is the expensive non-polynomial operator under 2PC; ``Square`` and
+the plaintext X^2act module (kept in :mod:`repro.core.x2act`) are the cheap
+polynomial alternatives the paper searches over.
+"""
+
+from __future__ import annotations
+
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Square(Module):
+    """Plain elementwise square activation (CryptoNets-style)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * x
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (used by MobileNetV2)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clip(0.0, 6.0)
+
+
+class HardSwish(Module):
+    """x * relu6(x + 3) / 6 — MobileNetV3-style activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * (x + 3.0).clip(0.0, 6.0) * (1.0 / 6.0)

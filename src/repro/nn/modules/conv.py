@@ -1,0 +1,84 @@
+"""Convolution and linear layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class Conv2d(Module):
+    """2D convolution layer over NCHW input.
+
+    Supports grouped convolution (``groups=in_channels`` gives the depthwise
+    convolution used by MobileNetV2).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in/out channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        weight_shape = (out_channels, in_channels // groups, self.kernel_size, self.kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape))
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups}"
+        )
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), gain=1.0))
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in_features={self.in_features}, out_features={self.out_features}"

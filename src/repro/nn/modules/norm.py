@@ -1,0 +1,78 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of NCHW input.
+
+    Under 2PC the batch-norm of an inference-time network is an affine map
+    and is fused into the preceding convolution (see
+    :func:`repro.crypto.protocols.conv.fold_batchnorm`); during search and
+    training it behaves like ``torch.nn.BatchNorm2d``.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def fused_affine(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (scale, shift) so that BN(x) == scale * x + shift at eval time."""
+        scale = self.weight.data / np.sqrt(self.running_var + self.eps)
+        shift = self.bias.data - self.running_mean * scale
+        return scale, shift
+
+    def extra_repr(self) -> str:
+        return f"num_features={self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over (N, C) features."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=0)
+            var = x.data.var(axis=0)
+            self.running_mean *= 1.0 - self.momentum
+            self.running_mean += self.momentum * mean
+            self.running_var *= 1.0 - self.momentum
+            self.running_var += self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        x_hat = (x - Tensor(mean)) * Tensor(1.0 / np.sqrt(var + self.eps))
+        return x_hat * self.weight + self.bias

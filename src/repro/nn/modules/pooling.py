@@ -1,0 +1,62 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    """Max pooling (requires the 2PC comparison protocol in ciphertext)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2d(Module):
+    """Average pooling (polynomial: only scaling and addition under 2PC)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a fixed output size (divisible sizes only)."""
+
+    def __init__(self, output_size: int = 1) -> None:
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def extra_repr(self) -> str:
+        return f"output_size={self.output_size}"
+
+
+class GlobalAvgPool2d(Module):
+    """Global spatial average producing (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)

@@ -1,0 +1,7 @@
+"""Optimizers and LR schedulers for the numpy NN engine."""
+
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.optimizer import CosineAnnealingLR, LRScheduler, Optimizer, StepLR
+from repro.nn.optim.sgd import SGD
+
+__all__ = ["Adam", "SGD", "Optimizer", "LRScheduler", "StepLR", "CosineAnnealingLR"]

@@ -1,0 +1,78 @@
+"""Optimizer base class and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.nn.modules.base import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class LRScheduler:
+    """Base class for learning-rate schedules."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base LR to ``eta_min`` over ``t_max`` epochs.
+
+    The original DARTS / PASNet search uses cosine annealing on the weight
+    optimizer.
+    """
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * t / self.t_max)
+        )

@@ -1,0 +1,48 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+The PASNet weight parameters ω are updated with SGD (Algorithm 1, line 19).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.modules.base import Parameter
+from repro.nn.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with optional Nesterov momentum and decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr=lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            param.data -= self.lr * update

@@ -1,0 +1,8 @@
+"""Shared utilities: seeding, logging, serialization and timing helpers."""
+
+from repro.utils.logging import get_logger
+from repro.utils.seed import seed_everything
+from repro.utils.serialization import load_json, save_json
+from repro.utils.timing import Timer
+
+__all__ = ["get_logger", "seed_everything", "save_json", "load_json", "Timer"]

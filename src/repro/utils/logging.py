@@ -1,0 +1,19 @@
+"""Thin logging helper with a consistent format across the library."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger (idempotent: handlers added only once)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger

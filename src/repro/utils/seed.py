@@ -1,0 +1,21 @@
+"""Deterministic seeding across the numpy-based subsystems."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.nn import init as nn_init
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Seed python, numpy's legacy RNG and the NN initializer RNG.
+
+    Returns a fresh :class:`numpy.random.Generator` seeded with ``seed`` for
+    callers that want a local generator.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    nn_init.set_init_rng(seed)
+    return np.random.default_rng(seed)

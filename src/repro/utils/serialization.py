@@ -1,0 +1,34 @@
+"""JSON (de)serialization helpers tolerant of numpy scalars/arrays."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        return super().default(obj)
+
+
+def save_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialize ``obj`` to JSON at ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(obj, indent=indent, cls=_NumpyEncoder))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,23 @@
+"""Wall-clock timing helper used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self.start is not None
+        self.elapsed = time.perf_counter() - self.start

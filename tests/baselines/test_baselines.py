@@ -1,0 +1,123 @@
+"""Tests for the published comparators and the ReLU-reduction baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.published import (
+    CIFAR10_BASELINE_ACCURACY,
+    CRYPTFLOW,
+    CRYPTGPU,
+    RELU_REDUCTION_ANCHORS,
+    SYSTEM_COMPARATORS,
+)
+from repro.baselines.relu_reduction import (
+    ALL_BASELINES,
+    CryptoNASBaseline,
+    DeepReDuceBaseline,
+    DelphiBaseline,
+    SNLBaseline,
+    run_all_baselines,
+)
+from repro.core.surrogate import AccuracySurrogate, CIFAR10_CALIBRATION
+from repro.models.resnet import resnet18_cifar
+from repro.models.specs import LayerKind
+
+
+class TestPublishedNumbers:
+    def test_system_comparators_sanity(self):
+        assert CRYPTGPU.latency_s < CRYPTFLOW.latency_s
+        assert CRYPTGPU.communication_gb < CRYPTFLOW.communication_gb
+        assert {c.name for c in SYSTEM_COMPARATORS} == {"CryptGPU", "CryptFLOW"}
+
+    def test_relu_anchor_curves_are_monotone(self):
+        for method, anchors in RELU_REDUCTION_ANCHORS.items():
+            counts = [a.relu_count_k for a in anchors]
+            accuracies = [a.accuracy for a in anchors]
+            assert counts == sorted(counts), method
+            assert accuracies == sorted(accuracies), method
+
+    def test_baseline_accuracy_agrees_with_surrogate_calibration(self):
+        for key, accuracy in CIFAR10_BASELINE_ACCURACY.items():
+            assert CIFAR10_CALIBRATION[key].baseline_accuracy == pytest.approx(accuracy)
+
+
+class TestReLUReductionBaselines:
+    @pytest.fixture
+    def backbone(self):
+        return resnet18_cifar()
+
+    @pytest.fixture
+    def surrogate(self):
+        return AccuracySurrogate(jitter_std=0.0)
+
+    def test_generate_respects_keep_fraction(self, backbone, surrogate):
+        baseline = DeepReDuceBaseline(surrogate)
+        full = baseline.generate(backbone, keep_fraction=1.0)
+        half = baseline.generate(backbone, keep_fraction=0.5)
+        none = baseline.generate(backbone, keep_fraction=0.0)
+        assert full.relu_layer_count() == backbone.relu_layer_count()
+        assert 0 < half.relu_layer_count() < backbone.relu_layer_count()
+        assert none.relu_layer_count() == 0
+
+    def test_generate_rejects_bad_fraction(self, backbone, surrogate):
+        with pytest.raises(ValueError):
+            SNLBaseline(surrogate).generate(backbone, keep_fraction=1.5)
+
+    def test_delphi_removes_largest_layers_first(self, backbone, surrogate):
+        baseline = DelphiBaseline(surrogate)
+        spec = baseline.generate(backbone, keep_fraction=0.8)
+        removed = [
+            l for l, orig in zip(spec.layers, backbone.layers)
+            if orig.kind == LayerKind.RELU and l.kind == LayerKind.X2ACT
+        ]
+        kept = [l for l in spec.layers if l.kind == LayerKind.RELU]
+        assert min(r.num_activation_elements() for r in removed) >= max(
+            k.num_activation_elements() for k in kept
+        )
+
+    def test_snl_keeps_sensitive_layers_longest(self, backbone, surrogate):
+        baseline = SNLBaseline(surrogate)
+        spec = baseline.generate(backbone, keep_fraction=0.2)
+        assert spec.relu_layer_count() > 0
+
+    def test_sweep_produces_decreasing_relu_counts(self, backbone, surrogate):
+        for cls in ALL_BASELINES:
+            results = cls(surrogate).sweep(backbone, num_points=5)
+            counts = [r.relu_elements for r in results]
+            assert counts == sorted(counts, reverse=True), cls.name
+
+    def test_sweep_accuracy_never_exceeds_baseline(self, backbone, surrogate):
+        for cls in ALL_BASELINES:
+            results = cls(surrogate).sweep(backbone, num_points=5)
+            baseline_acc = surrogate.baseline("resnet18")
+            assert all(r.accuracy <= baseline_acc + 1e-9 for r in results), cls.name
+
+    def test_pasnet_dominates_baselines_at_low_relu_budget(self, backbone, surrogate):
+        """The Fig. 7 claim: at aggressive ReLU reduction PASNet's accuracy
+        is higher than every baseline's."""
+        from repro.core.sweep import relu_reduction_sweep
+
+        pasnet_points = relu_reduction_sweep(backbone, num_points=10, surrogate=surrogate)
+        budget = backbone.relu_count() * 0.1
+        pasnet_best = max(p.accuracy for p in pasnet_points if p.relu_elements <= budget)
+        for cls in ALL_BASELINES:
+            results = cls(surrogate).sweep(backbone, num_points=10)
+            eligible = [r.accuracy for r in results if r.relu_elements <= budget]
+            assert pasnet_best > max(eligible), cls.name
+
+    def test_degradation_factor_ordering(self):
+        """DELPHI (static quadratic) loses more accuracy than SNL (fine-grained)."""
+        assert DelphiBaseline.degradation_factor > CryptoNASBaseline.degradation_factor
+        assert CryptoNASBaseline.degradation_factor > SNLBaseline.degradation_factor > 1.0
+
+    def test_run_all_baselines_keys(self, backbone, surrogate):
+        results = run_all_baselines(backbone, num_points=3, surrogate=surrogate)
+        assert set(results) == {"DeepReDuce", "DELPHI", "CryptoNAS", "SNL"}
+
+    def test_as_tradeoff_conversion(self, backbone, surrogate):
+        result = DeepReDuceBaseline(surrogate).sweep(backbone, num_points=3)[0]
+        point = result.as_tradeoff()
+        assert point.cost == result.relu_elements
+        assert point.accuracy == result.accuracy

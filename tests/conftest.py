@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import make_context
+from repro.data import DataLoader, synthetic_tiny, train_val_split
+from repro.utils import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_all():
+    """Make every test deterministic."""
+    seed_everything(1234)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def ctx():
+    """A fresh two-party context per test."""
+    return make_context(seed=3)
+
+
+@pytest.fixture
+def tiny_dataset():
+    return synthetic_tiny(num_samples=64, image_size=8, seed=0)
+
+
+@pytest.fixture
+def tiny_loaders(tiny_dataset):
+    train, val = train_val_split(tiny_dataset, val_fraction=0.5, seed=0)
+    return (
+        DataLoader(train, batch_size=8, seed=1),
+        DataLoader(val, batch_size=8, seed=2),
+    )

@@ -1,0 +1,152 @@
+"""Tests for gated operators and the supernet."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gated import ArchParameter, GatedActivation, GatedPooling
+from repro.core.supernet import Supernet
+from repro.hardware.lut import build_latency_table
+from repro.models.resnet import resnet18_cifar, resnet_tiny
+from repro.models.specs import LayerKind
+from repro.models.vgg import vgg_tiny
+from repro.nn.tensor import Tensor
+
+
+class TestGatedActivation:
+    def test_initial_mix_is_average_of_candidates(self, rng):
+        gate = GatedActivation("act", num_elements=32, relu_latency_ms=10.0, x2act_latency_ms=1.0)
+        x = rng.normal(size=(2, 32))
+        expected = 0.5 * np.maximum(x, 0) + 0.5 * x  # X^2act starts as identity
+        np.testing.assert_allclose(gate(Tensor(x)).data, expected, atol=1e-6)
+
+    def test_softmax_weights_sum_to_one(self):
+        gate = GatedActivation("act", 16, 10.0, 1.0)
+        gate.alpha.data[...] = [2.0, -1.0]
+        assert gate.theta_values().sum() == pytest.approx(1.0)
+
+    def test_expected_latency_interpolates(self):
+        gate = GatedActivation("act", 16, relu_latency_ms=10.0, x2act_latency_ms=2.0)
+        assert float(gate.expected_latency_ms().data) == pytest.approx(6.0)
+        gate.alpha.data[...] = [10.0, -10.0]  # essentially pure ReLU
+        assert float(gate.expected_latency_ms().data) == pytest.approx(10.0, abs=1e-3)
+
+    def test_expected_latency_gradient_flows_to_alpha(self):
+        gate = GatedActivation("act", 16, 10.0, 2.0)
+        gate.expected_latency_ms().backward()
+        assert gate.alpha.grad is not None and not np.allclose(gate.alpha.grad, 0.0)
+
+    def test_latency_gradient_pushes_towards_cheap_candidate(self):
+        """Descending the latency term increases the X^2act logit relative to ReLU."""
+        gate = GatedActivation("act", 16, relu_latency_ms=10.0, x2act_latency_ms=2.0)
+        gate.expected_latency_ms().backward()
+        grad_relu, grad_x2act = gate.alpha.grad
+        assert grad_relu > grad_x2act  # gradient descent lowers the ReLU logit more
+
+    def test_selected_kind_follows_argmax(self):
+        gate = GatedActivation("act", 16, 10.0, 2.0)
+        gate.alpha.data[...] = [0.1, 0.9]
+        assert gate.selected_kind() == LayerKind.X2ACT
+        gate.alpha.data[...] = [0.9, 0.1]
+        assert gate.selected_kind() == LayerKind.RELU
+
+    def test_arch_parameter_type(self):
+        gate = GatedActivation("act", 16, 10.0, 2.0)
+        assert isinstance(gate.alpha, ArchParameter)
+        # the X^2act coefficients are *weight* parameters, not arch parameters
+        assert not isinstance(gate.x2act.w1, ArchParameter)
+
+    def test_requires_two_candidates_and_matching_latencies(self):
+        from repro.core.gated import GatedOperator
+
+        with pytest.raises(ValueError):
+            GatedOperator("x", (LayerKind.RELU,), (1.0,))
+        with pytest.raises(ValueError):
+            GatedOperator("x", (LayerKind.RELU, LayerKind.X2ACT), (1.0,))
+
+
+class TestGatedPooling:
+    def test_mixes_max_and_avg(self, rng):
+        gate = GatedPooling("pool", kernel=2, stride=2, maxpool_latency_ms=5.0, avgpool_latency_ms=0.5)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = gate(Tensor(x))
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_selection_summary_keys(self):
+        gate = GatedPooling("pool", 2, 2, 5.0, 0.5)
+        summary = gate.selection_summary()
+        assert set(summary) == {"maxpool", "avgpool"}
+        assert sum(summary.values()) == pytest.approx(1.0)
+
+
+class TestSupernet:
+    def test_gate_count_matches_searchable_layers(self):
+        backbone = vgg_tiny()
+        supernet = Supernet(backbone)
+        assert len(supernet.gates()) == len(backbone.searchable_layers())
+
+    def test_parameter_partition_is_disjoint_and_complete(self):
+        supernet = Supernet(vgg_tiny())
+        arch = supernet.arch_parameters()
+        weights = supernet.weight_parameters()
+        assert len(arch) == len(supernet.gates())
+        assert len(arch) + len(weights) == len(supernet.parameters())
+        assert not (set(map(id, arch)) & set(map(id, weights)))
+
+    def test_forward_shape(self, rng):
+        supernet = Supernet(vgg_tiny(input_size=16))
+        out = supernet(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_forward_residual_backbone(self, rng):
+        supernet = Supernet(resnet_tiny(input_size=16))
+        out = supernet(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_rejects_projection_shortcut_backbones(self):
+        with pytest.raises(ValueError):
+            Supernet(resnet18_cifar())
+
+    def test_expected_latency_between_extreme_architectures(self):
+        backbone = vgg_tiny()
+        table = build_latency_table(backbone)
+        supernet = Supernet(backbone, latency_table=table)
+        mixed = float(supernet.expected_latency_ms().data)
+        all_relu_ms = 1e3 * sum(
+            table.seconds(l.name, LayerKind.RELU if l.kind == LayerKind.RELU else LayerKind.MAXPOOL)
+            for l in backbone.searchable_layers()
+        )
+        all_poly_ms = 1e3 * sum(
+            table.seconds(l.name, LayerKind.X2ACT if l.kind == LayerKind.RELU else LayerKind.AVGPOOL)
+            for l in backbone.searchable_layers()
+        )
+        assert all_poly_ms < mixed < all_relu_ms
+
+    def test_fixed_latency_includes_conv_layers(self):
+        supernet = Supernet(vgg_tiny())
+        assert supernet.fixed_latency_ms() > 0
+        with_fixed = float(supernet.expected_latency_ms(include_fixed=True).data)
+        without = float(supernet.expected_latency_ms(include_fixed=False).data)
+        assert with_fixed == pytest.approx(without + supernet.fixed_latency_ms())
+
+    def test_derive_spec_respects_alpha_argmax(self):
+        supernet = Supernet(vgg_tiny())
+        for gate in supernet.gates():
+            gate.alpha.data[...] = [0.0, 5.0]  # prefer the polynomial / avg candidate
+        derived = supernet.derive_spec()
+        assert derived.relu_count() == 0
+        assert not derived.layers_of_kind(LayerKind.MAXPOOL)
+
+    def test_derived_spec_keeps_non_searchable_layers(self):
+        backbone = vgg_tiny()
+        derived = Supernet(backbone).derive_spec()
+        assert len(derived.layers) == len(backbone.layers)
+        assert derived.layers_of_kind(LayerKind.CONV) == backbone.layers_of_kind(LayerKind.CONV)
+
+    def test_architecture_summary_structure(self):
+        supernet = Supernet(vgg_tiny())
+        summary = supernet.architecture_summary()
+        assert set(summary) == {g.layer_name for g in supernet.gates()}
+        for weights in summary.values():
+            assert sum(weights.values()) == pytest.approx(1.0)

@@ -1,0 +1,183 @@
+"""Tests for Pareto analysis, the accuracy surrogate and the analytic λ-sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import TradeOffPoint, hypervolume, pareto_frontier
+from repro.core.surrogate import (
+    AccuracySurrogate,
+    CIFAR10_CALIBRATION,
+    IMAGENET_CALIBRATION,
+    backbone_key,
+)
+from repro.core.sweep import (
+    DEFAULT_LAMBDAS,
+    lambda_sweep,
+    relu_reduction_sweep,
+    select_architecture,
+)
+from repro.models.resnet import resnet18_cifar
+from repro.models.specs import LayerKind
+from repro.models.vgg import vgg16_cifar
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        points = [
+            TradeOffPoint(cost=10, accuracy=90),
+            TradeOffPoint(cost=5, accuracy=92),   # dominates the first
+            TradeOffPoint(cost=20, accuracy=95),
+        ]
+        frontier = pareto_frontier(points)
+        assert TradeOffPoint(cost=10, accuracy=90) not in frontier
+        assert len(frontier) == 2
+
+    def test_frontier_sorted_by_cost(self):
+        points = [TradeOffPoint(c, a) for c, a in [(30, 96), (10, 90), (20, 94)]]
+        frontier = pareto_frontier(points)
+        assert [p.cost for p in frontier] == sorted(p.cost for p in frontier)
+
+    def test_duplicate_points_deduplicated(self):
+        points = [TradeOffPoint(10, 90), TradeOffPoint(10, 90)]
+        assert len(pareto_frontier(points)) == 1
+
+    def test_dominates_semantics(self):
+        assert TradeOffPoint(5, 95).dominates(TradeOffPoint(10, 90))
+        assert not TradeOffPoint(5, 85).dominates(TradeOffPoint(10, 90))
+        assert not TradeOffPoint(5, 95).dominates(TradeOffPoint(5, 95))
+
+    def test_hypervolume_increases_with_better_points(self):
+        base = [TradeOffPoint(10, 90), TradeOffPoint(50, 93)]
+        better = base + [TradeOffPoint(5, 94)]
+        assert hypervolume(better, cost_ref=100) > hypervolume(base, cost_ref=100)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_frontier_points_are_mutually_nondominating(self, seed):
+        rng = np.random.default_rng(seed)
+        points = [
+            TradeOffPoint(cost=float(c), accuracy=float(a))
+            for c, a in zip(rng.uniform(0, 100, 15), rng.uniform(80, 100, 15))
+        ]
+        frontier = pareto_frontier(points)
+        for p in frontier:
+            assert not any(q.dominates(p) for q in frontier if q is not p)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_frontier_is_subset(self, seed):
+        rng = np.random.default_rng(seed)
+        points = [
+            TradeOffPoint(cost=float(c), accuracy=float(a))
+            for c, a in zip(rng.uniform(0, 100, 10), rng.uniform(80, 100, 10))
+        ]
+        assert set(map(id, pareto_frontier(points))) <= set(map(id, points))
+
+
+class TestSurrogate:
+    def test_backbone_key_inference(self):
+        assert backbone_key(resnet18_cifar()) == "resnet18"
+        assert backbone_key("PASNet-B-imagenet (resnet50)") == "resnet50"
+        with pytest.raises(KeyError):
+            backbone_key("lenet")
+
+    def test_all_relu_prediction_matches_baseline(self):
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        spec = vgg16_cifar()
+        assert surrogate.predict(spec) == pytest.approx(CIFAR10_CALIBRATION["vgg16"].baseline_accuracy)
+
+    def test_all_poly_prediction_matches_anchor(self):
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        spec = vgg16_cifar().with_all_polynomial()
+        calib = CIFAR10_CALIBRATION["vgg16"]
+        assert surrogate.predict(spec) == pytest.approx(
+            calib.baseline_accuracy - calib.full_poly_drop, abs=1e-6
+        )
+
+    def test_degradation_is_monotone_in_poly_fraction(self):
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        spec = resnet18_cifar()
+        activations = [l.name for l in spec.layers if l.kind == LayerKind.RELU]
+        partial = spec.replace_kinds({n: LayerKind.X2ACT for n in activations[: len(activations) // 2]})
+        full = spec.with_all_polynomial()
+        assert surrogate.predict(spec) >= surrogate.predict(partial) >= surrogate.predict(full)
+
+    def test_resnet_degrades_less_than_vgg(self):
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        vgg_drop = surrogate.predict(vgg16_cifar()) - surrogate.predict(vgg16_cifar().with_all_polynomial())
+        resnet_drop = surrogate.predict(resnet18_cifar()) - surrogate.predict(
+            resnet18_cifar().with_all_polynomial()
+        )
+        assert vgg_drop > 5 * resnet_drop
+
+    def test_imagenet_calibration_allows_accuracy_gain(self):
+        """PASNet-A beats the ResNet-18 ImageNet baseline (+0.78), i.e. the
+        full-poly 'drop' can be negative."""
+        assert IMAGENET_CALIBRATION["resnet18"].full_poly_drop < 0
+
+    def test_per_layer_sensitivity_sums_to_full_drop(self):
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        spec = vgg16_cifar()
+        sens = surrogate.per_layer_sensitivity(spec)
+        assert sum(sens.values()) == pytest.approx(CIFAR10_CALIBRATION["vgg16"].full_poly_drop)
+
+    def test_jitter_is_deterministic_per_architecture(self):
+        surrogate = AccuracySurrogate(jitter_std=0.1, seed=1)
+        spec = resnet18_cifar().with_all_polynomial()
+        assert surrogate.predict(spec) == surrogate.predict(spec)
+
+
+class TestSweep:
+    def test_lambda_zero_keeps_all_relu(self):
+        spec = resnet18_cifar()
+        derived = select_architecture(spec, lam=0.0)
+        assert derived.relu_layer_count() == spec.relu_layer_count()
+
+    def test_huge_lambda_converts_everything(self):
+        derived = select_architecture(resnet18_cifar(), lam=1e6)
+        assert derived.relu_count() == 0
+
+    def test_polynomial_fraction_monotone_in_lambda(self):
+        spec = resnet18_cifar()
+        fractions = [
+            select_architecture(spec, lam).polynomial_fraction() for lam in (0.0, *DEFAULT_LAMBDAS, 1e3)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            select_architecture(resnet18_cifar(), lam=-1.0)
+
+    def test_lambda_sweep_latency_decreases_accuracy_nonincreasing_trend(self):
+        result = lambda_sweep(resnet18_cifar(), surrogate=AccuracySurrogate(jitter_std=0.0))
+        latencies = result.latencies_ms()
+        assert latencies[0] == max(latencies)
+        assert latencies[-1] == min(latencies)
+        accuracies = result.accuracies()
+        assert accuracies[0] == max(accuracies)
+
+    def test_lambda_sweep_endpoints(self):
+        result = lambda_sweep(resnet18_cifar(), include_endpoints=True)
+        assert result.points[0].relu_elements > 0
+        assert result.points[-1].relu_elements == 0
+        no_endpoints = lambda_sweep(resnet18_cifar(), include_endpoints=False)
+        assert len(no_endpoints.points) == len(DEFAULT_LAMBDAS)
+
+    def test_relu_reduction_sweep_spans_full_range(self):
+        points = relu_reduction_sweep(resnet18_cifar(), num_points=6)
+        relu_counts = [p.relu_elements for p in points]
+        assert relu_counts[0] == resnet18_cifar().relu_count()
+        assert relu_counts[-1] == 0
+        assert relu_counts == sorted(relu_counts, reverse=True)
+
+    def test_relu_reduction_sweep_accuracy_degrades_gracefully(self):
+        """The headline of Fig. 6: large ReLU reduction at small accuracy cost."""
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        points = relu_reduction_sweep(resnet18_cifar(), num_points=10, surrogate=surrogate)
+        baseline = points[0]
+        halfway = min(points, key=lambda p: abs(p.relu_elements - baseline.relu_elements / 2))
+        assert baseline.accuracy - halfway.accuracy < 0.3

@@ -1,0 +1,132 @@
+"""Tests for the gradient-free search baselines and the channel-wise
+polynomial activation ablation module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.channelwise import ChannelwiseX2Act, convert_to_channelwise
+from repro.core.random_search import EvolutionarySearch, RandomSearch
+from repro.core.surrogate import AccuracySurrogate
+from repro.core.sweep import select_architecture
+from repro.models.builder import build_model
+from repro.models.resnet import resnet18_cifar
+from repro.models.vgg import vgg_tiny
+from repro.nn.tensor import Tensor
+
+
+class TestRandomSearch:
+    def test_returns_best_of_history(self):
+        search = RandomSearch(vgg_tiny(), latency_lambda=1e-3, seed=0)
+        result = search.run(num_samples=20)
+        assert result.evaluations == 20
+        assert result.best.objective == min(c.objective for c in result.history)
+
+    def test_best_objective_curve_is_monotone(self):
+        result = RandomSearch(vgg_tiny(), latency_lambda=1e-3, seed=1).run(num_samples=15)
+        curve = result.best_objective_curve()
+        assert curve == sorted(curve, reverse=True) or all(
+            a >= b for a, b in zip(curve, curve[1:])
+        )
+
+    def test_more_samples_never_hurt(self):
+        few = RandomSearch(resnet18_cifar(), latency_lambda=1e-3, seed=3).run(num_samples=4)
+        many = RandomSearch(resnet18_cifar(), latency_lambda=1e-3, seed=3).run(num_samples=32)
+        assert many.best.objective <= few.best.objective
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            RandomSearch(vgg_tiny()).run(num_samples=0)
+
+    def test_decoded_specs_are_valid(self):
+        result = RandomSearch(vgg_tiny(), seed=5).run(num_samples=5)
+        for candidate in result.history:
+            assert len(candidate.spec.layers) == len(vgg_tiny().layers)
+
+
+class TestEvolutionarySearch:
+    def test_improves_over_generations(self):
+        search = EvolutionarySearch(resnet18_cifar(), latency_lambda=1e-3, seed=0, population=6)
+        result = search.run(generations=6)
+        curve = result.best_objective_curve()
+        assert curve[-1] <= curve[0]
+        assert result.evaluations == 1 + 6 * 6
+
+    def test_validation_of_hyperparameters(self):
+        with pytest.raises(ValueError):
+            EvolutionarySearch(vgg_tiny(), population=0)
+        with pytest.raises(ValueError):
+            EvolutionarySearch(vgg_tiny(), mutation_rate=0.0)
+
+    def test_analytic_equilibrium_is_at_least_as_good_as_random(self):
+        """The differentiable/analytic selection reaches an objective no
+        worse than a modest random-search budget — the sample-efficiency
+        argument for the paper's approach."""
+        backbone = resnet18_cifar()
+        lam = 1e-3
+        surrogate = AccuracySurrogate(jitter_std=0.0)
+        random_result = RandomSearch(backbone, latency_lambda=lam, surrogate=surrogate, seed=7).run(30)
+        from repro.core.sweep import evaluate_point
+        from repro.hardware.lut import build_latency_table
+
+        table = build_latency_table(backbone)
+        analytic = select_architecture(backbone, lam, table=table, surrogate=surrogate)
+        point = evaluate_point(lam, analytic, table, surrogate)
+        analytic_objective = -point.accuracy + lam * point.latency_ms
+        assert analytic_objective <= random_result.best.objective + 1e-9
+
+
+class TestChannelwiseX2Act:
+    def test_matches_layerwise_when_coefficients_equal(self, rng):
+        x = rng.normal(size=(2, 4, 5, 5))
+        from repro.core.x2act import X2Act
+
+        layerwise = X2Act(num_elements=100, w1_init=0.3, w2_init=0.9, b_init=0.1)
+        channelwise = ChannelwiseX2Act(4, num_elements=100, w1_init=0.3, w2_init=0.9, b_init=0.1)
+        np.testing.assert_allclose(
+            channelwise(Tensor(x)).data, layerwise(Tensor(x)).data, atol=1e-12
+        )
+
+    def test_per_channel_coefficients_apply_independently(self, rng):
+        act = ChannelwiseX2Act(2, num_elements=8, w1_init=0.0, w2_init=1.0, b_init=0.0)
+        act.b.data[...] = [0.0, 5.0]
+        x = np.zeros((1, 2, 2, 2))
+        out = act(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], 0.0)
+        np.testing.assert_allclose(out[0, 1], 5.0)
+
+    def test_channel_mismatch_rejected(self, rng):
+        act = ChannelwiseX2Act(3)
+        with pytest.raises(ValueError):
+            act(Tensor(rng.normal(size=(1, 4, 2, 2))))
+        with pytest.raises(ValueError):
+            ChannelwiseX2Act(0)
+
+    def test_gradients_reach_every_channel(self, rng):
+        act = ChannelwiseX2Act(3, num_elements=12)
+        out = act(Tensor(rng.normal(size=(2, 3, 2, 2)), requires_grad=True))
+        (out * out).sum().backward()
+        assert act.w1.grad.shape == (3,)
+        assert not np.allclose(act.w2.grad, 0.0)
+
+    def test_convert_built_model(self, rng):
+        spec = vgg_tiny(input_size=8).with_all_polynomial()
+        net = build_model(spec)
+        reference = net(Tensor(rng.normal(size=(1, 3, 8, 8)))).data
+        converted = convert_to_channelwise(net)
+        assert converted == 4
+        channelwise_modules = [m for m in net.modules() if isinstance(m, ChannelwiseX2Act)]
+        assert len(channelwise_modules) == converted
+        # Behaviour preserved at conversion time (coefficients copied over).
+        np.testing.assert_allclose(
+            net(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape, reference.shape
+        )
+
+    def test_channelwise_model_has_more_activation_parameters(self):
+        spec = vgg_tiny(input_size=8).with_all_polynomial()
+        layerwise_net = build_model(spec)
+        layerwise_params = layerwise_net.num_parameters()
+        channelwise_net = build_model(spec)
+        convert_to_channelwise(channelwise_net)
+        assert channelwise_net.num_parameters() > layerwise_params

@@ -1,0 +1,139 @@
+"""Tests for the differentiable hardware-aware search (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search import DifferentiablePolynomialSearch, SearchConfig
+from repro.core.supernet import Supernet
+from repro.data import DataLoader, synthetic_tiny, train_val_split
+from repro.models.specs import LayerKind
+from repro.models.vgg import vgg_tiny
+
+
+def make_search(latency_lambda: float, num_steps: int = 3, second_order: bool = True,
+                image_size: int = 8):
+    dataset = synthetic_tiny(num_samples=48, image_size=image_size, seed=0)
+    train, val = train_val_split(dataset, 0.5, seed=0)
+    train_loader = DataLoader(train, batch_size=8, seed=1)
+    val_loader = DataLoader(val, batch_size=8, seed=2)
+    supernet = Supernet(vgg_tiny(input_size=image_size))
+    config = SearchConfig(
+        latency_lambda=latency_lambda,
+        num_steps=num_steps,
+        second_order=second_order,
+        log_every=0,
+    )
+    return DifferentiablePolynomialSearch(supernet, train_loader, val_loader, config)
+
+
+class TestSearchMechanics:
+    def test_loss_includes_latency_penalty(self):
+        search = make_search(latency_lambda=1.0, num_steps=1)
+        images, labels = search.train_stream.next_batch()
+        penalized = float(search.loss(images, labels).data)
+        plain = float(search.data_loss(images, labels).data)
+        assert penalized > plain
+
+    def test_step_updates_alpha_and_weights(self):
+        search = make_search(latency_lambda=1e-3, num_steps=1)
+        alpha_before = [p.data.copy() for p in search.arch_params]
+        weights_before = [p.data.copy() for p in search.weight_params[:3]]
+        search.step(0)
+        assert any(
+            not np.allclose(before, after.data)
+            for before, after in zip(alpha_before, search.arch_params)
+        )
+        assert any(
+            not np.allclose(before, after.data)
+            for before, after in zip(weights_before, search.weight_params[:3])
+        )
+
+    def test_second_order_step_restores_weight_backup(self):
+        """After the α update the weights must equal their values before the
+        virtual steps (the search only changes them through the ω optimizer)."""
+        search = make_search(latency_lambda=1e-3, num_steps=1)
+        snapshot = [p.data.copy() for p in search.weight_params]
+        train_batch = search.train_stream.next_batch()
+        val_batch = search.val_stream.next_batch()
+        search._arch_gradient_second_order(train_batch, val_batch)
+        for before, param in zip(snapshot, search.weight_params):
+            np.testing.assert_allclose(before, param.data)
+
+    def test_first_and_second_order_gradients_are_close_in_direction(self):
+        search = make_search(latency_lambda=1e-3, num_steps=1)
+        train_batch = search.train_stream.next_batch()
+        val_batch = search.val_stream.next_batch()
+        second = search._arch_gradient_second_order(train_batch, val_batch)
+        first = search._arch_gradient_first_order(val_batch)
+        dot = sum(float((a * b).sum()) for a, b in zip(first, second))
+        assert dot > 0  # same general direction
+
+    def test_history_entries_recorded(self):
+        search = make_search(latency_lambda=1e-3, num_steps=3)
+        result = search.run()
+        assert len(result.history) == 3
+        assert all(np.isfinite(entry.train_loss) for entry in result.history)
+        assert result.derived_spec.name.endswith("-searched")
+
+    def test_rejects_supernet_without_gates(self, tiny_loaders):
+        backbone = vgg_tiny(input_size=8)
+        no_search = backbone.replace_kinds({})  # same spec
+        supernet = Supernet(no_search)
+        # remove all gate alphas by marking layers non-searchable
+        from dataclasses import replace as dc_replace
+
+        frozen_layers = tuple(
+            dc_replace(l, searchable=False) for l in backbone.layers
+        )
+        frozen = dc_replace(backbone, layers=frozen_layers)
+        frozen_supernet = Supernet(frozen)
+        train_loader, val_loader = tiny_loaders
+        with pytest.raises(ValueError):
+            DifferentiablePolynomialSearch(frozen_supernet, train_loader, val_loader, SearchConfig(num_steps=1))
+        assert supernet.gates()  # sanity: the original backbone has gates
+
+
+class TestSearchBehaviour:
+    def test_large_lambda_drives_all_polynomial(self):
+        """With a dominating latency penalty the search must select X^2act
+        everywhere (the all-poly endpoint of Fig. 5)."""
+        search = make_search(latency_lambda=10.0, num_steps=6, second_order=False)
+        result = search.run()
+        assert result.polynomial_fraction == 1.0
+        assert result.derived_spec.relu_count() == 0
+
+    def test_zero_lambda_keeps_more_relus_than_huge_lambda(self):
+        relu_search = make_search(latency_lambda=0.0, num_steps=6, second_order=False)
+        poly_search = make_search(latency_lambda=10.0, num_steps=6, second_order=False)
+        relu_result = relu_search.run()
+        poly_result = poly_search.run()
+        assert relu_result.polynomial_fraction <= poly_result.polynomial_fraction
+
+    def test_expected_latency_decreases_under_large_lambda(self):
+        search = make_search(latency_lambda=10.0, num_steps=6, second_order=False)
+        result = search.run()
+        latencies = [entry.expected_latency_ms for entry in result.history]
+        assert latencies[-1] < latencies[0]
+
+    def test_normalize_latency_option(self):
+        dataset = synthetic_tiny(num_samples=32, image_size=8, seed=0)
+        train, val = train_val_split(dataset, 0.5, seed=0)
+        loaders = (DataLoader(train, batch_size=8), DataLoader(val, batch_size=8))
+        supernet = Supernet(vgg_tiny(input_size=8))
+        config = SearchConfig(num_steps=1, normalize_latency=True, log_every=0)
+        search = DifferentiablePolynomialSearch(supernet, *loaders, config)
+        assert search._latency_scale < 1.0
+
+    def test_derived_assignment_only_touches_searchable_layers(self):
+        search = make_search(latency_lambda=1e-2, num_steps=2, second_order=False)
+        result = search.run()
+        backbone = search.supernet.backbone
+        searchable = {l.name for l in backbone.searchable_layers()}
+        changed = {
+            l.name
+            for l, orig in zip(result.derived_spec.layers, backbone.layers)
+            if l.kind != orig.kind
+        }
+        assert changed <= searchable

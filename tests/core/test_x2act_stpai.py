@@ -1,0 +1,137 @@
+"""Tests for the X^2act activation (Eq. 4) and STPAI initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stpai import STPAIConfig, iter_x2act, naive_initialize, stpai_initialize
+from repro.core.x2act import X2Act
+from repro.models.builder import build_model
+from repro.models.vgg import vgg_tiny
+from repro.nn import Sequential, Linear
+from repro.nn.tensor import Tensor
+
+
+class TestX2Act:
+    def test_forward_matches_eq4(self, rng):
+        act = X2Act(num_elements=64, scale_constant=2.0, w1_init=0.5, w2_init=0.8, b_init=0.1)
+        x = rng.normal(size=(3, 64))
+        out = act(Tensor(x)).data
+        expected = 2.0 / np.sqrt(64) * 0.5 * x**2 + 0.8 * x + 0.1
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_default_initialization_is_near_identity(self, rng):
+        act = X2Act(num_elements=100)
+        x = rng.normal(size=(4, 100))
+        np.testing.assert_allclose(act(Tensor(x)).data, x, atol=1e-9)
+
+    def test_num_elements_inferred_from_first_forward(self, rng):
+        act = X2Act()
+        act(Tensor(rng.normal(size=(2, 4, 5, 5))))
+        assert act.num_elements == 4 * 5 * 5
+
+    def test_gradient_scale_balances_w1(self, rng):
+        """The c/sqrt(Nx) factor shrinks the effective quadratic coefficient
+        (and hence the w1 gradient) as the feature map grows."""
+        small = X2Act(num_elements=16, w1_init=1.0)
+        large = X2Act(num_elements=1600, w1_init=1.0)
+        assert small.effective_polynomial()[0] > large.effective_polynomial()[0]
+
+    def test_coefficients_are_trainable(self, rng):
+        act = X2Act(num_elements=8)
+        x = Tensor(rng.normal(size=(4, 8)))
+        (act(x) ** 2).sum().backward()
+        assert act.w1.grad is not None
+        assert act.w2.grad is not None
+        assert act.b.grad is not None
+
+    def test_coefficients_export(self):
+        act = X2Act(num_elements=32, scale_constant=1.5)
+        coeffs = act.coefficients()
+        assert coeffs["num_elements"] == 32
+        assert coeffs["c"] == 1.5
+        assert set(coeffs) == {"w1", "w2", "b", "c", "num_elements"}
+
+    def test_trains_to_fit_relu_like_target(self, rng):
+        """A single X^2act layer can be finetuned (its parameters move)."""
+        from repro.nn.optim import SGD
+
+        act = X2Act(num_elements=32)
+        head = Sequential(Linear(32, 1))
+        params = act.parameters() + head.parameters()
+        optimizer = SGD(params, lr=0.005)
+        x = rng.normal(size=(64, 32))
+        target = np.maximum(x, 0).mean(axis=1, keepdims=True)
+        initial_w1 = float(act.w1.data)
+        losses = []
+        for _ in range(30):
+            optimizer.zero_grad()
+            pred = head(act(Tensor(x)))
+            loss = ((pred - Tensor(target)) ** 2).mean()
+            losses.append(float(loss.data))
+            loss.backward()
+            optimizer.step()
+        assert float(act.w1.data) != initial_w1
+        assert losses[-1] < losses[0]
+
+
+class TestSTPAI:
+    def test_initializes_every_x2act(self):
+        net = build_model(vgg_tiny().with_all_polynomial())
+        count = stpai_initialize(net, seed=0)
+        assert count == len(list(iter_x2act(net)))
+        for act in iter_x2act(net):
+            assert abs(float(act.w1.data)) <= 1e-3
+            assert float(act.w2.data) == pytest.approx(1.0, abs=1e-3)
+            assert abs(float(act.b.data)) <= 1e-3
+
+    def test_straight_through_property(self, rng):
+        """After STPAI the polynomial network behaves like a nearly-linear
+        pass-through of its pre-activation values."""
+        act = X2Act(num_elements=64)
+        stpai_initialize_single = STPAIConfig(epsilon=1e-4)
+        rng_local = np.random.default_rng(0)
+        act.w1.data[...] = rng_local.uniform(-1e-4, 1e-4)
+        act.w2.data[...] = 1.0
+        act.b.data[...] = 0.0
+        x = rng.normal(size=(2, 64))
+        np.testing.assert_allclose(act(Tensor(x)).data, x, atol=1e-3)
+        assert stpai_initialize_single.epsilon == 1e-4
+
+    def test_naive_initialization_is_far_from_identity(self):
+        net = build_model(vgg_tiny().with_all_polynomial())
+        naive_initialize(net, std=0.5, seed=0)
+        deviations = [abs(float(act.w2.data) - 1.0) for act in iter_x2act(net)]
+        assert max(deviations) > 0.1
+
+    def test_stpai_on_module_without_x2act_is_noop(self):
+        net = Sequential(Linear(4, 4))
+        assert stpai_initialize(net) == 0
+
+    def test_stpai_preserves_pretrained_relu_behaviour(self, rng):
+        """Replacing ReLU by an STPAI-initialized X^2act changes the network
+        output far less than a naive polynomial initialization does."""
+        spec = vgg_tiny(input_size=8)
+        relu_net = build_model(spec)
+        relu_net.eval()
+        x = Tensor(rng.normal(size=(4, 3, 8, 8)))
+        reference = relu_net(x).data
+
+        poly_spec = spec.with_all_polynomial()
+
+        def output_with(init_fn) -> np.ndarray:
+            poly_net = build_model(poly_spec)
+            shared_keys = set(poly_net.state_dict())
+            poly_net.load_state_dict(
+                {k: v for k, v in relu_net.state_dict().items() if k in shared_keys}
+            )
+            init_fn(poly_net)
+            poly_net.eval()
+            return poly_net(x).data
+
+        stpai_out = output_with(lambda net: stpai_initialize(net, seed=0))
+        naive_out = output_with(lambda net: naive_initialize(net, std=0.5, seed=0))
+        stpai_gap = np.abs(stpai_out - reference).mean()
+        naive_gap = np.abs(naive_out - reference).mean()
+        assert stpai_gap < naive_gap

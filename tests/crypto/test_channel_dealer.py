@@ -1,0 +1,114 @@
+"""Tests for the communication channel, its accounting, and the trusted dealer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.channel import Channel, CommunicationLog, Message
+from repro.crypto.dealer import TrustedDealer
+from repro.crypto.ring import DEFAULT_RING, PAPER_RING
+from repro.crypto.sharing import reconstruct_ring
+
+
+class TestChannel:
+    def test_byte_accounting_for_ring_elements(self):
+        channel = Channel(element_bytes=4)
+        channel.send(0, 1, np.zeros(10, dtype=np.uint64))
+        assert channel.total_bytes == 40
+
+    def test_byte_accounting_for_bit_payloads(self):
+        channel = Channel(element_bytes=4)
+        channel.send(0, 1, np.zeros(10, dtype=np.uint8))
+        assert channel.total_bytes == 10
+
+    def test_round_counting(self):
+        channel = Channel()
+        channel.send(0, 1, np.zeros(1, dtype=np.uint8), tag="a")
+        channel.send(0, 1, np.zeros(1, dtype=np.uint8), tag="b")
+        channel.send(1, 0, np.zeros(1, dtype=np.uint8), tag="c")
+        channel.send(0, 1, np.zeros(1, dtype=np.uint8), tag="d")
+        assert channel.rounds == 3
+
+    def test_exchange_counts_both_directions(self):
+        channel = Channel(element_bytes=8)
+        channel.exchange(np.zeros(3, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+        assert channel.total_bytes == 48
+
+    def test_rejects_self_send(self):
+        with pytest.raises(ValueError):
+            Channel().send(0, 0, np.zeros(1))
+
+    def test_reset_clears_log(self):
+        channel = Channel()
+        channel.send(0, 1, np.zeros(5, dtype=np.uint64))
+        channel.reset()
+        assert channel.total_bytes == 0 and channel.rounds == 0
+
+    def test_bytes_by_tag(self):
+        log = CommunicationLog(
+            messages=[Message(0, 1, 10, "a"), Message(1, 0, 5, "a"), Message(0, 1, 7, "b")]
+        )
+        assert log.bytes_by_tag() == {"a": 15, "b": 7}
+
+    def test_payload_returned_unchanged(self):
+        channel = Channel()
+        payload = np.arange(4, dtype=np.uint64)
+        received = channel.send(0, 1, payload)
+        np.testing.assert_array_equal(received, payload)
+
+
+class TestTrustedDealer:
+    def test_elementwise_triple_is_consistent(self):
+        dealer = TrustedDealer(DEFAULT_RING, seed=0)
+        triple = dealer.elementwise_triple((4, 4))
+        a = reconstruct_ring(triple.a)
+        b = reconstruct_ring(triple.b)
+        z = reconstruct_ring(triple.z)
+        np.testing.assert_array_equal(z, DEFAULT_RING.mul(a, b))
+
+    def test_matmul_triple_is_consistent(self):
+        dealer = TrustedDealer(DEFAULT_RING, seed=1)
+        triple = dealer.triple((2, 3), (3, 4), DEFAULT_RING.matmul)
+        np.testing.assert_array_equal(
+            reconstruct_ring(triple.z),
+            DEFAULT_RING.matmul(reconstruct_ring(triple.a), reconstruct_ring(triple.b)),
+        )
+
+    def test_square_pair_is_consistent(self):
+        dealer = TrustedDealer(PAPER_RING, seed=2)
+        pair = dealer.square_pair((8,))
+        a = reconstruct_ring(pair.a)
+        np.testing.assert_array_equal(reconstruct_ring(pair.z), PAPER_RING.mul(a, a))
+
+    def test_bit_triple_satisfies_and_relation(self):
+        dealer = TrustedDealer(seed=3)
+        triple = dealer.bit_triple((100,))
+        a = triple.a0 ^ triple.a1
+        b = triple.b0 ^ triple.b1
+        c = triple.c0 ^ triple.c1
+        np.testing.assert_array_equal(c, a & b)
+        assert set(np.unique(a)) <= {0, 1}
+
+    def test_random_shared_bit_reconstructs_to_bits(self):
+        dealer = TrustedDealer(seed=4)
+        b0, b1 = dealer.random_shared_bit((50,))
+        assert set(np.unique(b0 ^ b1)) <= {0, 1}
+
+    def test_random_shared_ring_uniformity(self):
+        dealer = TrustedDealer(PAPER_RING, seed=5)
+        pair = dealer.random_shared_ring((2000,))
+        values = reconstruct_ring(pair)
+        assert values.max() > 0.9 * PAPER_RING.modulus
+
+    def test_triple_counter_increments(self):
+        dealer = TrustedDealer(seed=6)
+        dealer.elementwise_triple((3, 3))
+        dealer.bit_triple((5,))
+        assert dealer.triples_generated == 9
+        assert dealer.bit_triples_generated == 5
+
+    def test_dealer_is_deterministic_given_seed(self):
+        first = TrustedDealer(seed=9).elementwise_triple((2, 2))
+        second = TrustedDealer(seed=9).elementwise_triple((2, 2))
+        np.testing.assert_array_equal(first.a.share0, second.a.share0)

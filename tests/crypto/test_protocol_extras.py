@@ -1,0 +1,113 @@
+"""Tests for the auxiliary protocols: secure argmax/max, stand-alone
+batch norm, and the protocol statistics collector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import collect_statistics, make_context, reconstruct, share
+from repro.crypto.protocols.argmax import secure_argmax, secure_max
+from repro.crypto.protocols.activation import secure_relu
+from repro.crypto.protocols.normalization import (
+    secure_batchnorm_public,
+    secure_batchnorm_shared,
+)
+
+
+class TestSecureMaxArgmax:
+    def test_secure_max_matches_plaintext(self, ctx, rng):
+        x = rng.uniform(-5, 5, size=(4, 6))
+        result = reconstruct(secure_max(ctx, share(x, ctx.ring, rng)))
+        np.testing.assert_allclose(result, x.max(axis=1), atol=1e-3)
+
+    def test_secure_argmax_indices(self, ctx, rng):
+        x = rng.uniform(-5, 5, size=(5, 7))
+        indices, max_shares = secure_argmax(ctx, share(x, ctx.ring, rng))
+        np.testing.assert_array_equal(indices, x.argmax(axis=1))
+        np.testing.assert_allclose(reconstruct(max_shares), x.max(axis=1), atol=1e-3)
+
+    def test_secure_argmax_with_winner_in_first_column(self, ctx, rng):
+        x = rng.uniform(-1, 1, size=(3, 4))
+        x[:, 0] = 10.0
+        indices, _ = secure_argmax(ctx, share(x, ctx.ring, rng))
+        np.testing.assert_array_equal(indices, np.zeros(3, dtype=np.int64))
+
+    def test_argmax_cost_scales_with_classes(self, rng):
+        x_small = rng.uniform(-1, 1, size=(1, 3))
+        x_large = rng.uniform(-1, 1, size=(1, 9))
+        ctx_small, ctx_large = make_context(seed=1), make_context(seed=2)
+        secure_argmax(ctx_small, share(x_small, ctx_small.ring, rng))
+        secure_argmax(ctx_large, share(x_large, ctx_large.ring, rng))
+        assert ctx_large.communication_bytes > 2 * ctx_small.communication_bytes
+
+
+class TestSecureBatchNorm:
+    def test_public_affine_matches_plaintext(self, ctx, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        scale = rng.uniform(0.5, 1.5, size=3)
+        shift = rng.normal(size=3)
+        out = reconstruct(secure_batchnorm_public(ctx, share(x, ctx.ring, rng), scale, shift))
+        expected = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(out, expected, atol=2e-3)
+
+    def test_public_affine_on_2d_features(self, ctx, rng):
+        x = rng.normal(size=(4, 6))
+        scale = rng.uniform(0.5, 1.5, size=6)
+        shift = rng.normal(size=6)
+        out = reconstruct(secure_batchnorm_public(ctx, share(x, ctx.ring, rng), scale, shift))
+        np.testing.assert_allclose(out, x * scale + shift, atol=2e-3)
+
+    def test_public_affine_needs_no_communication(self, ctx, rng):
+        x = share(rng.normal(size=(1, 2, 3, 3)), ctx.ring, rng)
+        ctx.reset_communication()
+        secure_batchnorm_public(ctx, x, np.ones(2), np.zeros(2))
+        assert ctx.communication_bytes == 0
+
+    def test_shared_affine_matches_plaintext(self, ctx, rng):
+        x = rng.normal(size=(2, 8))
+        scale = rng.uniform(0.5, 1.5, size=(2, 8))
+        shift = rng.normal(size=(2, 8))
+        out = reconstruct(
+            secure_batchnorm_shared(
+                ctx,
+                share(x, ctx.ring, rng),
+                share(scale, ctx.ring, rng),
+                share(shift, ctx.ring, rng),
+            )
+        )
+        np.testing.assert_allclose(out, x * scale + shift, atol=5e-3)
+
+    def test_shared_affine_shape_validation(self, ctx, rng):
+        x = share(rng.normal(size=(2, 8)), ctx.ring, rng)
+        bad = share(rng.normal(size=(8,)), ctx.ring, rng)
+        with pytest.raises(ValueError):
+            secure_batchnorm_shared(ctx, x, bad, bad)
+
+
+class TestProtocolStatistics:
+    def test_counts_online_and_offline_cost(self, rng):
+        ctx = make_context(seed=3)
+        x = share(rng.uniform(-1, 1, size=(2, 3, 4, 4)), ctx.ring, rng)
+        secure_relu(ctx, x)
+        stats = collect_statistics(ctx)
+        assert stats.online_bytes == ctx.communication_bytes > 0
+        assert stats.online_rounds > 1
+        assert stats.arithmetic_triples > 0
+        assert stats.bit_triples > 0
+        assert stats.online_megabytes == pytest.approx(stats.online_bytes / 1e6)
+
+    def test_tag_breakdown_sums_to_total(self, rng):
+        ctx = make_context(seed=4)
+        x = share(rng.uniform(-1, 1, size=(8,)), ctx.ring, rng)
+        secure_relu(ctx, x, tag="relu")
+        stats = collect_statistics(ctx)
+        assert sum(stats.bytes_by_tag.values()) == stats.online_bytes
+        assert stats.dominated_by("relu") == pytest.approx(1.0)
+        assert stats.dominated_by("nonexistent") == 0.0
+
+    def test_empty_context(self):
+        ctx = make_context(seed=5)
+        stats = collect_statistics(ctx)
+        assert stats.online_bytes == 0
+        assert stats.dominated_by("anything") == 0.0

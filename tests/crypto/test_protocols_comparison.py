@@ -1,0 +1,130 @@
+"""Tests for the comparison protocols (millionaire, DReLU, B2A, select)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import make_context, reconstruct, share
+from repro.crypto.protocols.comparison import (
+    bit_to_arithmetic,
+    drelu,
+    millionaire_gt,
+    secure_and,
+    secure_not,
+    secure_xor,
+    select,
+)
+
+
+def xor_open(bit) -> np.ndarray:
+    return (bit[0] ^ bit[1]).astype(bool)
+
+
+class TestBitGates:
+    def test_secure_and_truth_table(self, ctx):
+        combos = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        x = (combos[:, 0], np.zeros(4, dtype=np.uint8))
+        y = (np.zeros(4, dtype=np.uint8), combos[:, 1])
+        result = xor_open(secure_and(ctx, x, y))
+        np.testing.assert_array_equal(result, [False, False, False, True])
+
+    def test_secure_and_on_random_shared_bits(self, ctx, rng):
+        a = rng.integers(0, 2, 64, dtype=np.uint8)
+        b = rng.integers(0, 2, 64, dtype=np.uint8)
+        mask_a = rng.integers(0, 2, 64, dtype=np.uint8)
+        mask_b = rng.integers(0, 2, 64, dtype=np.uint8)
+        out = secure_and(ctx, (mask_a, a ^ mask_a), (mask_b, b ^ mask_b))
+        np.testing.assert_array_equal(xor_open(out), (a & b).astype(bool))
+
+    def test_secure_xor_and_not(self, ctx, rng):
+        a = rng.integers(0, 2, 32, dtype=np.uint8)
+        b = rng.integers(0, 2, 32, dtype=np.uint8)
+        x = (a, np.zeros_like(a))
+        y = (np.zeros_like(b), b)
+        np.testing.assert_array_equal(xor_open(secure_xor(x, y)), (a ^ b).astype(bool))
+        np.testing.assert_array_equal(xor_open(secure_not(x)), (1 - a).astype(bool))
+
+    def test_and_consumes_communication(self, ctx, rng):
+        ctx.reset_communication()
+        bits = rng.integers(0, 2, 16, dtype=np.uint8)
+        secure_and(ctx, (bits, bits), (bits, bits))
+        assert ctx.communication_bytes > 0
+
+
+class TestMillionaire:
+    def test_known_comparisons(self, ctx):
+        a = np.array([5, 10, 100, 7], dtype=np.uint64)
+        b = np.array([9, 10, 50, 3], dtype=np.uint64)
+        result = xor_open(millionaire_gt(ctx, a, b, bit_width=8))
+        np.testing.assert_array_equal(result, [False, False, True, True])
+
+    def test_random_comparisons_64bit(self, ctx, rng):
+        a = rng.integers(0, 2**62, 40).astype(np.uint64)
+        b = rng.integers(0, 2**62, 40).astype(np.uint64)
+        result = xor_open(millionaire_gt(ctx, a, b, bit_width=64))
+        np.testing.assert_array_equal(result, a > b)
+
+    def test_equal_values_are_not_greater(self, ctx):
+        a = np.array([42, 0, 2**31], dtype=np.uint64)
+        result = xor_open(millionaire_gt(ctx, a, a.copy(), bit_width=64))
+        assert not result.any()
+
+    def test_rejects_shape_mismatch(self, ctx):
+        with pytest.raises(ValueError):
+            millionaire_gt(ctx, np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64), 32)
+
+    def test_rejects_indivisible_digit_width(self, ctx):
+        with pytest.raises(ValueError):
+            millionaire_gt(
+                ctx, np.zeros(2, dtype=np.uint64), np.zeros(2, dtype=np.uint64), 31, digit_bits=2
+            )
+
+
+class TestDReLUAndSelect:
+    def test_drelu_sign_pattern(self, ctx, rng):
+        x = rng.uniform(-10, 10, size=(4, 5))
+        bits = xor_open(drelu(ctx, share(x, ctx.ring, rng)))
+        np.testing.assert_array_equal(bits, x > 0)
+
+    def test_drelu_on_small_magnitudes(self, ctx, rng):
+        x = np.array([-0.01, 0.01, -1e-3, 5e-4])
+        bits = xor_open(drelu(ctx, share(x, ctx.ring, rng)))
+        np.testing.assert_array_equal(bits, x > 0)
+
+    def test_bit_to_arithmetic_round_trip(self, ctx, rng):
+        bits = rng.integers(0, 2, 32, dtype=np.uint8)
+        mask = rng.integers(0, 2, 32, dtype=np.uint8)
+        arith = bit_to_arithmetic(ctx, (mask, bits ^ mask))
+        recovered = ctx.ring.add(arith.share0, arith.share1)
+        np.testing.assert_array_equal(recovered.astype(np.uint8), bits)
+
+    def test_select_multiplexes(self, ctx, rng):
+        x = rng.uniform(-5, 5, size=(20,))
+        bits = rng.integers(0, 2, 20, dtype=np.uint8)
+        mask = rng.integers(0, 2, 20, dtype=np.uint8)
+        out = select(ctx, share(x, ctx.ring, rng), (mask, bits ^ mask))
+        np.testing.assert_allclose(reconstruct(out), x * bits, atol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_millionaire_matches_plain_comparison(seed):
+    rng = np.random.default_rng(seed)
+    ctx = make_context(seed=seed)
+    a = rng.integers(0, 2**20, 10).astype(np.uint64)
+    b = rng.integers(0, 2**20, 10).astype(np.uint64)
+    result = millionaire_gt(ctx, a, b, bit_width=32)
+    np.testing.assert_array_equal((result[0] ^ result[1]).astype(bool), a > b)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_drelu_matches_sign(seed):
+    rng = np.random.default_rng(seed)
+    ctx = make_context(seed=seed)
+    x = rng.uniform(-100, 100, size=(8,))
+    bits = drelu(ctx, share(x, ctx.ring, rng))
+    np.testing.assert_array_equal((bits[0] ^ bits[1]).astype(bool), x > 0)

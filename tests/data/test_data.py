@@ -1,0 +1,179 @@
+"""Tests for the synthetic datasets, loaders, splits and transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader,
+    InfiniteLoader,
+    SubsetDataset,
+    compose,
+    normalize,
+    random_crop,
+    random_horizontal_flip,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_tiny,
+    train_val_split,
+)
+
+
+class TestSyntheticDataset:
+    def test_shapes_match_cifar10(self):
+        dataset = synthetic_cifar10(num_samples=8)
+        image, label = dataset[0]
+        assert image.shape == (3, 32, 32)
+        assert 0 <= label < 10
+        assert dataset.image_shape == (3, 32, 32)
+
+    def test_shapes_match_imagenet(self):
+        dataset = synthetic_imagenet(num_samples=2)
+        image, label = dataset[0]
+        assert image.shape == (3, 224, 224)
+        assert 0 <= label < 1000
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_tiny(num_samples=4, seed=5)
+        b = synthetic_tiny(num_samples=4, seed=5)
+        np.testing.assert_array_equal(a[2][0], b[2][0])
+        assert a[2][1] == b[2][1]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_tiny(num_samples=4, seed=1)
+        b = synthetic_tiny(num_samples=4, seed=2)
+        assert not np.allclose(a[0][0], b[0][0])
+
+    def test_samples_of_same_class_are_correlated(self):
+        dataset = synthetic_tiny(num_samples=200, seed=0, noise_std=0.2)
+        images, labels = dataset.as_arrays()
+        same, different = [], []
+        flat = images.reshape(len(images), -1)
+        flat = flat - flat.mean(axis=1, keepdims=True)
+        flat /= np.linalg.norm(flat, axis=1, keepdims=True)
+        for i in range(0, 60, 2):
+            for j in range(i + 1, 60, 7):
+                corr = float(flat[i] @ flat[j])
+                (same if labels[i] == labels[j] else different).append(corr)
+        assert np.mean(same) > np.mean(different) + 0.1
+
+    def test_index_bounds(self):
+        dataset = synthetic_tiny(num_samples=4)
+        with pytest.raises(IndexError):
+            dataset[4]
+        with pytest.raises(ValueError):
+            synthetic_tiny(num_samples=0)
+
+    def test_iteration_and_len(self):
+        dataset = synthetic_tiny(num_samples=6)
+        assert len(dataset) == 6
+        assert len(list(dataset)) == 6
+
+    def test_custom_class_count(self):
+        dataset = synthetic_tiny(num_samples=16, num_classes=4)
+        _, labels = dataset.as_arrays()
+        assert labels.max() < 4
+
+
+class TestLoaderAndSplit:
+    def test_loader_batches_cover_dataset(self):
+        dataset = synthetic_tiny(num_samples=20)
+        loader = DataLoader(dataset, batch_size=6, shuffle=False)
+        batches = list(loader)
+        assert len(loader) == 4
+        assert sum(len(labels) for _, labels in batches) == 20
+        assert batches[0][0].shape == (6, 3, 16, 16)
+
+    def test_drop_last(self):
+        dataset = synthetic_tiny(num_samples=20)
+        loader = DataLoader(dataset, batch_size=6, drop_last=True)
+        assert len(loader) == 3
+        assert all(len(labels) == 6 for _, labels in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        dataset = synthetic_tiny(num_samples=16)
+        ordered = DataLoader(dataset, batch_size=16, shuffle=False)
+        shuffled = DataLoader(dataset, batch_size=16, shuffle=True, seed=3)
+        _, labels_ordered = next(iter(ordered))
+        _, labels_shuffled = next(iter(shuffled))
+        assert sorted(labels_ordered) == sorted(labels_shuffled)
+        assert not np.array_equal(labels_ordered, labels_shuffled)
+
+    def test_sample_batch_shape(self):
+        loader = DataLoader(synthetic_tiny(num_samples=10), batch_size=4)
+        images, labels = loader.sample_batch()
+        assert images.shape[0] == 4 and labels.shape == (4,)
+
+    def test_infinite_loader_wraps_around(self):
+        loader = DataLoader(synthetic_tiny(num_samples=8), batch_size=8)
+        infinite = InfiniteLoader(loader)
+        for _ in range(5):
+            images, labels = infinite.next_batch()
+            assert len(labels) == 8
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(synthetic_tiny(num_samples=4), batch_size=0)
+
+    def test_train_val_split_is_disjoint_and_complete(self):
+        dataset = synthetic_tiny(num_samples=30)
+        train, val = train_val_split(dataset, val_fraction=0.5, seed=0)
+        assert isinstance(train, SubsetDataset)
+        assert len(train) + len(val) == 30
+        assert not (set(train.indices.tolist()) & set(val.indices.tolist()))
+
+    def test_split_fraction_validation(self):
+        dataset = synthetic_tiny(num_samples=10)
+        with pytest.raises(ValueError):
+            train_val_split(dataset, val_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_val_split(dataset, val_fraction=1.5)
+
+    def test_subset_as_arrays(self):
+        dataset = synthetic_tiny(num_samples=10)
+        train, _ = train_val_split(dataset, 0.5)
+        images, labels = train.as_arrays()
+        assert images.shape[0] == len(train) == labels.shape[0]
+
+
+class TestTransforms:
+    def test_normalize(self):
+        transform = normalize(mean=2.0, std=4.0)
+        batch = np.full((2, 3, 4, 4), 10.0)
+        out = transform(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(out, 2.0)
+        with pytest.raises(ValueError):
+            normalize(std=0.0)
+
+    def test_horizontal_flip_probability_one(self, rng):
+        batch = rng.normal(size=(3, 3, 4, 4))
+        out = random_horizontal_flip(probability=1.0)(batch, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_horizontal_flip_probability_zero(self, rng):
+        batch = rng.normal(size=(3, 3, 4, 4))
+        out = random_horizontal_flip(probability=0.0)(batch, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, batch)
+
+    def test_random_crop_preserves_shape(self, rng):
+        batch = rng.normal(size=(4, 3, 8, 8))
+        out = random_crop(padding=2)(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+
+    def test_compose_applies_in_order(self, rng):
+        batch = rng.normal(size=(2, 3, 4, 4))
+        pipeline = compose([normalize(mean=1.0), normalize(std=2.0)])
+        out = pipeline(batch, np.random.default_rng(0))
+        np.testing.assert_allclose(out, (batch - 1.0) / 2.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_samples=st.integers(2, 40), seed=st.integers(0, 100))
+def test_property_split_partition(num_samples, seed):
+    dataset = synthetic_tiny(num_samples=num_samples, image_size=8, seed=seed)
+    train, val = train_val_split(dataset, val_fraction=0.5, seed=seed)
+    combined = sorted(train.indices.tolist() + val.indices.tolist())
+    assert combined == list(range(num_samples))

@@ -1,0 +1,54 @@
+"""Tests for the hardware/network design-space exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.dse import explore_device_parallelism, explore_network_bandwidth
+from repro.models.vgg import vgg16_cifar
+
+
+class TestBandwidthSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return explore_network_bandwidth(vgg16_cifar(), bandwidths_gbps=(0.1, 1.0, 10.0))
+
+    def test_one_point_per_bandwidth(self, points):
+        assert [p.bandwidth_gbps for p in points] == [0.1, 1.0, 10.0]
+
+    def test_all_relu_latency_decreases_with_bandwidth(self, points):
+        latencies = [p.all_relu_ms for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_poly_speedup_stays_large_across_bandwidths(self, points):
+        assert all(p.poly_speedup > 5 for p in points)
+
+    def test_searched_latency_between_extremes(self, points):
+        for p in points:
+            assert p.all_poly_ms <= p.searched_ms <= p.all_relu_ms
+
+    def test_slower_network_pushes_towards_more_polynomial(self, points):
+        """On a slower link the comparison protocol is relatively more
+        expensive, so the searched architecture is at least as polynomial."""
+        slow, _, fast = points
+        assert slow.searched_poly_fraction >= fast.searched_poly_fraction
+
+
+class TestParallelismSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return explore_device_parallelism(vgg16_cifar(), comparison_lanes=(10, 40, 160))
+
+    def test_relu_latency_decreases_with_more_lanes(self, points):
+        latencies = [p.all_relu_ms for p in points]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_labels_and_lanes_recorded(self, points):
+        assert [p.comparison_parallelism for p in points] == [10, 40, 160]
+        assert all("comparison engine" in p.label for p in points)
+
+    def test_poly_latency_unaffected_by_comparison_lanes(self, points):
+        """The all-polynomial model contains no comparison flows, so its
+        latency must not change when only the comparison engine scales."""
+        values = {round(p.all_poly_ms, 9) for p in points}
+        assert len(values) == 1

@@ -1,0 +1,146 @@
+"""Tests for the latency LUT, the scheduler, and the comm/energy models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.comm import communication_report
+from repro.hardware.energy import EnergyModel
+from repro.hardware.latency import DEFAULT_LATENCY_MODEL
+from repro.hardware.lut import build_latency_table, candidate_kinds, layer_cost
+from repro.hardware.scheduler import CryptoScheduler
+from repro.models.specs import LayerKind, LayerSpec
+from repro.models.vgg import vgg_tiny
+from repro.models.resnet import resnet18_cifar
+
+
+class TestLatencyTable:
+    def test_contains_every_layer(self):
+        spec = vgg_tiny()
+        table = build_latency_table(spec)
+        assert set(table.layer_names()) == {layer.name for layer in spec.layers}
+
+    def test_activation_entries_have_both_candidates(self):
+        spec = vgg_tiny()
+        table = build_latency_table(spec)
+        act = spec.layers_of_kind(LayerKind.RELU)[0]
+        assert table.seconds(act.name, LayerKind.RELU) > table.seconds(act.name, LayerKind.X2ACT)
+
+    def test_pooling_entries_have_both_candidates(self):
+        spec = vgg_tiny()
+        table = build_latency_table(spec)
+        pool = spec.layers_of_kind(LayerKind.MAXPOOL)[0]
+        assert table.seconds(pool.name, LayerKind.MAXPOOL) > table.seconds(pool.name, LayerKind.AVGPOOL)
+
+    def test_total_seconds_matches_manual_sum(self):
+        spec = vgg_tiny()
+        table = build_latency_table(spec)
+        manual = sum(layer_cost(DEFAULT_LATENCY_MODEL, layer).total_s for layer in spec.layers)
+        assert table.total_seconds(spec) == pytest.approx(manual)
+
+    def test_total_cost_aggregates_communication(self):
+        spec = vgg_tiny()
+        table = build_latency_table(spec)
+        assert table.total_cost(spec).communication_bytes > 0
+
+    def test_missing_entry_raises(self):
+        table = build_latency_table(vgg_tiny())
+        with pytest.raises(KeyError):
+            table.cost("not-a-layer", LayerKind.RELU)
+
+    def test_candidate_kinds(self):
+        act = LayerSpec("a", LayerKind.RELU, in_channels=4, input_size=8)
+        pool = LayerSpec("p", LayerKind.MAXPOOL, in_channels=4, input_size=8, kernel=2, stride=2)
+        conv = LayerSpec("c", LayerKind.CONV, in_channels=4, out_channels=4, kernel=3, input_size=8)
+        assert candidate_kinds(act) == (LayerKind.RELU, LayerKind.X2ACT)
+        assert candidate_kinds(pool) == (LayerKind.MAXPOOL, LayerKind.AVGPOOL)
+        assert candidate_kinds(conv) == (LayerKind.CONV,)
+
+
+class TestScheduler:
+    def test_sequential_makespan_equals_lut_total(self):
+        spec = resnet18_cifar()
+        scheduler = CryptoScheduler()
+        table = build_latency_table(spec)
+        assert scheduler.latency_seconds(spec) == pytest.approx(table.total_seconds(spec))
+
+    def test_overlapped_schedule_is_not_slower(self):
+        spec = resnet18_cifar()
+        scheduler = CryptoScheduler()
+        sequential = scheduler.schedule(spec, mode="sequential").makespan_s
+        overlapped = scheduler.schedule(spec, mode="overlapped").makespan_s
+        assert overlapped <= sequential + 1e-9
+
+    def test_schedule_layers_are_ordered(self):
+        schedule = CryptoScheduler().schedule(vgg_tiny())
+        starts = [layer.start_s for layer in schedule.layers]
+        assert starts == sorted(starts)
+
+    def test_bottleneck_layers_are_relus(self):
+        schedule = CryptoScheduler().schedule(resnet18_cifar())
+        top = schedule.bottleneck(top=5)
+        assert all(layer.kind == "relu" for layer in top)
+
+    def test_all_poly_is_much_faster(self):
+        spec = resnet18_cifar()
+        scheduler = CryptoScheduler()
+        relu_latency = scheduler.latency_seconds(spec)
+        poly_latency = scheduler.latency_seconds(spec.with_all_polynomial())
+        assert relu_latency / poly_latency > 10
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoScheduler().schedule(vgg_tiny(), mode="magic")
+
+    def test_per_layer_costs_keys(self):
+        spec = vgg_tiny()
+        costs = CryptoScheduler().per_layer_costs(spec)
+        assert set(costs) == {layer.name for layer in spec.layers}
+
+
+class TestCommunicationAndEnergy:
+    def test_communication_report_totals(self):
+        spec = vgg_tiny()
+        report = communication_report(spec)
+        assert report.total_bytes == pytest.approx(sum(report.per_layer_bytes.values()))
+        assert report.total_megabytes == pytest.approx(report.total_bytes / 1e6)
+
+    def test_relu_dominates_communication(self):
+        spec = resnet18_cifar()
+        report = communication_report(spec)
+        relu_bytes = sum(
+            report.per_layer_bytes[l.name]
+            for l in spec.layers
+            if l.kind == LayerKind.RELU
+        )
+        assert relu_bytes / report.total_bytes > 0.5
+
+    def test_all_poly_reduces_communication(self):
+        spec = resnet18_cifar()
+        assert (
+            communication_report(spec.with_all_polynomial()).total_bytes
+            < 0.5 * communication_report(spec).total_bytes
+        )
+
+    def test_energy_efficiency_definition(self):
+        energy = EnergyModel(device_power_watts=16.0)
+        assert energy.efficiency_per_s_kw(1.0) == pytest.approx(1.0 / 0.016)
+        assert energy.efficiency_per_ms_kw(1.0) == pytest.approx(1.0 / 16.0)
+
+    def test_energy_joules(self):
+        energy = EnergyModel(device_power_watts=10.0)
+        assert energy.energy_joules(2.0) == pytest.approx(20.0)
+
+    def test_fpga_pair_beats_gpu_server_efficiency(self):
+        from repro.hardware.device import GPU_SERVER
+
+        fpga = EnergyModel.for_fpga_pair()
+        gpu = EnergyModel.for_gpu_server(GPU_SERVER)
+        # Same latency, the FPGA pair is far more efficient.
+        assert fpga.efficiency_per_s_kw(1.0) > 20 * gpu.efficiency_per_s_kw(1.0)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().efficiency_per_s_kw(0.0)
+        with pytest.raises(ValueError):
+            EnergyModel().energy_joules(-1.0)

@@ -1,0 +1,149 @@
+"""Tests for the backbone spec generators (VGG / ResNet / MobileNetV2) and zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.mobilenet import build_mobilenetv2_spec, mobilenetv2_cifar, mobilenetv2_tiny
+from repro.models.resnet import (
+    RESNET_CONFIGS,
+    build_resnet_spec,
+    resnet18_cifar,
+    resnet34_cifar,
+    resnet50_cifar,
+    resnet50_imagenet,
+    resnet_tiny,
+)
+from repro.models.specs import LayerKind
+from repro.models.vgg import build_vgg_spec, vgg16_cifar, vgg16_imagenet, vgg_tiny
+from repro.models.zoo import FIG5_BACKBONES, available_backbones, get_backbone, register_backbone
+
+
+class TestVGG:
+    def test_vgg16_cifar_layer_counts(self):
+        spec = vgg16_cifar()
+        assert len(spec.layers_of_kind(LayerKind.CONV)) == 13
+        assert len(spec.layers_of_kind(LayerKind.MAXPOOL)) == 5
+        # 13 conv activations + 1 hidden classifier activation
+        assert spec.relu_layer_count() == 14
+        assert spec.layers[-1].out_channels == 10
+
+    def test_vgg16_imagenet_has_4096_classifier(self):
+        spec = vgg16_imagenet()
+        fcs = spec.layers_of_kind(LayerKind.LINEAR)
+        assert [fc.out_channels for fc in fcs] == [4096, 4096, 1000]
+
+    def test_vgg16_cifar_relu_count_magnitude(self):
+        """CIFAR VGG-16 has ~280k ReLU elements (the Fig. 6 x-axis scale)."""
+        relu_k = vgg16_cifar().relu_count() / 1e3
+        assert 200 < relu_k < 350
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            build_vgg_spec("vgg99")
+
+    def test_vgg_tiny_is_small(self):
+        spec = vgg_tiny()
+        assert spec.total_macs() < 2_000_000
+
+
+class TestResNet:
+    @pytest.mark.parametrize("name,expected_convs", [("resnet18", 20), ("resnet34", 36)])
+    def test_basic_block_conv_counts(self, name, expected_convs):
+        spec = build_resnet_spec(name, input_size=32, num_classes=10)
+        convs = len(spec.layers_of_kind(LayerKind.CONV))
+        assert convs == expected_convs
+
+    def test_resnet50_has_53_convs(self):
+        # 1 stem + 16 blocks * 3 convs + 4 projection shortcuts = 53
+        spec = resnet50_cifar()
+        assert len(spec.layers_of_kind(LayerKind.CONV)) == 53
+
+    def test_resnet50_imagenet_stem_and_head(self):
+        spec = resnet50_imagenet()
+        assert spec.layers[0].kernel == 7 and spec.layers[0].stride == 2
+        assert spec.layers_of_kind(LayerKind.MAXPOOL)[0].input_size == 112
+        assert spec.layers[-1].out_channels == 1000
+
+    def test_cifar_stem_has_no_maxpool(self):
+        spec = resnet18_cifar()
+        stem_pools = [l for l in spec.layers_of_kind(LayerKind.MAXPOOL) if l.block == "stem"]
+        assert not stem_pools
+
+    def test_final_feature_map_is_4x4_on_cifar(self):
+        spec = resnet18_cifar()
+        gap = spec.layers_of_kind(LayerKind.GLOBAL_AVGPOOL)[0]
+        assert gap.input_size == 4
+        assert gap.in_channels == 512
+
+    def test_resnet50_relu_elements_larger_than_resnet18(self):
+        assert resnet50_cifar().relu_count() > resnet34_cifar().relu_count() > resnet18_cifar().relu_count()
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            build_resnet_spec("resnet99")
+
+    def test_configs_expansion(self):
+        assert RESNET_CONFIGS["resnet50"].expansion == 4
+        assert RESNET_CONFIGS["resnet18"].expansion == 1
+
+    def test_resnet_tiny_residuals_reference_existing_layers(self):
+        spec = resnet_tiny()
+        names = {l.name for l in spec.layers}
+        for add in spec.layers_of_kind(LayerKind.ADD):
+            assert add.residual_from in names
+
+
+class TestMobileNetV2:
+    def test_imagenet_spec_structure(self):
+        spec = build_mobilenetv2_spec(input_size=224)
+        assert spec.layers[-1].out_channels == 1000
+        # 17 inverted residual blocks
+        adds = spec.layers_of_kind(LayerKind.ADD)
+        assert len(adds) == 10  # blocks with stride 1 and matching channels
+
+    def test_depthwise_convs_are_grouped(self):
+        spec = mobilenetv2_cifar()
+        grouped = [l for l in spec.layers_of_kind(LayerKind.CONV) if l.groups > 1]
+        assert grouped and all(l.groups == l.in_channels for l in grouped)
+
+    def test_cifar_mode_keeps_resolution_early(self):
+        spec = mobilenetv2_cifar()
+        assert spec.layers[0].stride == 1
+
+    def test_relu_count_exceeds_resnet18(self):
+        """MobileNetV2's expansion layers give it more ReLU elements than
+        ResNet-18 at CIFAR size, which is why it is the slowest backbone in
+        Fig. 5(b)."""
+        assert mobilenetv2_cifar().relu_count() > 2 * 557_000
+
+    def test_width_multiplier_scales_channels(self):
+        slim = build_mobilenetv2_spec(input_size=32, width_multiplier=0.5)
+        full = build_mobilenetv2_spec(input_size=32, width_multiplier=1.0)
+        assert slim.total_macs() < full.total_macs()
+
+    def test_tiny_variant_builds(self):
+        spec = mobilenetv2_tiny()
+        assert spec.total_macs() < 3_000_000
+
+
+class TestZoo:
+    def test_all_registered_backbones_build(self):
+        for name in available_backbones():
+            spec = get_backbone(name)
+            assert len(spec.layers) > 3
+
+    def test_fig5_backbones_are_registered(self):
+        assert set(FIG5_BACKBONES) <= set(available_backbones())
+
+    def test_unknown_backbone_rejected(self):
+        with pytest.raises(KeyError):
+            get_backbone("alexnet")
+
+    def test_register_custom_backbone(self):
+        name = "custom-test-backbone"
+        if name not in available_backbones():
+            register_backbone(name, lambda: vgg_tiny())
+        assert get_backbone(name).name == vgg_tiny().name
+        with pytest.raises(ValueError):
+            register_backbone(name, lambda: vgg_tiny())

@@ -1,0 +1,135 @@
+"""Tests for SpecNet construction, weight export and the PASNet variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.builder import SpecNet, build_model, export_layer_weights
+from repro.models.mobilenet import mobilenetv2_tiny
+from repro.models.pasnet_variants import (
+    PAPER_REPORTED_ACCURACY,
+    PAPER_REPORTED_IMAGENET_COST,
+    build_variant,
+    pasnet_a,
+    pasnet_b,
+    pasnet_c,
+    pasnet_d,
+)
+from repro.models.resnet import resnet_tiny, resnet18_cifar
+from repro.models.specs import LayerKind
+from repro.models.vgg import vgg_tiny
+from repro.nn.tensor import Tensor
+
+
+class TestSpecNet:
+    def test_sequential_forward_shape(self, rng):
+        net = build_model(vgg_tiny(input_size=16))
+        out = net(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_residual_forward_shape(self, rng):
+        net = build_model(resnet_tiny(input_size=16))
+        out = net(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_depthwise_backbone_forward(self, rng):
+        net = build_model(mobilenetv2_tiny(input_size=16))
+        out = net(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_polynomial_variant_contains_x2act_modules(self):
+        from repro.core.x2act import X2Act
+
+        net = build_model(vgg_tiny().with_all_polynomial())
+        x2acts = [m for m in net.modules() if isinstance(m, X2Act)]
+        assert len(x2acts) == 4  # 3 conv activations + 1 classifier activation
+
+    def test_analysis_only_add_layer_rejected(self):
+        spec = resnet18_cifar()  # projection shortcuts, no residual_from
+        with pytest.raises(ValueError):
+            SpecNet(spec)
+
+    def test_without_batchnorm_conv_has_bias(self):
+        net = build_model(vgg_tiny(), with_batchnorm=False)
+        conv = net.module_for("conv1")
+        assert conv.bias is not None
+
+    def test_gradients_flow_through_residual(self, rng):
+        net = build_model(resnet_tiny(input_size=8))
+        out = net(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        out.sum().backward()
+        grads = [p.grad for p in net.parameters()]
+        assert all(g is not None for g in grads)
+
+
+class TestWeightExport:
+    def test_export_contains_all_parametric_layers(self):
+        spec = vgg_tiny().with_all_polynomial()
+        net = build_model(spec)
+        weights = export_layer_weights(net)
+        conv_names = {l.name for l in spec.layers_of_kind(LayerKind.CONV)}
+        linear_names = {l.name for l in spec.layers_of_kind(LayerKind.LINEAR)}
+        x2act_names = {l.name for l in spec.layers_of_kind(LayerKind.X2ACT)}
+        assert conv_names | linear_names | x2act_names == set(weights)
+
+    def test_conv_entries_include_bn_affine(self):
+        net = build_model(vgg_tiny())
+        weights = export_layer_weights(net)
+        entry = weights["conv1"]
+        assert "bn_scale" in entry and "bn_shift" in entry
+        assert entry["weight"].shape[0] == entry["bn_scale"].shape[0]
+
+    def test_x2act_entries_contain_coefficients(self):
+        net = build_model(vgg_tiny().with_all_polynomial())
+        weights = export_layer_weights(net)
+        poly_entries = [v for k, v in weights.items() if "w1" in v]
+        assert poly_entries and all({"w1", "w2", "b"} <= set(e) for e in poly_entries)
+
+    def test_exported_weights_are_copies(self):
+        net = build_model(vgg_tiny(), with_batchnorm=False)
+        weights = export_layer_weights(net)
+        weights["conv1"]["weight"][...] = 0.0
+        assert not np.allclose(net.module_for("conv1").weight.data, 0.0)
+
+
+class TestPASNetVariants:
+    def test_pasnet_a_is_all_polynomial_resnet18(self):
+        spec = pasnet_a("imagenet")
+        assert spec.relu_count() == 0
+        assert spec.polynomial_fraction() == 1.0
+        assert "PASNet-A" in spec.name
+
+    def test_pasnet_b_uses_resnet50_backbone(self):
+        assert len(pasnet_b("imagenet").layers_of_kind(LayerKind.CONV)) == 53
+
+    def test_pasnet_c_keeps_exactly_four_relus(self):
+        spec = pasnet_c("imagenet")
+        assert spec.relu_layer_count() == 4
+        assert len(spec.layers_of_kind(LayerKind.MAXPOOL)) == 0
+
+    def test_pasnet_c_relu_count_configurable(self):
+        assert pasnet_c("imagenet", num_relu_layers=2).relu_layer_count() == 2
+
+    def test_pasnet_d_is_mobilenet_based(self):
+        spec = pasnet_d("cifar10")
+        assert spec.relu_count() == 0
+        grouped = [l for l in spec.layers_of_kind(LayerKind.CONV) if l.groups > 1]
+        assert grouped
+
+    def test_build_variant_dispatch(self):
+        for name in ("PASNet-A", "PASNet-B", "PASNet-C", "PASNet-D"):
+            assert build_variant(name, "cifar10").num_classes == 10
+        with pytest.raises(KeyError):
+            build_variant("PASNet-Z")
+
+    def test_dataset_arguments(self):
+        assert pasnet_a("cifar10").input_size == 32
+        assert pasnet_a("imagenet").input_size == 224
+        with pytest.raises(ValueError):
+            pasnet_a("mnist")
+
+    def test_reported_tables_cover_all_variants(self):
+        assert set(PAPER_REPORTED_ACCURACY) == set(PAPER_REPORTED_IMAGENET_COST)
+        for entry in PAPER_REPORTED_ACCURACY.values():
+            assert {"cifar10_top1", "imagenet_top1", "imagenet_top5"} <= set(entry)

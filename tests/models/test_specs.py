@@ -1,0 +1,141 @@
+"""Tests for the layer/model specification IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec, SpecBuilder
+
+
+def small_spec() -> ModelSpec:
+    builder = SpecBuilder("toy", input_size=8, in_channels=3, num_classes=4)
+    builder.conv(8, kernel=3)
+    builder.activation(LayerKind.RELU)
+    builder.pool(LayerKind.MAXPOOL, kernel=2)
+    builder.conv(16, kernel=3)
+    builder.activation(LayerKind.RELU)
+    builder.global_avgpool()
+    builder.linear(4)
+    return builder.build()
+
+
+class TestLayerSpec:
+    def test_conv_output_size(self):
+        conv = LayerSpec("c", LayerKind.CONV, 3, 16, kernel=3, stride=2, padding=1, input_size=32)
+        assert conv.output_size == 16
+        assert conv.output_channels == 16
+
+    def test_pool_output_size(self):
+        pool = LayerSpec("p", LayerKind.MAXPOOL, 16, 16, kernel=2, stride=2, input_size=32)
+        assert pool.output_size == 16
+
+    def test_activation_preserves_geometry(self):
+        act = LayerSpec("a", LayerKind.RELU, 16, 16, input_size=32)
+        assert act.output_size == 32
+        assert act.num_activation_elements() == 32 * 32 * 16
+
+    def test_macs_for_conv_and_linear(self):
+        conv = LayerSpec("c", LayerKind.CONV, 3, 16, kernel=3, stride=1, padding=1, input_size=32)
+        assert conv.macs() == 3 * 3 * 32 * 32 * 3 * 16
+        fc = LayerSpec("f", LayerKind.LINEAR, 128, 10)
+        assert fc.macs() == 1280
+        assert LayerSpec("a", LayerKind.RELU, 16, input_size=8).macs() == 0
+
+    def test_grouped_conv_macs(self):
+        dw = LayerSpec("d", LayerKind.CONV, 16, 16, kernel=3, padding=1, groups=16, input_size=8)
+        assert dw.macs() == 3 * 3 * 8 * 8 * 1 * 16
+
+    def test_with_kind(self):
+        act = LayerSpec("a", LayerKind.RELU, 16, input_size=8)
+        assert act.with_kind(LayerKind.X2ACT).kind == LayerKind.X2ACT
+        assert act.kind == LayerKind.RELU  # original unchanged
+
+
+class TestModelSpec:
+    def test_duplicate_names_rejected(self):
+        layer = LayerSpec("dup", LayerKind.RELU, 4, input_size=4)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", 4, 3, 2, layers=(layer, layer))
+
+    def test_counting_helpers(self):
+        spec = small_spec()
+        assert spec.relu_layer_count() == 2
+        assert spec.relu_count() == 8 * 8 * 8 + 4 * 4 * 16
+        assert spec.polynomial_activation_count() == 0
+        assert spec.polynomial_fraction() == 0.0
+        assert spec.comparison_element_count() > spec.relu_count()  # includes maxpool
+
+    def test_replace_kinds_and_all_polynomial(self):
+        spec = small_spec()
+        poly = spec.with_all_polynomial()
+        assert poly.relu_count() == 0
+        assert poly.polynomial_fraction() == 1.0
+        assert not poly.layers_of_kind(LayerKind.MAXPOOL)
+        back = poly.with_all_relu()
+        assert back.relu_layer_count() == 2
+
+    def test_replace_kinds_rejects_illegal_change(self):
+        spec = small_spec()
+        conv_name = spec.layers_of_kind(LayerKind.CONV)[0].name
+        with pytest.raises(ValueError):
+            spec.replace_kinds({conv_name: LayerKind.RELU})
+        act_name = spec.layers_of_kind(LayerKind.RELU)[0].name
+        with pytest.raises(ValueError):
+            spec.replace_kinds({act_name: LayerKind.AVGPOOL})
+
+    def test_layer_lookup(self):
+        spec = small_spec()
+        assert spec.layer("conv1").kind == LayerKind.CONV
+        with pytest.raises(KeyError):
+            spec.layer("missing")
+
+    def test_serialization_round_trip(self):
+        spec = small_spec().with_all_polynomial()
+        restored = ModelSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_kind_histogram(self):
+        hist = small_spec().kind_histogram()
+        assert hist["conv"] == 2 and hist["relu"] == 2
+
+    def test_searchable_layers(self):
+        spec = small_spec()
+        names = {l.name for l in spec.searchable_layers()}
+        assert names == {"act1", "act2", "pool1"}
+
+    def test_rename(self):
+        assert small_spec().rename("other").name == "other"
+
+
+class TestSpecBuilder:
+    def test_geometry_tracking(self):
+        builder = SpecBuilder("geom", input_size=32, in_channels=3, num_classes=10)
+        builder.conv(16, kernel=3, stride=2)
+        assert builder.current_size == 16
+        builder.pool(LayerKind.MAXPOOL, kernel=2)
+        assert builder.current_size == 8
+        builder.flatten()
+        assert builder.current_channels == 16 * 8 * 8
+
+    def test_activation_requires_activation_kind(self):
+        builder = SpecBuilder("x", 8, 3, 2)
+        with pytest.raises(ValueError):
+            builder.activation(LayerKind.MAXPOOL)
+
+    def test_pool_requires_pool_kind(self):
+        builder = SpecBuilder("x", 8, 3, 2)
+        with pytest.raises(ValueError):
+            builder.pool(LayerKind.RELU)
+
+    def test_last_layer_name(self):
+        builder = SpecBuilder("x", 8, 3, 2)
+        assert builder.last_layer_name == ""
+        builder.conv(4, 3)
+        assert builder.last_layer_name == "conv1"
+
+    def test_unique_names(self):
+        builder = SpecBuilder("x", 8, 3, 2)
+        builder.conv(4, 3)
+        builder.conv(4, 3)
+        spec = builder.build()
+        assert spec.layers[0].name != spec.layers[1].name

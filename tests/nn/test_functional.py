@@ -1,0 +1,193 @@
+"""Tests for conv/pool/norm/loss functional operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Parameter
+from repro.nn.tensor import Tensor
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive direct convolution used as the ground truth."""
+    n, ic, h, width = x.shape
+    oc, _, kh, kw = w.shape
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (width + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    for ni in range(n):
+        for oi in range(oc):
+            for y in range(oh):
+                for xx in range(ow):
+                    patch = x_pad[ni, :, y * stride : y * stride + kh, xx * stride : xx * stride + kw]
+                    out[ni, oi, y, xx] = (patch * w[oi]).sum()
+            if b is not None:
+                out[ni, oi] += b[oi]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive_convolution(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, reference_conv2d(x, w, b, stride, padding), atol=1e-10)
+
+    def test_output_shape_formula(self):
+        x = Tensor(np.zeros((1, 3, 32, 32)))
+        w = Tensor(np.zeros((8, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 8, 16, 16)
+
+    def test_grouped_convolution_depthwise(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        w = rng.normal(size=(4, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=4)
+        # Depthwise: each output channel depends only on its own input channel.
+        expected = np.stack(
+            [
+                reference_conv2d(x[:, c : c + 1], w[c : c + 1], None, 1, 1)[0, 0]
+                for c in range(4)
+            ]
+        )[None]
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((4, 3, 3, 3))), groups=2)
+
+    def test_gradients_match_numeric(self, rng):
+        x_np = rng.normal(size=(1, 2, 5, 5))
+        w_np = rng.normal(size=(3, 2, 3, 3)) * 0.3
+        x = Tensor(x_np.copy(), requires_grad=True)
+        w = Parameter(w_np.copy())
+        (F.conv2d(x, w, stride=2, padding=1) ** 2).sum().backward()
+
+        eps = 1e-6
+        for idx in [(0, 1, 1, 2), (2, 0, 0, 0)]:
+            original = w_np[idx]
+            w_np[idx] = original + eps
+            plus = (reference_conv2d(x_np, w_np, None, 2, 1) ** 2).sum()
+            w_np[idx] = original - eps
+            minus = (reference_conv2d(x_np, w_np, None, 2, 1) ** 2).sum()
+            w_np[idx] = original
+            assert w.grad[idx] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        x_np = rng.normal(size=(1, 2, 4, 4))
+        w_np = rng.normal(size=(2, 2, 3, 3)) * 0.3
+        x = Tensor(x_np.copy(), requires_grad=True)
+        (F.conv2d(x, Tensor(w_np), padding=1) ** 2).sum().backward()
+        eps = 1e-6
+        idx = (0, 1, 2, 2)
+        original = x_np[idx]
+        x_np[idx] = original + eps
+        plus = (reference_conv2d(x_np, w_np, None, 1, 1) ** 2).sum()
+        x_np[idx] = original - eps
+        minus = (reference_conv2d(x_np, w_np, None, 1, 1) ** 2).sum()
+        x_np[idx] = original
+        assert x.grad[idx] == pytest.approx((plus - minus) / (2 * eps), abs=1e-4)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_with_stride_and_padding(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = F.max_pool2d(Tensor(x), 3, stride=2, padding=1)
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [[0, 0], [0, 1]])
+
+    def test_avg_pool_gradient_uniform(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], np.full((2, 2), 0.25))
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_adaptive_avg_pool_requires_divisible(self):
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(Tensor(np.zeros((1, 1, 5, 5))), 2)
+
+
+class TestBatchNormAndLosses:
+    def test_batchnorm_normalizes_in_training(self, rng):
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        gamma = Tensor(np.ones(4))
+        beta = Tensor(np.zeros(4))
+        running_mean = np.zeros(4)
+        running_var = np.ones(4)
+        out = F.batch_norm2d(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        assert abs(out.data.mean()) < 1e-6
+        assert out.data.std() == pytest.approx(1.0, abs=1e-2)
+        assert running_mean.mean() != 0.0  # running stats updated
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        running_mean = np.full(3, 5.0)
+        running_var = np.full(3, 4.0)
+        out = F.batch_norm2d(
+            Tensor(x), Tensor(np.ones(3)), Tensor(np.zeros(3)),
+            running_mean, running_var, training=False,
+        )
+        np.testing.assert_allclose(out.data, (x - 5.0) / np.sqrt(4.0 + 1e-5), atol=1e-7)
+
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)))
+        probs = F.softmax(x)
+        np.testing.assert_allclose(probs.data.sum(axis=1), np.ones(4), atol=1e-10)
+
+    def test_log_softmax_is_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 0.0]]))
+        out = F.log_softmax(x)
+        assert np.isfinite(out.data).all()
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits_np = rng.normal(size=(5, 3))
+        targets = np.array([0, 2, 1, 1, 0])
+        loss = F.cross_entropy(Tensor(logits_np), targets)
+        shifted = logits_np - logits_np.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert loss.data == pytest.approx(expected)
+
+    def test_cross_entropy_gradient_is_probability_minus_onehot(self, rng):
+        logits_np = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 0])
+        logits = Tensor(logits_np, requires_grad=True)
+        F.cross_entropy(logits, targets).backward()
+        probs = np.exp(logits_np - logits_np.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        onehot = np.eye(3)[targets]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 4, atol=1e-8)
+
+    def test_accuracy_topk(self):
+        logits = np.array([[0.1, 0.9, 0.0], [0.8, 0.1, 0.1], [0.2, 0.3, 0.5]])
+        targets = np.array([1, 1, 2])
+        assert F.accuracy(logits, targets, topk=1) == pytest.approx(2 / 3)
+        assert F.accuracy(logits, targets, topk=2) == pytest.approx(1.0)
+
+    def test_conv_output_size_helper(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(224, 7, 2, 3) == 112

@@ -1,0 +1,53 @@
+"""Tests for the weight initializers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestInitializers:
+    def test_kaiming_normal_std_scales_with_fan_in(self):
+        init.set_init_rng(0)
+        small_fan = init.kaiming_normal((64, 4, 3, 3))
+        init.set_init_rng(0)
+        large_fan = init.kaiming_normal((64, 64, 3, 3))
+        assert small_fan.std() > large_fan.std()
+
+    def test_kaiming_normal_matches_expected_std(self):
+        init.set_init_rng(1)
+        w = init.kaiming_normal((256, 128, 3, 3))
+        expected = math.sqrt(2.0 / (128 * 9))
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_kaiming_uniform_bound(self):
+        init.set_init_rng(2)
+        w = init.kaiming_uniform((32, 16))
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 16)
+        assert np.abs(w).max() <= bound + 1e-12
+
+    def test_xavier_uniform_bound(self):
+        init.set_init_rng(3)
+        w = init.xavier_uniform((20, 30))
+        bound = math.sqrt(6.0 / 50)
+        assert np.abs(w).max() <= bound + 1e-12
+
+    def test_zeros_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((3, 3)).sum() == 9
+
+    def test_seeding_is_deterministic(self):
+        init.set_init_rng(42)
+        a = init.normal((5, 5))
+        init.set_init_rng(42)
+        b = init.normal((5, 5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_uniform_range(self):
+        init.set_init_rng(0)
+        w = init.uniform((100,), low=-0.1, high=0.2)
+        assert w.min() >= -0.1 and w.max() <= 0.2

@@ -1,0 +1,116 @@
+"""Tests for SGD, Adam and the LR schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.modules.base import Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR
+
+
+def quadratic_loss_grad(param: Parameter) -> None:
+    """Set the gradient of f(w) = 0.5 * ||w||^2, i.e. grad = w."""
+    param.grad = param.data.copy()
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        optimizer = SGD([p], lr=0.1)
+        p.grad = np.array([1.0, 1.0])
+        optimizer.step()
+        np.testing.assert_allclose(p.data, [0.9, -2.1])
+
+    def test_momentum_accelerates_descent(self):
+        p_plain = Parameter(np.array([10.0]))
+        p_momentum = Parameter(np.array([10.0]))
+        plain = SGD([p_plain], lr=0.05)
+        momentum = SGD([p_momentum], lr=0.05, momentum=0.9)
+        for _ in range(20):
+            quadratic_loss_grad(p_plain)
+            plain.step()
+            quadratic_loss_grad(p_momentum)
+            momentum.step()
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_parameters_without_gradient(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_rejects_empty_params_and_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestAdam:
+    def test_first_step_size_equals_lr(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = Adam([p], lr=0.01)
+        p.grad = np.array([100.0])
+        optimizer.step()
+        # Adam's first update magnitude is ~lr regardless of gradient scale.
+        assert p.data[0] == pytest.approx(1.0 - 0.01, abs=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_loss_grad(p)
+            optimizer.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-2)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        optimizer.zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_reaches_eta_min(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.05)
+        last = None
+        for _ in range(10):
+            last = scheduler.step()
+        assert last == pytest.approx(0.05)
+
+    def test_cosine_is_monotone_decreasing(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=8)
+        values = [scheduler.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cosine_rejects_bad_t_max(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, t_max=0)

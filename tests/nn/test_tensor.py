@@ -1,0 +1,202 @@
+"""Tests for the autograd Tensor: forward values and gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, stack
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        out = a + b
+        np.testing.assert_allclose(out.data, np.ones((2, 3)) + np.arange(3.0))
+
+    def test_scalar_operations(self):
+        a = Tensor(np.array([1.0, -2.0, 3.0]))
+        np.testing.assert_allclose((a * 2 + 1).data, [3.0, -3.0, 7.0])
+        np.testing.assert_allclose((1 - a).data, [0.0, 3.0, -2.0])
+        np.testing.assert_allclose((a / 2).data, [0.5, -1.0, 1.5])
+
+    def test_matmul_shapes(self):
+        a = Tensor(np.ones((4, 5)))
+        b = Tensor(np.ones((5, 3)))
+        assert (a @ b).shape == (4, 3)
+
+    def test_relu_clamps_negative(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(x.relu().data, [0.0, 0.0, 2.0])
+
+    def test_clip(self):
+        x = Tensor(np.array([-3.0, 0.5, 9.0]))
+        np.testing.assert_allclose(x.clip(0.0, 6.0).data, [0.0, 0.5, 6.0])
+
+    def test_reductions(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4))
+        assert x.sum().data == pytest.approx(66.0)
+        assert x.mean().data == pytest.approx(5.5)
+        np.testing.assert_allclose(x.sum(axis=0).data, [12, 15, 18, 21])
+        np.testing.assert_allclose(x.max(axis=1).data, [3, 7, 11])
+
+    def test_reshape_transpose_flatten(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        assert x.reshape(6, 4).shape == (6, 4)
+        assert x.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert x.flatten(1).shape == (2, 12)
+
+    def test_getitem(self):
+        x = Tensor(np.arange(10.0))
+        assert x[3].data == pytest.approx(3.0)
+
+    def test_detach_has_no_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        d = (x * 2).detach()
+        assert not d.requires_grad
+
+    def test_stack_and_concatenate(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 2)))
+        assert stack([a, b]).shape == (2, 2, 2)
+        assert concatenate([a, b], axis=0).shape == (4, 2)
+
+
+class TestBackward:
+    def test_add_mul_gradients(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        ((a * b) + a).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_broadcast_gradient_shapes(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_matmul_gradient_matches_numeric(self, rng):
+        a_np = rng.normal(size=(3, 4))
+        b_np = rng.normal(size=(4, 2))
+        a = Tensor(a_np.copy(), requires_grad=True)
+        b = Tensor(b_np.copy(), requires_grad=True)
+        ((a @ b) ** 2).sum().backward()
+
+        def loss_a(x):
+            return float(((x @ b_np) ** 2).sum())
+
+        np.testing.assert_allclose(a.grad, numeric_gradient(loss_a, a_np.copy()), atol=1e-5)
+
+    def test_division_gradients(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 8.0]), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25, 0.125])
+        np.testing.assert_allclose(b.grad, [-2.0 / 16.0, -4.0 / 64.0])
+
+    def test_exp_log_gradients(self):
+        x_np = np.array([0.5, 1.5])
+        x = Tensor(x_np.copy(), requires_grad=True)
+        (x.exp() + x.log()).sum().backward()
+        np.testing.assert_allclose(x.grad, np.exp(x_np) + 1.0 / x_np)
+
+    def test_relu_gradient_zero_for_negative(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor(np.array([1.0, 3.0, 3.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 0.1))
+
+    def test_getitem_gradient_accumulates(self):
+        x = Tensor(np.zeros(4), requires_grad=True)
+        picked = x[np.array([0, 0, 2])]
+        picked.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * x + x).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_pad2d_gradient(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        x.pad2d(1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+    def test_transpose_gradient_round_trip(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (x.transpose() * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(x.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_no_grad_when_not_required(self):
+        x = Tensor(np.ones(3), requires_grad=False)
+        y = (x * 2).sum()
+        y.backward()
+        assert x.grad is None
+
+    def test_sigmoid_tanh_gradients_match_numeric(self, rng):
+        x_np = rng.normal(size=(5,))
+        x = Tensor(x_np.copy(), requires_grad=True)
+        (x.sigmoid() * x.tanh()).sum().backward()
+
+        def loss(v):
+            return float((1 / (1 + np.exp(-v)) * np.tanh(v)).sum())
+
+        np.testing.assert_allclose(x.grad, numeric_gradient(loss, x_np.copy()), atol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 1000),
+)
+def test_property_sum_gradient_is_ones(shape, seed):
+    """d(sum(x))/dx == 1 for any shape and data."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=shape), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(shape))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_mul_gradient_symmetry(seed):
+    """d(sum(a*b))/da == b and vice versa."""
+    rng = np.random.default_rng(seed)
+    a_np = rng.normal(size=(3, 3))
+    b_np = rng.normal(size=(3, 3))
+    a = Tensor(a_np, requires_grad=True)
+    b = Tensor(b_np, requires_grad=True)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b_np)
+    np.testing.assert_allclose(b.grad, a_np)

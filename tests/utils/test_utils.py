@@ -1,0 +1,66 @@
+"""Tests for the shared utilities."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, get_logger, load_json, save_json, seed_everything
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(5)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_legacy_numpy_rng_is_seeded(self):
+        seed_everything(7)
+        first = np.random.rand(3)
+        seed_everything(7)
+        np.testing.assert_array_equal(first, np.random.rand(3))
+
+    def test_nn_initializers_are_seeded(self):
+        from repro.nn import init
+
+        seed_everything(11)
+        a = init.kaiming_normal((4, 4))
+        seed_everything(11)
+        np.testing.assert_array_equal(a, init.kaiming_normal((4, 4)))
+
+
+class TestSerialization:
+    def test_round_trip_with_numpy_types(self, tmp_path):
+        payload = {
+            "int": np.int64(3),
+            "float": np.float64(2.5),
+            "array": np.arange(4),
+            "flag": np.bool_(True),
+            "nested": {"x": [np.float32(1.5)]},
+        }
+        path = save_json(payload, tmp_path / "sub" / "data.json")
+        loaded = load_json(path)
+        assert loaded["int"] == 3
+        assert loaded["array"] == [0, 1, 2, 3]
+        assert loaded["flag"] is True
+        assert loaded["nested"]["x"] == [1.5]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "deep" / "deeper" / "f.json")
+        assert path.exists()
+
+
+class TestLoggingAndTimer:
+    def test_get_logger_is_idempotent(self):
+        first = get_logger("repro.test.logger")
+        second = get_logger("repro.test.logger")
+        assert first is second
+        assert len(first.handlers) == 1
+        assert first.level == logging.INFO
+
+    def test_timer_measures_elapsed(self):
+        with Timer("t") as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
