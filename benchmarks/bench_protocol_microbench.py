@@ -2,12 +2,15 @@
 
 Not a paper figure per se, but the substrate's own performance/throughput
 characterization: wall-clock of the numpy 2PC simulation for the core
-operators (Beaver multiplication, square, DReLU comparison, convolution) and
-the measured communication per element, which EXPERIMENTS.md compares with
-the analytical model's per-element volumes.
+operators (Beaver multiplication, square, DReLU comparison, convolution),
+the measured communication per element (compared in EXPERIMENTS.md with the
+analytical model's volumes), and the offline/online split of the compiled
+plan runtime (compile → preprocess → execute).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -21,6 +24,7 @@ from repro.crypto.protocols import (
     secure_relu,
     square,
 )
+from repro.crypto.secure_model import SecureInferenceEngine
 from repro.evaluation.report import render_table
 
 
@@ -78,3 +82,60 @@ def test_relu_communication_per_element(benchmark, payload):
     # per-element volume is of the same order as (though not identical to)
     # the paper's 32-bit OT-flow volume of ~324 bytes/element.
     assert 100 < per_element < 5000
+
+
+def test_plan_offline_online_split():
+    """Compile → preprocess → execute, with offline and online reported apart.
+
+    The offline phase (plan compilation + correlated-randomness generation)
+    runs ahead of the query; the online phase is the client-visible latency.
+    The manifest predicts the online bytes exactly.
+    """
+    from repro.models import build_model, export_layer_weights
+    from repro.models.vgg import vgg_tiny
+    from repro.nn.tensor import Tensor
+
+    spec = vgg_tiny(input_size=8).with_all_polynomial()
+    net = build_model(spec)
+    net(Tensor(np.random.default_rng(0).normal(size=(4, 3, 8, 8))))
+    net.eval()
+    weights = export_layer_weights(net)
+    x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+
+    engine = SecureInferenceEngine(make_context(seed=3))
+    start = time.perf_counter()
+    plan = engine.compile(spec, batch_size=2)
+    compile_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pool = engine.preprocess(plan)
+    preprocess_s = time.perf_counter() - start
+    start = time.perf_counter()
+    result = engine.execute(plan, weights, x, pool=pool)
+    online_s = time.perf_counter() - start
+
+    emit(
+        "Offline/online split of one compiled private inference "
+        f"({spec.name}, batch=2)",
+        render_table(
+            [
+                {
+                    "phase": "offline: compile",
+                    "time (ms)": round(1e3 * compile_s, 2),
+                    "bytes": 0,
+                },
+                {
+                    "phase": "offline: preprocess (randomness material)",
+                    "time (ms)": round(1e3 * preprocess_s, 2),
+                    "bytes": result.offline_material_bytes,
+                },
+                {
+                    "phase": "online: execute",
+                    "time (ms)": round(1e3 * online_s, 2),
+                    "bytes": result.communication_bytes,
+                },
+            ]
+        ),
+    )
+    assert result.communication_bytes == plan.online_bytes
+    assert result.communication_rounds == plan.online_rounds
+    assert result.offline_material_bytes > 0

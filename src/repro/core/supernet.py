@@ -46,11 +46,20 @@ class Supernet(Module):
         latency_table: Optional[LatencyTable] = None,
         latency_model: Optional[LatencyModel] = None,
         with_batchnorm: bool = True,
+        latency_source: str = "model",
     ) -> None:
+        """``latency_source`` selects the accounting behind the Lat(α)
+        penalty: ``"model"`` is the paper's analytical per-operator model,
+        ``"plan"`` takes per-op communication from the executable runtime's
+        compiled-plan manifests (see :mod:`repro.hardware.lut`), so the
+        search optimizes exactly the bytes the 2PC engine will put on the
+        wire."""
         super().__init__()
         self.backbone = backbone
         self.with_batchnorm = with_batchnorm
-        self.latency_table = latency_table or build_latency_table(backbone, latency_model)
+        self.latency_table = latency_table or build_latency_table(
+            backbone, latency_model, source=latency_source
+        )
         self._validate(backbone)
         for layer in backbone.layers:
             for attr_name, module in self._make_modules(layer).items():

@@ -12,8 +12,18 @@ and round counts can be measured and compared with the analytical model in
 from repro.crypto import protocols
 from repro.crypto.channel import Channel, CommunicationLog
 from repro.crypto.context import TwoPartyContext, make_context
-from repro.crypto.dealer import TrustedDealer
+from repro.crypto.dealer import (
+    PreprocessingExhausted,
+    RandomnessPool,
+    TrustedDealer,
+)
 from repro.crypto.ot import OTFlow, OTFlowCost, one_of_four_ot
+from repro.crypto.plan import (
+    InferencePlan,
+    PlanOp,
+    PreprocessingManifest,
+    compile_plan,
+)
 from repro.crypto.ring import DEFAULT_RING, PAPER_RING, FixedPointRing
 from repro.crypto.stats import ProtocolStatistics, collect_statistics
 from repro.crypto.sharing import (
@@ -37,6 +47,12 @@ __all__ = [
     "TwoPartyContext",
     "make_context",
     "TrustedDealer",
+    "RandomnessPool",
+    "PreprocessingExhausted",
+    "InferencePlan",
+    "PlanOp",
+    "PreprocessingManifest",
+    "compile_plan",
     "OTFlow",
     "OTFlowCost",
     "one_of_four_ot",

@@ -13,6 +13,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+
 
 @dataclass
 class Message:
@@ -62,9 +64,21 @@ class CommunicationLog:
 class Channel:
     """An in-process bidirectional channel between server 0 and server 1."""
 
-    def __init__(self, element_bytes: int = 4) -> None:
-        """``element_bytes`` is the on-the-wire size of one ring element
-        (4 bytes for the paper's 32-bit ring)."""
+    def __init__(
+        self,
+        element_bytes: Optional[int] = None,
+        ring: Optional[FixedPointRing] = None,
+    ) -> None:
+        """``element_bytes`` is the on-the-wire size of one ring element.
+
+        When not given explicitly it is derived from ``ring`` (defaulting to
+        the executable :data:`repro.crypto.ring.DEFAULT_RING`), so the logged
+        byte counts always match the width of the ring elements actually
+        exchanged — 8 bytes for the 64-bit executable ring, 4 bytes for the
+        paper's 32-bit setting.
+        """
+        if element_bytes is None:
+            element_bytes = (ring or DEFAULT_RING).ring_bits // 8
         self.element_bytes = element_bytes
         self.log = CommunicationLog()
 

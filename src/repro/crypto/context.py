@@ -29,7 +29,7 @@ class TwoPartyContext:
 
     def __post_init__(self) -> None:
         if self.channel is None:
-            self.channel = Channel(element_bytes=self.ring.ring_bits // 8)
+            self.channel = Channel(ring=self.ring)
         if self.dealer is None:
             self.dealer = TrustedDealer(ring=self.ring, seed=self.seed)
         if self.rng is None:

@@ -7,12 +7,25 @@ HE-based offline phase; the paper (like CrypTen and Delphi) separates it from
 the online latency it reports, so the reproduction models it as a local
 dealer.  The dealer never sees the secret inputs — it only outputs shares of
 random correlated values.
+
+Two consumption modes exist:
+
+- *lazy* (interpretive runtime): protocols call :meth:`TrustedDealer.triple`
+  and friends while the online phase runs;
+- *pooled* (plan runtime): :meth:`TrustedDealer.preprocess` generates every
+  request of a compiled plan's manifest up front into a
+  :class:`RandomnessPool`, which then serves the online phase without a
+  single generation call — the executable counterpart of the offline/online
+  split of Fig. 3.  Because the manifest preserves consumption order, the
+  dealer's random stream (and therefore every share on the wire) is
+  bit-identical between the two modes.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Deque, Dict, Tuple
 
 import numpy as np
 
@@ -120,3 +133,97 @@ class TrustedDealer:
         """Additive shares of uniformly random ring elements."""
         value = self.ring.random(shape, self.rng)
         return share_ring_elements(value, self.ring, self.rng)
+
+    # -- offline phase -------------------------------------------------------- #
+    def preprocess(self, plan_or_manifest) -> "RandomnessPool":
+        """Generate all correlated randomness of a compiled plan up front.
+
+        Accepts an :class:`repro.crypto.plan.InferencePlan` or its
+        :class:`~repro.crypto.plan.PreprocessingManifest` and returns a
+        :class:`RandomnessPool` holding every triple/pair/bit-triple the
+        online phase will consume, generated in consumption order so the
+        dealer stream matches a lazy execution exactly.
+        """
+        manifest = getattr(plan_or_manifest, "manifest", plan_or_manifest)
+        pool = RandomnessPool(ring=self.ring)
+        for request in manifest.requests:
+            if request.kind == "triple":
+                pool._push(request.kind, request.shape, self.elementwise_triple(request.shape))
+            elif request.kind == "square":
+                pool._push(request.kind, request.shape, self.square_pair(request.shape))
+            elif request.kind == "bit":
+                pool._push(request.kind, request.shape, self.bit_triple(request.shape))
+            else:
+                raise ValueError(f"unknown randomness request kind {request.kind!r}")
+        return pool
+
+
+class PreprocessingExhausted(RuntimeError):
+    """Raised when the online phase requests randomness the pool lacks."""
+
+
+class RandomnessPool:
+    """Pre-generated correlated randomness served during the online phase.
+
+    Implements the same ``triple`` / ``square_pair`` / ``bit_triple``
+    interface as :class:`TrustedDealer`, so it can stand in as
+    ``ctx.dealer`` during plan execution — but it never *generates*: every
+    request pops from a FIFO keyed by (kind, shape), and a request the
+    offline phase did not provision raises :class:`PreprocessingExhausted`.
+    The generation counters therefore stay at zero throughout the online
+    phase, which the tests assert.
+    """
+
+    def __init__(self, ring: FixedPointRing = DEFAULT_RING) -> None:
+        self.ring = ring
+        self._queues: Dict[Tuple[str, Tuple[int, ...]], Deque] = {}
+        self.served = 0
+        # Mirror the TrustedDealer counters so collect_statistics() works;
+        # they stay 0 because the pool never generates.
+        self.triples_generated = 0
+        self.bit_triples_generated = 0
+
+    # -- filling (offline) -------------------------------------------------- #
+    def _push(self, kind: str, shape: Tuple[int, ...], item) -> None:
+        self._queues.setdefault((kind, tuple(shape)), deque()).append(item)
+
+    # -- consumption (online) ------------------------------------------------ #
+    def _pop(self, kind: str, shape: Tuple[int, ...]):
+        queue = self._queues.get((kind, tuple(shape)))
+        if not queue:
+            raise PreprocessingExhausted(
+                f"online phase requested a {kind!r} of shape {tuple(shape)} that "
+                "the preprocessing manifest did not provision — recompile the "
+                "plan or rerun TrustedDealer.preprocess()"
+            )
+        self.served += 1
+        return queue.popleft()
+
+    def triple(
+        self,
+        shape_a: Tuple[int, ...],
+        shape_b: Tuple[int, ...],
+        product: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    ) -> BeaverTriple:
+        # Elementwise (Hadamard) triples are the only form the manifest
+        # provisions; serving one for a different bilinear product (matmul,
+        # convolution) would yield wrong shares with no error, so reject any
+        # product that is not this ring's elementwise multiplication.
+        # (Bound-method equality compares the underlying function and ring.)
+        if tuple(shape_a) != tuple(shape_b) or product != self.ring.mul:
+            raise PreprocessingExhausted(
+                "the randomness pool only provisions elementwise triples; "
+                f"got operand shapes {tuple(shape_a)} vs {tuple(shape_b)} with "
+                f"product {getattr(product, '__qualname__', product)!r}"
+            )
+        return self._pop("triple", shape_a)
+
+    def square_pair(self, shape: Tuple[int, ...]) -> BeaverPair:
+        return self._pop("square", shape)
+
+    def bit_triple(self, shape: Tuple[int, ...]) -> BitTriple:
+        return self._pop("bit", shape)
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(q) for q in self._queues.values())

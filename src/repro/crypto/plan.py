@@ -1,0 +1,252 @@
+"""Plan IR: compiled secure-inference programs with preprocessing manifests.
+
+This module is the compiler of the plan-based 2PC runtime (the executable
+counterpart of the paper's Fig. 3 deployment, split into an offline and an
+online phase):
+
+- :func:`compile_plan` lowers a :class:`repro.models.specs.ModelSpec` into an
+  :class:`InferencePlan` — an ordered sequence of :class:`PlanOp` protocol
+  ops with statically inferred tensor shapes for a fixed batch size;
+- every op carries its exact :class:`~repro.crypto.protocols.registry.OpTrace`
+  (ordered correlated-randomness requests and wire messages), declared by the
+  protocol handlers themselves, so the plan's byte/round predictions match
+  the executed :class:`~repro.crypto.channel.CommunicationLog` exactly;
+- the per-plan :class:`PreprocessingManifest` aggregates those requests into
+  the exact Beaver-triple / square-pair / bit-triple counts and byte volumes
+  the offline phase must produce (see
+  :meth:`repro.crypto.dealer.TrustedDealer.preprocess`).
+
+The same manifest is the single source of truth consumed by the hardware
+layer (:func:`repro.hardware.comm.communication_report` with ``plan=`` and
+the plan-sourced latency LUT) so the NAS latency penalty and the executable
+engine can no longer drift apart in their per-op communication accounting.
+
+Typical use::
+
+    plan = compile_plan(spec, batch_size=8)          # offline: compile once
+    pool = ctx.dealer.preprocess(plan)               # offline: gen randomness
+    engine = SecureInferenceEngine(ctx)
+    result = engine.execute(plan, weights, queries, pool=pool)   # online
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.crypto.protocols.registry import (
+    OpTrace,
+    RandomnessRequest,
+    get_handler,
+    trace_rounds,
+)
+from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One protocol op of a compiled plan.
+
+    Carries the originating :class:`LayerSpec`, the statically inferred
+    input/output shapes (batch dimension included) and the op's exact
+    offline/online trace.
+    """
+
+    index: int
+    name: str
+    kind: LayerKind
+    layer: LayerSpec
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+    requests: Tuple[RandomnessRequest, ...]
+    messages: Tuple[Tuple[int, int], ...]
+
+    @property
+    def online_bytes(self) -> int:
+        """Exact online communication of this op (both directions)."""
+        return sum(num_bytes for _, num_bytes in self.messages)
+
+    @property
+    def online_rounds(self) -> int:
+        return trace_rounds(self.messages)
+
+    @property
+    def interactive(self) -> bool:
+        return bool(self.messages)
+
+    def randomness_elements(self, kind: str) -> int:
+        return sum(r.num_elements for r in self.requests if r.kind == kind)
+
+
+@dataclass(frozen=True)
+class PreprocessingManifest:
+    """Exact correlated-randomness demand of one plan execution.
+
+    ``requests`` preserves global consumption order — the offline phase must
+    generate in this order for the dealer's random stream to be identical to
+    what a lazy (interpretive) execution would have drawn.
+    """
+
+    requests: Tuple[RandomnessRequest, ...]
+    ring: FixedPointRing
+
+    # -- aggregate counts --------------------------------------------------- #
+    def elements(self, kind: str) -> int:
+        return sum(r.num_elements for r in self.requests if r.kind == kind)
+
+    @property
+    def triple_elements(self) -> int:
+        """Beaver-triple elements (Eq. 2 products, incl. B2A and multiplex)."""
+        return self.elements("triple")
+
+    @property
+    def square_pair_elements(self) -> int:
+        """Beaver-pair elements for the square protocol (Eq. 3)."""
+        return self.elements("square")
+
+    @property
+    def bit_triple_elements(self) -> int:
+        """GMW AND-gate bit triples of the comparison circuit."""
+        return self.elements("bit")
+
+    @property
+    def material_bytes(self) -> int:
+        """Total bytes of randomness material the dealer ships offline."""
+        return sum(r.material_bytes(self.ring) for r in self.requests)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "triple_elements": self.triple_elements,
+            "square_pair_elements": self.square_pair_elements,
+            "bit_triple_elements": self.bit_triple_elements,
+            "material_bytes": self.material_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class InferencePlan:
+    """A compiled secure-inference program for one model and batch size."""
+
+    model_name: str
+    batch_size: int
+    ring: FixedPointRing
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+    ops: Tuple[PlanOp, ...]
+
+    def __iter__(self) -> Iterator[PlanOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def op(self, name: str) -> PlanOp:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise KeyError(f"no op named {name!r} in plan for {self.model_name}")
+
+    # -- manifest / predictions -------------------------------------------- #
+    @property
+    def manifest(self) -> PreprocessingManifest:
+        requests: List[RandomnessRequest] = []
+        for op in self.ops:
+            requests.extend(op.requests)
+        return PreprocessingManifest(requests=tuple(requests), ring=self.ring)
+
+    @property
+    def online_bytes(self) -> int:
+        """Exact predicted online communication (matches the channel log)."""
+        return sum(op.online_bytes for op in self.ops)
+
+    @property
+    def online_rounds(self) -> int:
+        """Predicted round count: direction changes + 1 over all messages
+        (the same convention as :class:`CommunicationLog.rounds`)."""
+        return trace_rounds([m for op in self.ops for m in op.messages])
+
+    def per_op_bytes(self) -> Dict[str, int]:
+        return {op.name: op.online_bytes for op in self.ops}
+
+    def per_op_summary(self) -> List[Dict[str, object]]:
+        """Per-op accounting rows (for reports and the examples)."""
+        return [
+            {
+                "op": op.name,
+                "kind": op.kind.value,
+                "output_shape": op.output_shape,
+                "online_bytes": op.online_bytes,
+                "triples": op.randomness_elements("triple"),
+                "squares": op.randomness_elements("square"),
+                "bit_triples": op.randomness_elements("bit"),
+            }
+            for op in self.ops
+        ]
+
+
+def compile_plan(
+    spec: ModelSpec,
+    batch_size: int = 1,
+    ring: Optional[FixedPointRing] = None,
+) -> InferencePlan:
+    """Lower a model spec into an executable plan with static shapes.
+
+    Shape inference threads the (batched) activation shape through the
+    registry handlers; each op's trace is evaluated at its concrete input
+    shape, which makes the preprocessing manifest and byte accounting exact
+    for the given batch size.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    ring = ring or DEFAULT_RING
+    shape: Tuple[int, ...] = (
+        batch_size,
+        spec.in_channels,
+        spec.input_size,
+        spec.input_size,
+    )
+    input_shape = shape
+    ops: List[PlanOp] = []
+    shapes: Dict[str, Tuple[int, ...]] = {}
+    for index, layer in enumerate(spec.layers):
+        handler = get_handler(layer.kind)
+        out_shape = tuple(handler.infer_shape(layer, shape))
+        if layer.kind == LayerKind.ADD:
+            # infer_shape already rejected empty residual_from; a dangling or
+            # forward reference must fail here, at compile time, not as a
+            # KeyError halfway through the online phase.
+            if layer.residual_from not in shapes:
+                raise ValueError(
+                    f"layer {layer.name!r}: residual_from references "
+                    f"{layer.residual_from!r}, which is not an earlier layer"
+                )
+            residual_shape = shapes[layer.residual_from]
+            if residual_shape != out_shape:
+                raise ValueError(
+                    f"layer {layer.name!r}: residual shape {residual_shape} "
+                    f"does not match main-path shape {out_shape}"
+                )
+        trace: OpTrace = handler.trace(layer, shape, ring)
+        ops.append(
+            PlanOp(
+                index=index,
+                name=layer.name,
+                kind=layer.kind,
+                layer=layer,
+                input_shape=shape,
+                output_shape=out_shape,
+                requests=tuple(trace.requests),
+                messages=tuple(trace.messages),
+            )
+        )
+        shapes[layer.name] = out_shape
+        shape = out_shape
+    return InferencePlan(
+        model_name=spec.name,
+        batch_size=batch_size,
+        ring=ring,
+        input_shape=input_shape,
+        output_shape=shape,
+        ops=tuple(ops),
+    )

@@ -1,5 +1,11 @@
-"""Online 2PC protocols for every DNN operator the paper evaluates."""
+"""Online 2PC protocols for every DNN operator the paper evaluates.
 
+Importing this package also runs every ``@register_protocol`` decorator, so
+the plan runtime's registry (:mod:`repro.crypto.protocols.registry`) is fully
+populated as a side effect.
+"""
+
+from repro.crypto.protocols import structural  # noqa: F401  (registers handlers)
 from repro.crypto.protocols.activation import (
     secure_relu,
     secure_square_activation,
@@ -39,8 +45,22 @@ from repro.crypto.protocols.pooling import (
     secure_global_avgpool,
     secure_maxpool2d,
 )
+from repro.crypto.protocols.registry import (
+    OpTrace,
+    ProtocolHandler,
+    RandomnessRequest,
+    get_handler,
+    register_protocol,
+    registered_kinds,
+)
 
 __all__ = [
+    "OpTrace",
+    "ProtocolHandler",
+    "RandomnessRequest",
+    "get_handler",
+    "register_protocol",
+    "registered_kinds",
     "multiply",
     "square",
     "multiply_public",

@@ -2,20 +2,33 @@
 
 2PC-ReLU needs the OT-based comparison flow (expensive — the motivation for
 the whole paper); 2PC-X^2act needs one square protocol plus plaintext-scalar
-multiplications (cheap).
+multiplications (cheap).  The plan-runtime handlers for both activation
+layer kinds are registered at the bottom of the module.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
-from repro.crypto.protocols.arithmetic import add_public, multiply_public, square
-from repro.crypto.protocols.comparison import drelu, select
+from repro.crypto.protocols.arithmetic import (
+    add_public,
+    multiply_public,
+    square,
+    square_trace,
+)
+from repro.crypto.protocols.comparison import drelu, drelu_trace, select, select_trace
+from repro.crypto.protocols.registry import (
+    OpTrace,
+    register_protocol,
+    same_shape,
+)
+from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair, add_shares
+from repro.models.specs import LayerKind, LayerSpec
 
 
 def secure_relu(ctx: TwoPartyContext, x: SharePair, tag: str = "relu") -> SharePair:
@@ -53,3 +66,47 @@ def secure_x2act(
 def secure_square_activation(ctx: TwoPartyContext, x: SharePair, tag: str = "sq") -> SharePair:
     """Plain x^2 activation (CryptoNets-style), kept for the baselines."""
     return square(ctx, x, truncate=True, tag=tag)
+
+
+# --------------------------------------------------------------------------- #
+# Plan-runtime handlers
+# --------------------------------------------------------------------------- #
+def _relu_trace(layer: LayerSpec, input_shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """ReLU = DReLU (comparison flow) + multiplex over the full tensor."""
+    return drelu_trace(input_shape, ring).extend(select_trace(input_shape, ring))
+
+
+@register_protocol(LayerKind.RELU, infer_shape=same_shape, trace=_relu_trace)
+def _run_relu(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    return secure_relu(ctx, x, tag=layer.name or "relu")
+
+
+def _x2act_trace(layer: LayerSpec, input_shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """X^2act interacts only through the square protocol."""
+    return square_trace(input_shape, ring)
+
+
+@register_protocol(LayerKind.X2ACT, infer_shape=same_shape, trace=_x2act_trace)
+def _run_x2act(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    return secure_x2act(
+        ctx,
+        x,
+        w1=float(params.get("w1", 0.0)),
+        w2=float(params.get("w2", 1.0)),
+        b=float(params.get("b", 0.0)),
+        num_elements=layer.num_activation_elements(),
+        scale_constant=float(params.get("c", 1.0)),
+        tag=layer.name or "x2act",
+    )

@@ -3,15 +3,23 @@
 Implements the Beaver-triple based multiplication (Eq. 2) and square (Eq. 3)
 protocols of Section II-B, plus elementwise helpers used by the secure
 activation and pooling protocols.
+
+Next to each interactive protocol lives its *trace* function
+(:func:`multiply_trace`, :func:`square_trace`), which declares the exact
+correlated-randomness requests and wire messages of one invocation for the
+plan compiler (see :mod:`repro.crypto.plan`).  Trace and protocol must be
+kept in lockstep — the preprocessing manifest is exact only because they are.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
+from repro.crypto.protocols.registry import OpTrace, element_bytes
+from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
 
 
@@ -69,6 +77,17 @@ def multiply(
     return result
 
 
+def multiply_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """Offline/online trace of one elementwise :func:`multiply` call:
+    one Beaver triple, then the E and F openings (two exchanges)."""
+    n = int(np.prod(shape)) if shape else 1
+    eb = element_bytes(ring)
+    trace = OpTrace().request("triple", shape)
+    trace.exchange(n * eb)  # open E = X - A
+    trace.exchange(n * eb)  # open F = Y - B
+    return trace
+
+
 def square(ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str = "square") -> SharePair:
     """Secure elementwise square [R] = [X] ⊙ [X] with a Beaver pair (Eq. 3)."""
     ring = ctx.ring
@@ -88,6 +107,14 @@ def square(ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str =
             ring,
         )
     return result
+
+
+def square_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """Trace of one :func:`square` call: one Beaver pair, one opening."""
+    n = int(np.prod(shape)) if shape else 1
+    trace = OpTrace().request("square", shape)
+    trace.exchange(n * element_bytes(ring))  # open E = X - A
+    return trace
 
 
 def multiply_public(

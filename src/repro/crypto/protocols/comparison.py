@@ -23,7 +23,9 @@ import numpy as np
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.ot import one_of_four_ot
-from repro.crypto.protocols.arithmetic import multiply
+from repro.crypto.protocols.arithmetic import multiply, multiply_trace
+from repro.crypto.protocols.registry import OpTrace
+from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
 
 XorSharedBit = Tuple[np.ndarray, np.ndarray]
@@ -96,7 +98,11 @@ def millionaire_gt(
     value_s1 = value_s1.astype(np.uint64)
     digit_mask = np.uint64(radix - 1)
 
-    rng = ctx.dealer.rng
+    # The OT masks are *local* randomness of the sender (S0), not correlated
+    # randomness — they come from the context RNG so the dealer stream holds
+    # only the offline material (which lets the plan runtime pre-generate it
+    # without perturbing the online protocol).
+    rng = ctx.rng
 
     # Per-digit OT: S0 prepares masked (gt, eq) indicator bits for every
     # candidate digit value, S1 selects with its own digit.  After this loop
@@ -181,3 +187,48 @@ def select(
     """Return shares of ``x * bit`` (bit in {0,1}) — the ReLU multiplexer."""
     arith_bit = bit_to_arithmetic(ctx, bit, tag=f"{tag}/b2a")
     return multiply(ctx, x, arith_bit, truncate=False, tag=f"{tag}/mux")
+
+
+# --------------------------------------------------------------------------- #
+# Trace functions (plan-compiler accounting; mirror the protocols above)
+# --------------------------------------------------------------------------- #
+def secure_and_trace(shape: Tuple[int, ...]) -> OpTrace:
+    """One GMW AND gate: a bit triple, then both parties open (d, e) packed
+    as two uint8 planes per direction."""
+    n = int(np.prod(shape)) if shape else 1
+    return OpTrace().request("bit", shape).exchange(2 * n)
+
+
+def millionaire_trace(
+    shape: Tuple[int, ...], ring: FixedPointRing, digit_bits: int = 2
+) -> OpTrace:
+    """Trace of :func:`millionaire_gt`: one 1-of-4 OT per digit (all four
+    masked uint8 messages cross the wire), then the prefix circuit's AND
+    gates — one greater-than AND per digit plus one equality AND per digit
+    except the least significant."""
+    n = int(np.prod(shape)) if shape else 1
+    num_digits = ring.ring_bits // digit_bits
+    radix = 1 << digit_bits
+    trace = OpTrace()
+    for _ in range(num_digits):
+        trace.send(0, radix * n)  # one_of_four_ot payload
+    for i in reversed(range(num_digits)):
+        trace.extend(secure_and_trace(shape))  # eq_prefix AND gt_i
+        if i:
+            trace.extend(secure_and_trace(shape))  # eq_prefix AND eq_i
+    return trace
+
+
+def drelu_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """DReLU is one millionaire comparison (the carry); MSB mixing is local."""
+    return millionaire_trace(shape, ring)
+
+
+def bit_to_arithmetic_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """B2A is one untruncated Beaver multiplication for the cross term."""
+    return multiply_trace(shape, ring)
+
+
+def select_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """Multiplexing = B2A conversion plus one Beaver multiplication."""
+    return bit_to_arithmetic_trace(shape, ring).extend(multiply_trace(shape, ring))

@@ -10,14 +10,16 @@ fused into the convolution layer").
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.protocols.arithmetic import add_public, multiply
+from repro.crypto.protocols.registry import no_trace, register_protocol
 from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
+from repro.models.specs import LayerKind, LayerSpec
 
 
 # --------------------------------------------------------------------------- #
@@ -35,17 +37,24 @@ def ring_conv2d(
     weight: np.ndarray,
     stride: int = 1,
     padding: int = 0,
+    groups: int = 1,
 ) -> np.ndarray:
     """NCHW convolution over the ring.
 
-    ``x`` has shape (N, IC, H, W) and ``weight`` (OC, IC, KH, KW); both are
-    ring elements (uint64).  The accumulation wraps modulo 2^k, which is the
-    correct semantics for secret-shared evaluation.
+    ``x`` has shape (N, IC, H, W) and ``weight`` (OC, IC // groups, KH, KW);
+    both are ring elements (uint64).  The accumulation wraps modulo 2^k,
+    which is the correct semantics for secret-shared evaluation.  Grouped
+    (including depthwise) convolution is supported so the MobileNetV2
+    backbones are executable under 2PC.
     """
     n, ic, h, w = x.shape
     oc, icw, kh, kw = weight.shape
-    if icw != ic:
-        raise ValueError(f"weight expects {icw} input channels, input has {ic}")
+    if ic % groups or oc % groups:
+        raise ValueError(f"channels ({ic}, {oc}) not divisible by groups={groups}")
+    if icw != ic // groups:
+        raise ValueError(
+            f"weight expects {icw} input channels per group, input has {ic // groups}"
+        )
     x = x.astype(np.uint64)
     weight = weight.astype(np.uint64)
     if padding:
@@ -59,10 +68,16 @@ def ring_conv2d(
         shape=(n, ic, kh, kw, oh, ow),
         strides=(sn, sc, sh, sw, sh * stride, sw * stride),
     )
-    cols = cols.reshape(n, ic * kh * kw, oh * ow)
-    w_mat = weight.reshape(oc, ic * kh * kw)
     with np.errstate(over="ignore"):
-        out = np.matmul(w_mat[None, :, :], cols)
+        if groups == 1:
+            cols = cols.reshape(n, ic * kh * kw, oh * ow)
+            w_mat = weight.reshape(oc, ic * kh * kw)
+            out = np.matmul(w_mat[None, :, :], cols)
+        else:
+            icg, ocg = ic // groups, oc // groups
+            cols = cols.reshape(n, groups, icg * kh * kw, oh * ow)
+            w_mat = weight.reshape(groups, ocg, icg * kh * kw)
+            out = np.matmul(w_mat[None, :, :, :], cols)
     return ring.wrap(out.reshape(n, oc, oh, ow))
 
 
@@ -96,6 +111,7 @@ def secure_conv2d_public_weight(
     bias: Optional[np.ndarray] = None,
     stride: int = 1,
     padding: int = 0,
+    groups: int = 1,
 ) -> SharePair:
     """Convolution with a *public* (model-vendor) weight: no triple needed.
 
@@ -104,8 +120,8 @@ def secure_conv2d_public_weight(
     """
     ring = ctx.ring
     w_enc = ring.encode(weight)
-    out0 = ring_conv2d(ring, x.share0, w_enc, stride=stride, padding=padding)
-    out1 = ring_conv2d(ring, x.share1, w_enc, stride=stride, padding=padding)
+    out0 = ring_conv2d(ring, x.share0, w_enc, stride=stride, padding=padding, groups=groups)
+    out1 = ring_conv2d(ring, x.share1, w_enc, stride=stride, padding=padding, groups=groups)
     out = SharePair(
         ring.truncate_local(out0, party=0), ring.truncate_local(out1, party=1), ring
     )
@@ -172,3 +188,51 @@ def fold_batchnorm(
     base_bias = np.zeros(weight.shape[0]) if bias is None else np.asarray(bias, dtype=np.float64)
     fused_bias = base_bias * bn_scale + bn_shift
     return fused_weight, fused_bias
+
+
+# --------------------------------------------------------------------------- #
+# Plan-runtime handlers (public-weight deployment, no online communication)
+# --------------------------------------------------------------------------- #
+def _conv_infer_shape(layer: LayerSpec, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    n, _, h, w = input_shape
+    oh = (h + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    ow = (w + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    return (n, layer.out_channels, oh, ow)
+
+
+@register_protocol(LayerKind.CONV, infer_shape=_conv_infer_shape, trace=no_trace)
+def _run_conv(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    weight = params["weight"]
+    bias = params.get("bias")
+    if "bn_scale" in params:
+        weight, bias = fold_batchnorm(weight, bias, params["bn_scale"], params["bn_shift"])
+    return secure_conv2d_public_weight(
+        ctx,
+        x,
+        weight,
+        bias,
+        stride=layer.stride,
+        padding=layer.padding,
+        groups=layer.groups,
+    )
+
+
+def _linear_infer_shape(layer: LayerSpec, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return (input_shape[0], layer.out_channels)
+
+
+@register_protocol(LayerKind.LINEAR, infer_shape=_linear_infer_shape, trace=no_trace)
+def _run_linear(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    return secure_linear_public_weight(ctx, x, params["weight"], params.get("bias"))

@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
-from repro.crypto.protocols.comparison import drelu, select
+from repro.crypto.protocols.comparison import drelu, drelu_trace, select, select_trace
+from repro.crypto.protocols.registry import (
+    OpTrace,
+    no_trace,
+    register_protocol,
+)
+from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair, add_shares, scale_shares, sub_shares
+from repro.models.specs import LayerKind, LayerSpec
 
 
 def _extract_windows(share: np.ndarray, kernel: int, stride: int) -> np.ndarray:
@@ -82,3 +89,65 @@ def secure_global_avgpool(ctx: TwoPartyContext, x: SharePair, tag: str = "gap") 
         sum1 = ring.wrap(x.share1.reshape(n, c, -1).sum(axis=-1, dtype=np.uint64))
     summed = SharePair(sum0, sum1, ring)
     return scale_shares(summed, 1.0 / (h * w))
+
+
+# --------------------------------------------------------------------------- #
+# Plan-runtime handlers
+# --------------------------------------------------------------------------- #
+def _pool_infer_shape(layer: LayerSpec, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    n, c, h, w = input_shape
+    oh = (h - layer.kernel) // layer.stride + 1
+    ow = (w - layer.kernel) // layer.stride + 1
+    return (n, c, oh, ow)
+
+
+def _maxpool_trace(
+    layer: LayerSpec, input_shape: Tuple[int, ...], ring: FixedPointRing
+) -> OpTrace:
+    """The pairwise-max reduction: k^2 - 1 steps, each a DReLU comparison
+    plus a multiplex over the window tensor (Eq. 13's execution shape)."""
+    window_shape = _pool_infer_shape(layer, input_shape)
+    trace = OpTrace()
+    for _ in range(layer.kernel * layer.kernel - 1):
+        trace.extend(drelu_trace(window_shape, ring))
+        trace.extend(select_trace(window_shape, ring))
+    return trace
+
+
+@register_protocol(LayerKind.MAXPOOL, infer_shape=_pool_infer_shape, trace=_maxpool_trace)
+def _run_maxpool(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    return secure_maxpool2d(
+        ctx, x, kernel_size=layer.kernel, stride=layer.stride, tag=layer.name or "maxpool"
+    )
+
+
+@register_protocol(LayerKind.AVGPOOL, infer_shape=_pool_infer_shape, trace=no_trace)
+def _run_avgpool(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    return secure_avgpool2d(ctx, x, kernel_size=layer.kernel, stride=layer.stride)
+
+
+def _gap_infer_shape(layer: LayerSpec, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return (input_shape[0], input_shape[1])
+
+
+@register_protocol(LayerKind.GLOBAL_AVGPOOL, infer_shape=_gap_infer_shape, trace=no_trace)
+def _run_global_avgpool(
+    ctx: TwoPartyContext,
+    layer: LayerSpec,
+    params: Dict[str, np.ndarray],
+    x: SharePair,
+    cache: Dict[str, SharePair],
+) -> SharePair:
+    return secure_global_avgpool(ctx, x)

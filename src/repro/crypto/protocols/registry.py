@@ -1,0 +1,189 @@
+"""Protocol registry: the dispatch and accounting contract of the plan runtime.
+
+Every layer kind that can be executed under 2PC registers a
+:class:`ProtocolHandler` here (see the ``@register_protocol`` decorators at
+the bottom of the modules in :mod:`repro.crypto.protocols`).  A handler
+bundles the three facets the compiler and runtime need:
+
+- ``execute`` — the online protocol itself, operating on secret shares;
+- ``infer_shape`` — static shape inference used by the plan compiler;
+- ``trace`` — the *exact* offline/online cost of one invocation: the ordered
+  list of correlated-randomness requests the op will make to the dealer and
+  the ordered list of channel messages it will put on the wire.
+
+Because ``trace`` is declared next to ``execute`` in the same module, the
+preprocessing manifest and the byte accounting of a compiled plan are exact
+by construction: the trace lists requests/messages in the same order the
+protocol performs them, so an offline phase that generates randomness in
+trace order produces the identical dealer stream the lazy (interpretive)
+path would have drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.crypto.ring import FixedPointRing
+from repro.models.specs import LayerKind, LayerSpec
+
+
+@dataclass(frozen=True)
+class RandomnessRequest:
+    """One unit of correlated randomness an online protocol will consume.
+
+    ``kind`` is one of ``"triple"`` (elementwise Beaver triple), ``"square"``
+    (Beaver pair for the square protocol) or ``"bit"`` (GMW AND bit triple);
+    ``shape`` is the tensor shape of the request.  Elementwise triples have
+    identical operand shapes, which is the only triple form the model-zoo
+    protocols consume (public-weight convolution and linear layers need no
+    triples at all).
+    """
+
+    kind: str
+    shape: Tuple[int, ...]
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def material_bytes(self, ring: FixedPointRing) -> int:
+        """Bytes of randomness material the dealer ships for this request.
+
+        A Beaver triple is three shared tensors (two shares each), a square
+        pair two, a bit triple six one-byte bit arrays.
+        """
+        eb = ring.ring_bits // 8
+        if self.kind == "triple":
+            return 6 * self.num_elements * eb
+        if self.kind == "square":
+            return 4 * self.num_elements * eb
+        if self.kind == "bit":
+            return 6 * self.num_elements
+        raise ValueError(f"unknown randomness request kind {self.kind!r}")
+
+
+@dataclass
+class OpTrace:
+    """Ordered randomness requests and wire messages of one protocol op.
+
+    ``messages`` holds ``(sender, num_bytes)`` pairs in transmission order,
+    mirroring exactly what :class:`repro.crypto.channel.Channel` will log, so
+    both total bytes and the direction-change round count can be predicted.
+    """
+
+    requests: List[RandomnessRequest] = field(default_factory=list)
+    messages: List[Tuple[int, int]] = field(default_factory=list)
+
+    # -- builders ---------------------------------------------------------- #
+    def request(self, kind: str, shape: Tuple[int, ...]) -> "OpTrace":
+        self.requests.append(RandomnessRequest(kind, tuple(shape)))
+        return self
+
+    def send(self, sender: int, num_bytes: int) -> "OpTrace":
+        self.messages.append((sender, int(num_bytes)))
+        return self
+
+    def exchange(self, num_bytes: int) -> "OpTrace":
+        """Both directions, S0 first — mirrors :meth:`Channel.exchange`."""
+        return self.send(0, num_bytes).send(1, num_bytes)
+
+    def extend(self, other: "OpTrace") -> "OpTrace":
+        self.requests.extend(other.requests)
+        self.messages.extend(other.messages)
+        return self
+
+    # -- aggregates -------------------------------------------------------- #
+    @property
+    def online_bytes(self) -> int:
+        return sum(num_bytes for _, num_bytes in self.messages)
+
+    @property
+    def rounds(self) -> int:
+        """Direction changes + 1 (the :class:`CommunicationLog` convention)."""
+        return trace_rounds(self.messages)
+
+
+def trace_rounds(messages) -> int:
+    """Round count of a ``(sender, bytes)`` message sequence."""
+    senders = [sender for sender, _ in messages]
+    if not senders:
+        return 0
+    return 1 + sum(1 for a, b in zip(senders, senders[1:]) if a != b)
+
+
+#: execute(ctx, layer, params, x, cache) -> SharePair
+ExecuteFn = Callable[..., object]
+#: infer_shape(layer, input_shape) -> output_shape
+InferShapeFn = Callable[[LayerSpec, Tuple[int, ...]], Tuple[int, ...]]
+#: trace(layer, input_shape, ring) -> OpTrace
+TraceFn = Callable[[LayerSpec, Tuple[int, ...], FixedPointRing], OpTrace]
+
+
+@dataclass(frozen=True)
+class ProtocolHandler:
+    """The registered (execute, infer_shape, trace) triple for a layer kind."""
+
+    kind: LayerKind
+    execute: ExecuteFn
+    infer_shape: InferShapeFn
+    trace: TraceFn
+
+
+_HANDLERS: Dict[LayerKind, ProtocolHandler] = {}
+
+
+def register_protocol(
+    kind: LayerKind, *, infer_shape: InferShapeFn, trace: TraceFn
+) -> Callable[[ExecuteFn], ExecuteFn]:
+    """Decorator registering ``fn`` as the online protocol for ``kind``."""
+
+    def decorate(fn: ExecuteFn) -> ExecuteFn:
+        if kind in _HANDLERS:
+            raise ValueError(f"protocol handler for {kind} already registered")
+        _HANDLERS[kind] = ProtocolHandler(
+            kind=kind, execute=fn, infer_shape=infer_shape, trace=trace
+        )
+        return fn
+
+    return decorate
+
+
+def get_handler(kind: LayerKind) -> ProtocolHandler:
+    """Look up the handler for a layer kind (loading the registrations)."""
+    _ensure_registered()
+    try:
+        return _HANDLERS[kind]
+    except KeyError as exc:
+        raise KeyError(
+            f"no 2PC protocol handler registered for layer kind {kind}; "
+            f"registered: {sorted(k.value for k in _HANDLERS)}"
+        ) from exc
+
+
+def registered_kinds() -> Tuple[LayerKind, ...]:
+    _ensure_registered()
+    return tuple(sorted(_HANDLERS, key=lambda k: k.value))
+
+
+def _ensure_registered() -> None:
+    # The handlers live at the bottom of the protocol modules; importing the
+    # package runs every ``@register_protocol`` decorator exactly once.
+    import repro.crypto.protocols  # noqa: F401
+
+
+# -- shared trace helpers ---------------------------------------------------- #
+def element_bytes(ring: FixedPointRing) -> int:
+    """On-the-wire size of one ring element (matches the channel accounting)."""
+    return ring.ring_bits // 8
+
+
+def no_trace(layer: LayerSpec, input_shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
+    """Trace of a communication-free local op (conv/linear/avgpool/...)."""
+    return OpTrace()
+
+
+def same_shape(layer: LayerSpec, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    return tuple(input_shape)

@@ -1,10 +1,24 @@
 """End-to-end 2PC private inference over a derived PASNet architecture.
 
-The :class:`SecureInferenceEngine` walks the layer specification of a model
-(see :mod:`repro.models.specs`), applies the corresponding 2PC protocol to
-the secret-shared activations, and returns the plaintext logits together
-with the measured communication volume — the executable counterpart of the
-private-inference deployment of Fig. 3 (right-hand side).
+The :class:`SecureInferenceEngine` executes a model specification under
+simulated 2PC in one of two modes, both dispatching every layer through the
+protocol registry (:mod:`repro.crypto.protocols.registry`):
+
+- **interpretive** (:meth:`SecureInferenceEngine.run`): walk the spec layer
+  by layer, pulling correlated randomness lazily from the live
+  :class:`~repro.crypto.dealer.TrustedDealer` — the simple single-query
+  path, kept as the reference semantics;
+- **compiled** (:meth:`compile` → :meth:`preprocess` → :meth:`execute`):
+  lower the spec into an :class:`~repro.crypto.plan.InferencePlan` once,
+  pre-generate *all* correlated randomness from the plan's preprocessing
+  manifest in an offline phase, then run the low-latency online phase —
+  batched over N client queries — against the resulting randomness pool
+  with **zero** dealer generation calls.  This is the executable
+  counterpart of the paper's offline/online deployment split (Fig. 3) and
+  amortizes both compilation and preprocessing across batched traffic.
+
+Because the manifest preserves randomness-consumption order, the two modes
+are bit-identical: same logits, same communication log.
 
 The client secret-shares its query between the two servers; the model
 weights live with the model vendor (server 0) and are therefore evaluated
@@ -16,34 +30,40 @@ transfers are not part of the online communication.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext, make_context
-from repro.crypto.protocols.activation import secure_relu, secure_x2act
-from repro.crypto.protocols.linear import (
-    fold_batchnorm,
-    secure_conv2d_public_weight,
-    secure_linear_public_weight,
-)
-from repro.crypto.protocols.pooling import (
-    secure_avgpool2d,
-    secure_global_avgpool,
-    secure_maxpool2d,
-)
+from repro.crypto.dealer import RandomnessPool
+from repro.crypto.plan import InferencePlan, compile_plan
+from repro.crypto.protocols.registry import get_handler
 from repro.crypto.sharing import SharePair, reconstruct, share
-from repro.models.specs import LayerKind, LayerSpec, ModelSpec
+from repro.models.specs import ModelSpec
 
 
 @dataclass
 class SecureInferenceResult:
-    """Outputs of a private-inference run."""
+    """Outputs of a private-inference run.
+
+    ``communication_bytes`` / ``communication_rounds`` cover the **online**
+    phase only; for compiled runs the offline cost is reported separately as
+    the randomness material volume and the per-kind element counts.
+    """
 
     logits: np.ndarray
     communication_bytes: int
     communication_rounds: int
     per_layer_bytes: Dict[str, int] = field(default_factory=dict)
+    batch_size: int = 1
+    offline_material_bytes: int = 0
+    offline_triple_elements: int = 0
+    offline_square_pair_elements: int = 0
+    offline_bit_triple_elements: int = 0
+
+    @property
+    def online_bytes_per_query(self) -> float:
+        return self.communication_bytes / max(self.batch_size, 1)
 
 
 class SecureInferenceEngine:
@@ -52,13 +72,99 @@ class SecureInferenceEngine:
     def __init__(self, ctx: Optional[TwoPartyContext] = None) -> None:
         self.ctx = ctx or make_context()
 
+    # ------------------------------------------------------------------ #
+    # Offline phase
+    # ------------------------------------------------------------------ #
+    def compile(self, spec: ModelSpec, batch_size: int = 1) -> InferencePlan:
+        """Lower ``spec`` into a plan for this engine's ring and batch size."""
+        return compile_plan(spec, batch_size=batch_size, ring=self.ctx.ring)
+
+    def preprocess(self, plan: InferencePlan) -> RandomnessPool:
+        """Generate the plan's correlated randomness from the live dealer."""
+        return self.ctx.dealer.preprocess(plan)
+
+    # ------------------------------------------------------------------ #
+    # Online phase (compiled)
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        plan: InferencePlan,
+        weights: Dict[str, Dict[str, np.ndarray]],
+        inputs: np.ndarray,
+        pool: Optional[RandomnessPool] = None,
+    ) -> SecureInferenceResult:
+        """Execute the online phase of a compiled plan on a query batch.
+
+        Args:
+            plan: a compiled :class:`InferencePlan` (see :meth:`compile`).
+            weights: mapping layer-name -> parameter dict as produced by
+                :func:`repro.models.builder.export_layer_weights`.
+            inputs: plaintext client queries, NCHW float array whose batch
+                dimension must equal ``plan.batch_size``.
+            pool: the preprocessed randomness (see :meth:`preprocess`).
+                When omitted, preprocessing runs implicitly first — the
+                result is the same, only un-amortized.
+
+        Returns:
+            A :class:`SecureInferenceResult`; its communication counters are
+            pure online cost (the dealer performs zero generation calls).
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape[0] != plan.batch_size:
+            raise ValueError(
+                f"plan was compiled for batch size {plan.batch_size}, "
+                f"got a batch of {inputs.shape[0]}"
+            )
+        if tuple(inputs.shape) != plan.input_shape:
+            raise ValueError(
+                f"plan expects input shape {plan.input_shape}, got {inputs.shape}"
+            )
+        if pool is None:
+            pool = self.preprocess(plan)
+
+        ctx = self.ctx
+        dealer = ctx.dealer
+        ctx.dealer = pool  # online phase: serve randomness, never generate
+        try:
+            ctx.reset_communication()
+            shared = share(inputs, ctx.ring, ctx.rng)
+            per_layer: Dict[str, int] = {}
+            cache: Dict[str, SharePair] = {}
+            for op in plan.ops:
+                before = ctx.communication_bytes
+                handler = get_handler(op.kind)
+                shared = handler.execute(
+                    ctx, op.layer, weights.get(op.name, {}), shared, cache
+                )
+                cache[op.name] = shared
+                per_layer[op.name] = ctx.communication_bytes - before
+            logits = reconstruct(shared)
+        finally:
+            ctx.dealer = dealer
+
+        manifest = plan.manifest
+        return SecureInferenceResult(
+            logits=logits,
+            communication_bytes=ctx.communication_bytes,
+            communication_rounds=ctx.communication_rounds,
+            per_layer_bytes=per_layer,
+            batch_size=plan.batch_size,
+            offline_material_bytes=manifest.material_bytes,
+            offline_triple_elements=manifest.triple_elements,
+            offline_square_pair_elements=manifest.square_pair_elements,
+            offline_bit_triple_elements=manifest.bit_triple_elements,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interpretive mode (lazy dealer, reference semantics)
+    # ------------------------------------------------------------------ #
     def run(
         self,
         spec: ModelSpec,
         weights: Dict[str, Dict[str, np.ndarray]],
         inputs: np.ndarray,
     ) -> SecureInferenceResult:
-        """Execute private inference.
+        """Execute private inference layer by layer with a lazy dealer.
 
         Args:
             spec: the model layer specification (a *derived* architecture —
@@ -73,13 +179,17 @@ class SecureInferenceEngine:
         """
         ctx = self.ctx
         ctx.reset_communication()
+        inputs = np.asarray(inputs, dtype=np.float64)
         shared = share(inputs, ctx.ring, ctx.rng)
         per_layer: Dict[str, int] = {}
         cache: Dict[str, SharePair] = {}
 
         for layer in spec.layers:
             before = ctx.communication_bytes
-            shared = self._run_layer(layer, weights.get(layer.name, {}), shared, cache)
+            handler = get_handler(layer.kind)
+            shared = handler.execute(
+                ctx, layer, weights.get(layer.name, {}), shared, cache
+            )
             cache[layer.name] = shared
             per_layer[layer.name] = ctx.communication_bytes - before
 
@@ -89,64 +199,5 @@ class SecureInferenceEngine:
             communication_bytes=ctx.communication_bytes,
             communication_rounds=ctx.communication_rounds,
             per_layer_bytes=per_layer,
+            batch_size=int(inputs.shape[0]),
         )
-
-    # ------------------------------------------------------------------ #
-    def _run_layer(
-        self,
-        layer: LayerSpec,
-        params: Dict[str, np.ndarray],
-        x: SharePair,
-        cache: Dict[str, SharePair],
-    ) -> SharePair:
-        ctx = self.ctx
-        kind = layer.kind
-        if kind == LayerKind.CONV:
-            weight = params["weight"]
-            bias = params.get("bias")
-            if "bn_scale" in params:
-                weight, bias = fold_batchnorm(
-                    weight, bias, params["bn_scale"], params["bn_shift"]
-                )
-            return secure_conv2d_public_weight(
-                ctx, x, weight, bias, stride=layer.stride, padding=layer.padding
-            )
-        if kind == LayerKind.LINEAR:
-            return secure_linear_public_weight(
-                ctx, x, params["weight"], params.get("bias")
-            )
-        if kind == LayerKind.RELU:
-            return secure_relu(ctx, x)
-        if kind == LayerKind.X2ACT:
-            return secure_x2act(
-                ctx,
-                x,
-                w1=float(params.get("w1", 0.0)),
-                w2=float(params.get("w2", 1.0)),
-                b=float(params.get("b", 0.0)),
-                num_elements=layer.num_activation_elements(),
-                scale_constant=float(params.get("c", 1.0)),
-            )
-        if kind == LayerKind.MAXPOOL:
-            return secure_maxpool2d(ctx, x, kernel_size=layer.kernel, stride=layer.stride)
-        if kind == LayerKind.AVGPOOL:
-            return secure_avgpool2d(ctx, x, kernel_size=layer.kernel, stride=layer.stride)
-        if kind == LayerKind.GLOBAL_AVGPOOL:
-            return secure_global_avgpool(ctx, x)
-        if kind == LayerKind.FLATTEN:
-            ring = self.ctx.ring
-            n = x.shape[0]
-            return SharePair(
-                x.share0.reshape(n, -1).copy(), x.share1.reshape(n, -1).copy(), ring
-            )
-        if kind == LayerKind.ADD:
-            if not layer.residual_from:
-                raise NotImplementedError(
-                    "secure inference of ADD layers requires an identity shortcut "
-                    "(residual_from); analysis-only specs with projection shortcuts "
-                    "cannot be executed directly"
-                )
-            from repro.crypto.sharing import add_shares
-
-            return add_shares(x, cache[layer.residual_from])
-        raise ValueError(f"unsupported layer kind for secure inference: {kind}")

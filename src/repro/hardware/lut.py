@@ -4,6 +4,17 @@ The NAS loss needs the latency of every candidate operator at every choice
 point (Lat(OP_{l,j}) in the paper); recomputing the analytical model inside
 the training loop would be wasteful, so the costs are precomputed into a
 :class:`LatencyTable` keyed by layer name and candidate kind.
+
+Two communication sources are supported:
+
+- ``source="model"`` (default): the closed-form per-operator equations of
+  :class:`repro.hardware.latency.LatencyModel` — the paper's 32-bit FPGA
+  accounting, pinned against the published Fig. 1 constants;
+- ``source="plan"``: the compiled-plan manifest of the executable 2PC
+  runtime (:func:`repro.crypto.plan.compile_plan`) — byte counts and round
+  counts that match the :class:`~repro.crypto.channel.CommunicationLog` of
+  an actual execution exactly, so the NAS latency penalty and the engine
+  share one accounting.  Computation terms still come from the device model.
 """
 
 from __future__ import annotations
@@ -94,15 +105,65 @@ class LatencyTable:
         return total
 
 
+def plan_op_cost(
+    model: LatencyModel, layer: LayerSpec, input_shape: Tuple[int, ...], ring=None
+) -> OperatorCost:
+    """Cost one op from its compiled-plan trace (exact executable comm).
+
+    Communication bytes and rounds come from the protocol handler's declared
+    trace at the concrete input shape; the time term charges one network base
+    latency per round plus the payload over the raw bandwidth.  Computation
+    uses the device equations of :func:`layer_cost`.
+    """
+    from repro.crypto.protocols.registry import get_handler
+    from repro.crypto.ring import DEFAULT_RING
+
+    trace = get_handler(layer.kind).trace(layer, input_shape, ring or DEFAULT_RING)
+    comm_bytes = trace.online_bytes
+    comm_s = (
+        trace.rounds * model.network.base_latency_s
+        + 8.0 * comm_bytes / model.network.bandwidth_bps
+    )
+    return OperatorCost(
+        computation_s=layer_cost(model, layer).computation_s,
+        communication_s=comm_s,
+        communication_bytes=float(comm_bytes),
+    )
+
+
 def build_latency_table(
-    spec: ModelSpec, model: Optional[LatencyModel] = None
+    spec: ModelSpec,
+    model: Optional[LatencyModel] = None,
+    source: str = "model",
+    batch_size: int = 1,
 ) -> LatencyTable:
-    """Precompute the operator latency LUT for every layer and candidate kind."""
+    """Precompute the operator latency LUT for every layer and candidate kind.
+
+    ``source="model"`` uses the analytical per-operator equations;
+    ``source="plan"`` takes communication from the compiled-plan traces of
+    the executable runtime (see the module docstring).
+    """
     model = model or DEFAULT_LATENCY_MODEL
     table = LatencyTable(model_name=spec.name)
-    for layer in spec.layers:
-        per_kind: Dict[LayerKind, OperatorCost] = {}
-        for kind in candidate_kinds(layer):
-            per_kind[kind] = layer_cost(model, layer.with_kind(kind))
-        table.entries[layer.name] = per_kind
-    return table
+    if source == "model":
+        for layer in spec.layers:
+            per_kind: Dict[LayerKind, OperatorCost] = {}
+            for kind in candidate_kinds(layer):
+                per_kind[kind] = layer_cost(model, layer.with_kind(kind))
+            table.entries[layer.name] = per_kind
+        return table
+    if source == "plan":
+        from repro.crypto.plan import compile_plan
+
+        plan = compile_plan(spec, batch_size=batch_size)
+        for op in plan.ops:
+            per_kind = {}
+            for kind in candidate_kinds(op.layer):
+                # Both candidate sets (ReLU/X^2act, MaxPool/AvgPool) preserve
+                # tensor shapes, so the propagated input shape stays valid.
+                per_kind[kind] = plan_op_cost(
+                    model, op.layer.with_kind(kind), op.input_shape, plan.ring
+                )
+            table.entries[op.name] = per_kind
+        return table
+    raise ValueError(f"unknown latency table source {source!r} (use 'model' or 'plan')")
