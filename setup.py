@@ -14,4 +14,13 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
+    extras_require={
+        # Single source of truth for CI and contributor tooling:
+        #   pip install -e ".[dev]"
+        "dev": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "ruff>=0.4",
+        ],
+    },
 )

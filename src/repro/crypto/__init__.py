@@ -10,8 +10,15 @@ and round counts can be measured and compared with the analytical model in
 """
 
 from repro.crypto import protocols
-from repro.crypto.channel import Channel, CommunicationLog
+from repro.crypto.channel import Channel, CommunicationLog, PartyChannel
 from repro.crypto.context import TwoPartyContext, make_context
+from repro.crypto.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    TransportEndpoint,
+    WireStats,
+)
 from repro.crypto.dealer import (
     PreprocessingExhausted,
     RandomnessPool,
@@ -44,6 +51,12 @@ __all__ = [
     "protocols",
     "Channel",
     "CommunicationLog",
+    "PartyChannel",
+    "Transport",
+    "TransportEndpoint",
+    "LoopbackTransport",
+    "TcpTransport",
+    "WireStats",
     "TwoPartyContext",
     "make_context",
     "TrustedDealer",

@@ -1,9 +1,27 @@
-"""Simulated point-to-point channel between the two computing servers.
+"""Point-to-point channel between the two computing servers.
 
 Every message exchanged by the 2PC protocols flows through a
 :class:`Channel`, which records per-direction byte counts and communication
 rounds.  The recorded volumes are the executable counterpart of the
 analytical communication model in :mod:`repro.hardware.latency`.
+
+Two channel flavours share the same accounting and the same protocol-facing
+API (:meth:`Channel.open_ring`, :meth:`Channel.open_bits`,
+:meth:`Channel.transfer`):
+
+- :class:`Channel` — the in-process simulation: both share-worlds live in
+  one process, so "communication" reduces to bookkeeping plus the local
+  combination of the two shares;
+- :class:`PartyChannel` — one party's end of a real connection: the local
+  share genuinely crosses a :class:`~repro.crypto.transport.Transport`
+  (TCP socket or in-process loopback) and the peer's share genuinely arrives
+  from the wire.  Both parties log the full conversation in the canonical
+  order (S0's message first), so their logs are identical to each other and
+  to the simulated channel's.
+
+Protocol code MUST consume the return values of these three methods rather
+than recombining local variables — that is what makes the identical SPMD
+protocol program correct in both the simulated and the networked setting.
 """
 
 from __future__ import annotations
@@ -14,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+from repro.crypto.transport import Transport
 
 
 @dataclass
@@ -77,8 +96,9 @@ class Channel:
         exchanged — 8 bytes for the 64-bit executable ring, 4 bytes for the
         paper's 32-bit setting.
         """
+        self.ring = ring or DEFAULT_RING
         if element_bytes is None:
-            element_bytes = (ring or DEFAULT_RING).ring_bits // 8
+            element_bytes = self.ring.ring_bits // 8
         self.element_bytes = element_bytes
         self.log = CommunicationLog()
 
@@ -93,12 +113,17 @@ class Channel:
         if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
             raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
         payload = np.asarray(payload)
-        if payload.dtype in (np.uint64, np.int64):
-            num_bytes = int(payload.size) * self.element_bytes
-        else:
-            num_bytes = int(payload.nbytes)
-        self.log.messages.append(Message(sender, receiver, num_bytes, tag))
+        self.log.messages.append(
+            Message(sender, receiver, self._payload_bytes(payload), tag)
+        )
         return payload
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        """The accounting rule shared by the simulated and networked channels."""
+        payload = np.asarray(payload)
+        if payload.dtype in (np.uint64, np.int64):
+            return int(payload.size) * self.element_bytes
+        return int(payload.nbytes)
 
     def exchange(
         self, payload0: np.ndarray, payload1: np.ndarray, tag: str = ""
@@ -108,6 +133,37 @@ class Channel:
         received_by_1 = self.send(0, 1, payload0, tag=tag)
         received_by_0 = self.send(1, 0, payload1, tag=tag)
         return received_by_0, received_by_1
+
+    # ------------------------------------------------------------------ #
+    # Protocol-facing semantics (identical across channel flavours)
+    # ------------------------------------------------------------------ #
+    def open_ring(
+        self, share_from_0: np.ndarray, share_from_1: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        """Open an additively shared ring value: both parties learn the sum.
+
+        One bidirectional exchange (S0's message logged first).  In the
+        simulation both shares are at hand; in a :class:`PartyChannel` the
+        peer's share arrives over the transport.
+        """
+        self.exchange(share_from_0, share_from_1, tag=tag)
+        return self.ring.add(share_from_0, share_from_1)
+
+    def open_bits(
+        self, bits_from_0: np.ndarray, bits_from_1: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        """Open an XOR-shared bit tensor: both parties learn the XOR."""
+        bits_from_0 = np.asarray(bits_from_0, dtype=np.uint8)
+        bits_from_1 = np.asarray(bits_from_1, dtype=np.uint8)
+        self.exchange(bits_from_0, bits_from_1, tag=tag)
+        return bits_from_0 ^ bits_from_1
+
+    def transfer(
+        self, sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        """One-directional transfer; returns the payload as the receiver sees
+        it (in the simulation that is the payload itself)."""
+        return self.send(sender, receiver, payload, tag=tag)
 
     def reset(self) -> None:
         self.log.clear()
@@ -119,3 +175,111 @@ class Channel:
     @property
     def rounds(self) -> int:
         return self.log.rounds
+
+
+class PartyChannel(Channel):
+    """One party's end of a genuinely communicating channel.
+
+    The same SPMD protocol program that runs against the simulated
+    :class:`Channel` runs against a :class:`PartyChannel` inside each party's
+    process: expressions indexed by this party operate on genuine data, the
+    other world's expressions produce garbage that is never consumed, and
+    every cross-party value is obtained from the transport.
+
+    Accounting: both parties log every message of the conversation (their own
+    sends *and* the peer's, sized from the actually transmitted arrays) in
+    the canonical order, so ``log.total_bytes`` / ``log.rounds`` match the
+    simulated channel and the plan manifest exactly.  Exchanges are ordered
+    deterministically — party 0 sends first, party 1 receives first — which
+    makes the transport deadlock-free without concurrent send/receive.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        party: int,
+        element_bytes: Optional[int] = None,
+        ring: Optional[FixedPointRing] = None,
+    ) -> None:
+        if party not in (0, 1):
+            raise ValueError(f"party must be 0 or 1, got {party}")
+        super().__init__(element_bytes=element_bytes, ring=ring)
+        self.transport = transport
+        self.party = party
+
+    # -- helpers ------------------------------------------------------------ #
+    def _log(self, sender: int, payload: np.ndarray, tag: str) -> None:
+        self.log.messages.append(
+            Message(sender, 1 - sender, self._payload_bytes(payload), tag)
+        )
+
+    def _swap(self, mine: np.ndarray) -> np.ndarray:
+        """Ship my array, receive the peer's (party 0 sends first)."""
+        if self.party == 0:
+            self.transport.send_array(mine, self.ring)
+            theirs, _ = self.transport.recv_array()
+        else:
+            theirs, _ = self.transport.recv_array()
+            self.transport.send_array(mine, self.ring)
+        return theirs
+
+    # -- protocol-facing semantics ------------------------------------------ #
+    def open_ring(
+        self, share_from_0: np.ndarray, share_from_1: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        mine = np.asarray(share_from_0 if self.party == 0 else share_from_1)
+        theirs = self._swap(mine)
+        s0, s1 = (mine, theirs) if self.party == 0 else (theirs, mine)
+        self._log(0, s0, tag)
+        self._log(1, s1, tag)
+        return self.ring.add(mine, theirs)
+
+    def open_bits(
+        self, bits_from_0: np.ndarray, bits_from_1: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        mine = np.asarray(
+            bits_from_0 if self.party == 0 else bits_from_1, dtype=np.uint8
+        )
+        theirs = self._swap(mine).astype(np.uint8)
+        s0, s1 = (mine, theirs) if self.party == 0 else (theirs, mine)
+        self._log(0, s0, tag)
+        self._log(1, s1, tag)
+        return mine ^ theirs
+
+    def transfer(
+        self, sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
+            raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
+        if self.party == sender:
+            payload = np.asarray(payload)
+            self.transport.send_array(payload, self.ring)
+            self._log(sender, payload, tag)
+            return payload
+        received, _ = self.transport.recv_array()
+        self._log(sender, received, tag)
+        return received
+
+    def send(
+        self, sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        """Raw sends alias to :meth:`transfer` so legacy accounting-only call
+        sites (e.g. :class:`repro.crypto.ot.OTFlow`) stay wire-faithful."""
+        return self.transfer(sender, receiver, payload, tag=tag)
+
+    def exchange(
+        self, payload0: np.ndarray, payload1: np.ndarray, tag: str = ""
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bidirectional exchange; returns (received_by_0, received_by_1).
+
+        The slot belonging to this party holds the genuine wire data; the
+        other slot echoes the local argument (it only exists in the other
+        party's process).
+        """
+        mine = np.asarray(payload0 if self.party == 0 else payload1)
+        theirs = self._swap(mine)
+        s0, s1 = (mine, theirs) if self.party == 0 else (theirs, mine)
+        self._log(0, s0, tag)
+        self._log(1, s1, tag)
+        # received_by_0 is what S1 sent and vice versa.
+        return (theirs, payload1) if self.party == 0 else (payload0, theirs)

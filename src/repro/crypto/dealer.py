@@ -199,6 +199,32 @@ class RandomnessPool:
         self.served += 1
         return queue.popleft()
 
+    # -- party restriction (networked runtime) ------------------------------- #
+    def restrict_to_party(self, party: int) -> "RandomnessPool":
+        """Zero out the other party's share-world in every queued item.
+
+        In the deployment the dealer hands each server only *its* shares of
+        the correlated randomness.  The single-process simulation keeps both
+        worlds; a party process of the networked runtime calls this right
+        after (deterministically) regenerating the pool so that it genuinely
+        holds one share-world — the zeroed side only feeds the garbage lanes
+        of the SPMD protocol program and is never consumed.
+        """
+        if party not in (0, 1):
+            raise ValueError(f"party must be 0 or 1, got {party}")
+        other = 1 - party
+        for (kind, _shape), queue in self._queues.items():
+            for item in queue:
+                if kind in ("triple", "square"):
+                    pairs = (item.a, item.z) if kind == "square" else (item.a, item.b, item.z)
+                    for pair in pairs:
+                        setattr(pair, f"share{other}", np.zeros_like(pair.share0))
+                elif kind == "bit":
+                    for name in ("a", "b", "c"):
+                        field = f"{name}{other}"
+                        setattr(item, field, np.zeros_like(getattr(item, field)))
+        return self
+
     def triple(
         self,
         shape_a: Tuple[int, ...],

@@ -17,7 +17,6 @@ Two pieces live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -48,8 +47,10 @@ def one_of_four_ot(
         raise ValueError(
             f"message shape {messages.shape[1:]} does not match choices {choices.shape}"
         )
-    # The sender pushes all four (masked) messages onto the wire.
-    ctx.channel.send(0, 1, messages.astype(np.uint8), tag=tag)
+    # The sender pushes all four (masked) messages onto the wire; the
+    # receiver selects from what actually arrived (under a PartyChannel the
+    # receiver's local ``messages`` argument is garbage and is discarded).
+    messages = ctx.channel.transfer(0, 1, messages.astype(np.uint8), tag=tag)
     chosen = np.take_along_axis(
         messages, choices.astype(np.intp)[None, ...], axis=0
     )[0]

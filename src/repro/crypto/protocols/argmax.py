@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.protocols.comparison import bit_to_arithmetic, drelu
-from repro.crypto.sharing import SharePair, add_shares, reconstruct, sub_shares
+from repro.crypto.sharing import SharePair, add_shares, sub_shares
 
 
 def secure_max(ctx: TwoPartyContext, x: SharePair, tag: str = "max") -> SharePair:
@@ -75,6 +75,7 @@ def secure_argmax(
         delta = multiply(ctx, index_gap, arith_bit, truncate=False, tag=f"{tag}/idx{index}")
         index_shares = add_shares(index_shares, delta)
 
-    revealed = ring.add(index_shares.share0, index_shares.share1)
-    ctx.channel.exchange(index_shares.share0, index_shares.share1, tag=f"{tag}/open")
+    revealed = ctx.channel.open_ring(
+        index_shares.share0, index_shares.share1, tag=f"{tag}/open"
+    )
     return revealed.astype(np.int64), current_value

@@ -34,8 +34,9 @@ def _open_difference(
     ring = ctx.ring
     e0 = ring.sub(x.share0, a.share0)
     e1 = ring.sub(x.share1, a.share1)
-    ctx.channel.exchange(e0, e1, tag=tag)
-    return ring.add(e0, e1)
+    # The channel owns the recombination: under a PartyChannel only this
+    # party's difference share is genuine and the other arrives on the wire.
+    return ctx.channel.open_ring(e0, e1, tag=tag)
 
 
 def multiply(

@@ -47,11 +47,11 @@ def secure_and(
     e0 = y0 ^ triple.b0
     e1 = y1 ^ triple.b1
     # Open d = x ^ a and e = y ^ b (two bits per element, each direction).
-    ctx.channel.exchange(
+    opened = ctx.channel.open_bits(
         np.stack([d0, e0]).astype(np.uint8), np.stack([d1, e1]).astype(np.uint8), tag=tag
     )
-    d = d0 ^ d1
-    e = e0 ^ e1
+    d = opened[0]
+    e = opened[1]
     z0 = triple.c0 ^ (d & triple.b0) ^ (e & triple.a0) ^ (d & e)
     z1 = triple.c1 ^ (d & triple.b1) ^ (e & triple.a1)
     return z0.astype(np.uint8), z1.astype(np.uint8)

@@ -1,0 +1,355 @@
+"""Byte transports for the networked 2PC runtime.
+
+The :class:`~repro.crypto.channel.Channel` family needs a way to move
+ndarray payloads between the two computing parties.  This module extracts
+that concern into a :class:`Transport` abstraction with two implementations:
+
+- :class:`LoopbackTransport` — the in-process simulated transport (the
+  formalization of what the single-process harness always did): a pair of
+  connected endpoints backed by thread-safe queues, used to run the two
+  party programs in two threads of one process;
+- :class:`TcpTransport` — a real TCP socket transport with length-prefixed
+  framing, so the two party programs can live in two OS processes (or on two
+  machines) and exchange shares over the network.
+
+Framing and array codec
+-----------------------
+
+Every frame is ``uint32 length (LE) || header || payload``.  The header
+records dtype code, ndim and the dims; the payload is the raw array buffer
+in little-endian order.  Ring elements (stored as uint64 in memory
+regardless of the configured ring width) are packed at the *ring element
+width* — 8 bytes for the 64-bit executable ring, 4 bytes for the paper's
+32-bit ring — so the measured on-wire payload bytes equal the
+:class:`~repro.crypto.channel.CommunicationLog` accounting and the
+:class:`~repro.crypto.plan.PreprocessingManifest` prediction exactly.  The
+few header/length-prefix bytes are tracked separately as framing overhead.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+
+#: dtype codes of the array codec.  Code 0 is special: ring elements held as
+#: uint64 in memory but packed at the ring's element width on the wire.
+_RING_CODE = 0
+_DTYPE_CODES = {
+    1: np.dtype("uint8"),
+    2: np.dtype("<u4"),
+    3: np.dtype("<u8"),
+    4: np.dtype("<i8"),
+    5: np.dtype("<f8"),
+    6: np.dtype("<f4"),
+    7: np.dtype("<i4"),
+}
+_CODE_BY_DTYPE = {dt: code for code, dt in _DTYPE_CODES.items()}
+
+#: packing widths supported for ring elements (power-of-two byte counts)
+_RING_PACK_DTYPES = {1: "<u1", 2: "<u2", 4: "<u4", 8: "<u8"}
+
+_LEN_PREFIX = struct.Struct("<I")
+_HEADER_HEAD = struct.Struct("<BBB")  # dtype code, element width, ndim
+
+
+def ring_element_width(ring: FixedPointRing) -> int:
+    """On-the-wire byte width of one ring element (the accounting width)."""
+    width = ring.ring_bits // 8
+    if width not in _RING_PACK_DTYPES:
+        raise ValueError(
+            f"ring width {ring.ring_bits} bits does not map to a packable "
+            f"element width (got {width} bytes; supported: 1, 2, 4, 8)"
+        )
+    return width
+
+
+def encode_array(array: np.ndarray, ring: FixedPointRing = DEFAULT_RING) -> bytes:
+    """Serialize an ndarray into ``header || payload`` bytes.
+
+    uint64/int64 arrays are treated as ring elements and packed at the ring
+    element width; other dtypes are packed at their native width in
+    little-endian order.  The payload byte count therefore matches
+    :meth:`repro.crypto.channel.Channel.send` accounting exactly.
+    """
+    array = np.asarray(array)
+    if not array.flags["C_CONTIGUOUS"]:
+        # (ascontiguousarray would also promote 0-d arrays to 1-d)
+        array = np.ascontiguousarray(array)
+    if array.ndim > 255:
+        raise ValueError("arrays with more than 255 dimensions are not supported")
+    dims = struct.pack(f"<{array.ndim}Q", *array.shape)
+    if array.dtype in (np.dtype(np.uint64), np.dtype(np.int64)):
+        width = ring_element_width(ring)
+        packed = array.astype(np.uint64, copy=False)
+        if width != 8:
+            packed = ring.wrap(packed)
+        payload = packed.astype(_RING_PACK_DTYPES[width], copy=False).tobytes()
+        header = _HEADER_HEAD.pack(_RING_CODE, width, array.ndim)
+    else:
+        canonical = array.dtype.newbyteorder("<")
+        code = _CODE_BY_DTYPE.get(canonical)
+        if code is None:
+            raise ValueError(f"unsupported wire dtype {array.dtype}")
+        payload = array.astype(canonical, copy=False).tobytes()
+        header = _HEADER_HEAD.pack(code, canonical.itemsize, array.ndim)
+    return header + dims + payload
+
+
+def decode_array(frame: bytes) -> Tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_array`.
+
+    Returns ``(array, payload_bytes)`` — the payload byte count excludes the
+    header, so it can be checked against the channel accounting.  Ring
+    element payloads come back as uint64 (the in-memory convention).
+    """
+    code, width, ndim = _HEADER_HEAD.unpack_from(frame, 0)
+    offset = _HEADER_HEAD.size
+    shape = struct.unpack_from(f"<{ndim}Q", frame, offset)
+    offset += 8 * ndim
+    payload = frame[offset:]
+    if code == _RING_CODE:
+        if width not in _RING_PACK_DTYPES:
+            raise ValueError(f"invalid ring element width {width}")
+        array = np.frombuffer(payload, dtype=_RING_PACK_DTYPES[width])
+        array = array.astype(np.uint64).reshape(shape)
+    else:
+        dtype = _DTYPE_CODES.get(code)
+        if dtype is None:
+            raise ValueError(f"unknown wire dtype code {code}")
+        array = np.frombuffer(payload, dtype=dtype).reshape(shape)
+        array = np.ascontiguousarray(array)
+    return array, len(payload)
+
+
+@dataclass
+class WireStats:
+    """Measured traffic of one transport endpoint.
+
+    ``payload_bytes_*`` counts array payload bytes only (the quantity the
+    manifest predicts); ``overhead_bytes_*`` counts length prefixes and array
+    headers; their sum is what actually crossed the wire.
+    """
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    payload_bytes_sent: int = 0
+    payload_bytes_received: int = 0
+    overhead_bytes_sent: int = 0
+    overhead_bytes_received: int = 0
+
+    @property
+    def wire_bytes_sent(self) -> int:
+        return self.payload_bytes_sent + self.overhead_bytes_sent
+
+    @property
+    def wire_bytes_received(self) -> int:
+        return self.payload_bytes_received + self.overhead_bytes_received
+
+
+class Transport:
+    """Moves framed byte blobs (and ndarrays) between the two parties."""
+
+    def __init__(self) -> None:
+        self.stats = WireStats()
+
+    # -- frame layer (implemented by subclasses) ---------------------------- #
+    def _send_frame(self, frame: bytes) -> None:
+        raise NotImplementedError
+
+    def _recv_frame(self) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    # -- array layer --------------------------------------------------------- #
+    def send_array(self, array: np.ndarray, ring: FixedPointRing = DEFAULT_RING) -> int:
+        """Ship one ndarray; returns the payload byte count put on the wire."""
+        frame = encode_array(array, ring)
+        payload_bytes = _payload_length(frame)
+        self._send_frame(frame)
+        self.stats.frames_sent += 1
+        self.stats.payload_bytes_sent += payload_bytes
+        self.stats.overhead_bytes_sent += len(frame) - payload_bytes + _LEN_PREFIX.size
+        return payload_bytes
+
+    def recv_array(self) -> Tuple[np.ndarray, int]:
+        """Receive one ndarray; returns ``(array, payload_bytes)``."""
+        frame = self._recv_frame()
+        array, payload_bytes = decode_array(frame)
+        self.stats.frames_received += 1
+        self.stats.payload_bytes_received += payload_bytes
+        self.stats.overhead_bytes_received += (
+            len(frame) - payload_bytes + _LEN_PREFIX.size
+        )
+        return array, payload_bytes
+
+
+def _payload_length(frame: bytes) -> int:
+    _, _, ndim = _HEADER_HEAD.unpack_from(frame, 0)
+    return len(frame) - _HEADER_HEAD.size - 8 * ndim
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: a pair of endpoints over thread-safe queues.
+
+    This is the simulated counterpart of :class:`TcpTransport` — same
+    framing, same stats — for running the two party programs as two threads
+    of one process (used by the parity tests and available for debugging).
+    """
+
+    def __init__(
+        self,
+        inbox: "queue.Queue[bytes]",
+        outbox: "queue.Queue[bytes]",
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__()
+        self._inbox = inbox
+        self._outbox = outbox
+        self.timeout = timeout
+
+    @classmethod
+    def pair(cls, timeout: float = 30.0) -> Tuple["LoopbackTransport", "LoopbackTransport"]:
+        """Two connected endpoints: whatever one sends the other receives."""
+        a_to_b: "queue.Queue[bytes]" = queue.Queue()
+        b_to_a: "queue.Queue[bytes]" = queue.Queue()
+        return (
+            cls(inbox=b_to_a, outbox=a_to_b, timeout=timeout),
+            cls(inbox=a_to_b, outbox=b_to_a, timeout=timeout),
+        )
+
+    def _send_frame(self, frame: bytes) -> None:
+        self._outbox.put(frame)
+
+    def _recv_frame(self) -> bytes:
+        try:
+            return self._inbox.get(timeout=self.timeout)
+        except queue.Empty as exc:
+            raise TimeoutError(
+                f"loopback transport received nothing for {self.timeout}s"
+            ) from exc
+
+
+class TcpTransport(Transport):
+    """Length-prefix framed TCP socket transport between the two parties.
+
+    Party 0 conventionally listens (:meth:`listen`) and party 1 connects
+    (:meth:`connect`).  ``TCP_NODELAY`` is set because the 2PC online phase
+    is latency-bound on many small openings, not bandwidth-bound.
+    """
+
+    def __init__(self, sock: socket.socket, timeout: float = 120.0) -> None:
+        super().__init__()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(timeout)
+        self._sock = sock
+
+    # -- connection establishment ------------------------------------------- #
+    @classmethod
+    def listen(cls, host: str = "127.0.0.1", port: int = 0, timeout: float = 120.0) -> "TcpTransport":
+        """Accept exactly one peer connection (party 0's side)."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind((host, port))
+            server.listen(1)
+            server.settimeout(timeout)
+            conn, _ = server.accept()
+        finally:
+            server.close()
+        return cls(conn, timeout=timeout)
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 120.0,
+        retries: int = 50,
+        retry_delay: float = 0.1,
+    ) -> "TcpTransport":
+        """Connect to the listening party, retrying until it is up."""
+        last_error: Optional[OSError] = None
+        for _ in range(max(retries, 1)):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(timeout)
+                sock.connect((host, port))
+                return cls(sock, timeout=timeout)
+            except OSError as exc:
+                last_error = exc
+                sock.close()
+                time.sleep(retry_delay)
+        raise ConnectionError(
+            f"could not connect to party endpoint {host}:{port} "
+            f"after {retries} attempts"
+        ) from last_error
+
+    # -- frame layer --------------------------------------------------------- #
+    def _send_frame(self, frame: bytes) -> None:
+        self._sock.sendall(_LEN_PREFIX.pack(len(frame)) + frame)
+
+    def _recv_exact(self, num_bytes: int) -> bytes:
+        chunks = []
+        remaining = num_bytes
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise ConnectionError("peer closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv_frame(self) -> bytes:
+        (length,) = _LEN_PREFIX.unpack(self._recv_exact(_LEN_PREFIX.size))
+        return self._recv_exact(length)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Pick a currently free TCP port (racy, but fine for localhost tests)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return int(sock.getsockname()[1])
+
+
+@dataclass
+class TransportEndpoint:
+    """How one party reaches the other: host/port plus its own role."""
+
+    party: int
+    host: str = "127.0.0.1"
+    port: int = 0
+    timeout: float = 120.0
+    connect_retries: int = 100
+    extra: dict = field(default_factory=dict)
+
+    def open(self) -> TcpTransport:
+        """Establish the inter-party connection for this endpoint's role."""
+        if self.port <= 0:
+            # port 0 would listen on an undiscoverable ephemeral port / try to
+            # connect to an invalid one; fail immediately instead of timing out.
+            raise ValueError(
+                f"TransportEndpoint needs a concrete port, got {self.port}; "
+                "pick one with repro.crypto.transport.free_port()"
+            )
+        if self.party == 0:
+            return TcpTransport.listen(self.host, self.port, timeout=self.timeout)
+        return TcpTransport.connect(
+            self.host, self.port, timeout=self.timeout, retries=self.connect_retries
+        )

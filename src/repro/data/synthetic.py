@@ -17,7 +17,7 @@ needs; they are *not* a substitute for the paper's absolute accuracy numbers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -16,7 +16,6 @@ from repro.core.pareto import TradeOffPoint, pareto_frontier
 from repro.core.surrogate import AccuracySurrogate
 from repro.core.sweep import DEFAULT_LAMBDAS, lambda_sweep, relu_reduction_sweep
 from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel
-from repro.hardware.lut import build_latency_table
 from repro.models.zoo import FIG5_BACKBONES, get_backbone
 
 

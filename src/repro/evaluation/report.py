@@ -7,7 +7,7 @@ figures (recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def format_value(value) -> str:

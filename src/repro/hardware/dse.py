@@ -11,7 +11,7 @@ ablation benchmark ``bench_dse_hardware.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.hardware.device import FPGADevice, ZCU104
 from repro.hardware.latency import LatencyModel

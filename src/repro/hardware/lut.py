@@ -20,7 +20,7 @@ Two communication sources are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel, OperatorCost, ZERO_COST
 from repro.models.specs import (

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Optional
 
 from repro.hardware.latency import DEFAULT_LATENCY_MODEL, LatencyModel, OperatorCost
-from repro.hardware.lut import build_latency_table, layer_cost
+from repro.hardware.lut import layer_cost
 from repro.models.specs import ModelSpec
 
 ScheduleMode = Literal["sequential", "overlapped"]

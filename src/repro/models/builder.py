@@ -10,7 +10,7 @@ weights can be exported for the 2PC secure inference engine.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

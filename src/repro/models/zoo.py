@@ -10,13 +10,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.models.mobilenet import (
-    build_mobilenetv2_spec,
     mobilenetv2_cifar,
     mobilenetv2_imagenet,
     mobilenetv2_tiny,
 )
 from repro.models.resnet import (
-    build_resnet_spec,
     resnet18_cifar,
     resnet18_imagenet,
     resnet34_cifar,
@@ -26,7 +24,6 @@ from repro.models.resnet import (
 )
 from repro.models.specs import ModelSpec
 from repro.models.vgg import (
-    build_vgg_spec,
     vgg11_cifar,
     vgg16_cifar,
     vgg16_imagenet,

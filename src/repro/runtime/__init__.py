@@ -1,0 +1,29 @@
+"""Networked two-party runtime: process-separated execution of compiled plans.
+
+:mod:`repro.runtime.party` runs one computing party (one share-world) against
+a transport; :mod:`repro.runtime.twoprocess` orchestrates a full two-OS-process
+private inference over localhost TCP and verifies the measured on-wire bytes
+against the plan's preprocessing manifest.
+"""
+
+from repro.runtime.party import (
+    PartyExecution,
+    PartyJob,
+    PartyReport,
+    execute_plan_as_party,
+    run_party_worker,
+)
+from repro.runtime.twoprocess import (
+    TwoProcessResult,
+    run_two_process_inference,
+)
+
+__all__ = [
+    "PartyExecution",
+    "PartyJob",
+    "PartyReport",
+    "execute_plan_as_party",
+    "run_party_worker",
+    "TwoProcessResult",
+    "run_two_process_inference",
+]

@@ -1,0 +1,267 @@
+"""One computing party of the networked 2PC runtime.
+
+The paper deploys a searched network on *two physically separate* computing
+parties.  This module is the per-party half of that deployment: a worker
+that holds exactly one share-world (its input share, its half of the
+correlated randomness) and jointly executes a compiled
+:class:`~repro.crypto.plan.InferencePlan` with the peer over a
+:class:`~repro.crypto.transport.Transport`.
+
+How one program serves both parties
+-----------------------------------
+
+Every protocol in :mod:`repro.crypto.protocols` is written in SPMD form:
+expressions that produce party-*i* values read only party-*i* inputs plus
+values opened on the channel.  A party process therefore runs the *same*
+program as the single-process simulation, with:
+
+- its own share-world genuine and the other world zero-filled (the other
+  world's expressions compute garbage that is never consumed and never put
+  on the wire);
+- a :class:`~repro.crypto.channel.PartyChannel`, so every opened value is
+  recombined from the share that genuinely crossed the transport;
+- a :class:`~repro.crypto.dealer.RandomnessPool` regenerated from the shared
+  session seed and then restricted to this party's world
+  (:meth:`~repro.crypto.dealer.RandomnessPool.restrict_to_party`).
+
+Because the randomness streams and openings are identical to the
+single-process compiled path, the reconstructed logits are bit-identical to
+it — and the measured on-wire payload bytes equal the manifest prediction,
+which :func:`verify_against_plan` asserts after every run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.crypto.channel import PartyChannel
+from repro.crypto.context import TwoPartyContext
+from repro.crypto.dealer import RandomnessPool, TrustedDealer
+from repro.crypto.plan import InferencePlan, compile_plan
+from repro.crypto.protocols.registry import get_handler
+from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+from repro.crypto.sharing import SharePair
+from repro.crypto.transport import TransportEndpoint, WireStats
+from repro.models.specs import ModelSpec
+
+
+@dataclass
+class PartyJob:
+    """Everything one party needs to join a two-process inference session."""
+
+    spec: ModelSpec
+    weights: Dict[str, Dict[str, np.ndarray]]
+    batch_size: int
+    seed: int
+    input_share: np.ndarray
+    ring: FixedPointRing = DEFAULT_RING
+
+
+@dataclass
+class PartyExecution:
+    """Outcome of one plan execution from a single party's perspective."""
+
+    party: int
+    logit_share: np.ndarray
+    communication_bytes: int
+    communication_rounds: int
+    per_layer_bytes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class PartyReport:
+    """What a party worker sends back to the driver after a session."""
+
+    party: int
+    logit_share: np.ndarray
+    communication_bytes: int
+    communication_rounds: int
+    per_layer_bytes: Dict[str, int]
+    payload_bytes_sent: int
+    payload_bytes_received: int
+    wire_bytes_sent: int
+    wire_bytes_received: int
+    frames_sent: int
+    offline_seconds: float
+    online_seconds: float
+    pool_served: int
+
+
+def predicted_direction_bytes(plan: InferencePlan, sender: int) -> int:
+    """Manifest-predicted online payload bytes flowing out of ``sender``."""
+    return sum(
+        num_bytes
+        for op in plan.ops
+        for msg_sender, num_bytes in op.messages
+        if msg_sender == sender
+    )
+
+
+def verify_against_plan(
+    plan: InferencePlan, execution: PartyExecution, stats: WireStats
+) -> None:
+    """Assert the measured traffic equals the plan's static prediction.
+
+    Checks three layers of accounting against the manifest: the party's
+    communication log (both directions), the payload bytes its transport
+    actually serialized onto the wire, and the payload bytes it received.
+    """
+    party = execution.party
+    checks = [
+        ("logged online bytes", execution.communication_bytes, plan.online_bytes),
+        ("logged online rounds", execution.communication_rounds, plan.online_rounds),
+        (
+            "on-wire payload bytes sent",
+            stats.payload_bytes_sent,
+            predicted_direction_bytes(plan, party),
+        ),
+        (
+            "on-wire payload bytes received",
+            stats.payload_bytes_received,
+            predicted_direction_bytes(plan, 1 - party),
+        ),
+    ]
+    for name, measured, predicted in checks:
+        if measured != predicted:
+            raise RuntimeError(
+                f"party {party}: {name} = {measured} does not match the "
+                f"manifest prediction {predicted} for plan "
+                f"{plan.model_name!r} (batch {plan.batch_size})"
+            )
+
+
+def execute_plan_as_party(
+    ctx: TwoPartyContext,
+    party: int,
+    plan: InferencePlan,
+    weights: Dict[str, Dict[str, np.ndarray]],
+    input_share: np.ndarray,
+    pool: Optional[RandomnessPool] = None,
+) -> PartyExecution:
+    """Run the online phase of ``plan`` holding only ``party``'s share-world.
+
+    ``ctx.channel`` must be a :class:`PartyChannel` for the same party (or a
+    simulated channel in tests).  ``input_share`` is this party's additive
+    share of the encoded query batch; the peer holds the complementary one.
+    One RNG draw of the input shape is burned first to keep ``ctx.rng``
+    aligned with the reference stream of the single-process path (which
+    draws the sharing mask from the same generator).
+    """
+    input_share = np.asarray(input_share, dtype=np.uint64)
+    if tuple(input_share.shape) != plan.input_shape:
+        raise ValueError(
+            f"plan expects input share of shape {plan.input_shape}, "
+            f"got {input_share.shape}"
+        )
+    if pool is None:
+        pool = ctx.dealer.preprocess(plan)
+
+    ring = ctx.ring
+    ring.random(plan.input_shape, ctx.rng)  # burn the sharing-mask draw
+    zeros = np.zeros(plan.input_shape, dtype=np.uint64)
+    if party == 0:
+        shared = SharePair(input_share, zeros, ring)
+    else:
+        shared = SharePair(zeros, input_share, ring)
+
+    dealer = ctx.dealer
+    ctx.dealer = pool
+    try:
+        ctx.reset_communication()
+        per_layer: Dict[str, int] = {}
+        cache: Dict[str, SharePair] = {}
+        for op in plan.ops:
+            before = ctx.communication_bytes
+            handler = get_handler(op.kind)
+            shared = handler.execute(
+                ctx, op.layer, weights.get(op.name, {}), shared, cache
+            )
+            cache[op.name] = shared
+            per_layer[op.name] = ctx.communication_bytes - before
+        logit_share = shared.share0 if party == 0 else shared.share1
+    finally:
+        ctx.dealer = dealer
+
+    return PartyExecution(
+        party=party,
+        logit_share=logit_share,
+        communication_bytes=ctx.communication_bytes,
+        communication_rounds=ctx.communication_rounds,
+        per_layer_bytes=per_layer,
+    )
+
+
+def run_party_session(
+    job: PartyJob, endpoint: TransportEndpoint, verify: bool = True
+) -> PartyReport:
+    """Execute one inference session as the party given by ``endpoint``.
+
+    Establishes the inter-party connection, deterministically regenerates
+    the offline randomness from the shared session seed, restricts it to
+    this party's share-world, runs the online phase and (by default)
+    verifies the measured traffic against the plan manifest.
+    """
+    party = endpoint.party
+    transport = endpoint.open()
+    try:
+        channel = PartyChannel(transport, party, ring=job.ring)
+        ctx = TwoPartyContext(ring=job.ring, seed=job.seed, channel=channel)
+
+        offline_start = time.perf_counter()
+        plan = compile_plan(job.spec, batch_size=job.batch_size, ring=job.ring)
+        dealer = TrustedDealer(ring=job.ring, seed=job.seed)
+        pool = dealer.preprocess(plan).restrict_to_party(party)
+        offline_seconds = time.perf_counter() - offline_start
+
+        online_start = time.perf_counter()
+        execution = execute_plan_as_party(
+            ctx, party, plan, job.weights, job.input_share, pool=pool
+        )
+        online_seconds = time.perf_counter() - online_start
+
+        if verify:
+            verify_against_plan(plan, execution, transport.stats)
+        return PartyReport(
+            party=party,
+            logit_share=execution.logit_share,
+            communication_bytes=execution.communication_bytes,
+            communication_rounds=execution.communication_rounds,
+            per_layer_bytes=execution.per_layer_bytes,
+            payload_bytes_sent=transport.stats.payload_bytes_sent,
+            payload_bytes_received=transport.stats.payload_bytes_received,
+            wire_bytes_sent=transport.stats.wire_bytes_sent,
+            wire_bytes_received=transport.stats.wire_bytes_received,
+            frames_sent=transport.stats.frames_sent,
+            offline_seconds=offline_seconds,
+            online_seconds=online_seconds,
+            pool_served=pool.served,
+        )
+    finally:
+        transport.close()
+
+
+def run_party_worker(conn, party: int, host: str, port: int, timeout: float = 120.0) -> None:
+    """Entry point for one party OS process (``multiprocessing.Process``).
+
+    Receives a :class:`PartyJob` over the driver's control pipe (the stand-in
+    for the client/dealer provisioning path — *not* part of the measured
+    inter-server traffic), runs the session over TCP, and sends back either a
+    :class:`PartyReport` or the exception that ended the session.
+    """
+    try:
+        job: PartyJob = conn.recv()
+        endpoint = TransportEndpoint(party=party, host=host, port=port, timeout=timeout)
+        report = run_party_session(job, endpoint)
+        conn.send(report)
+    except Exception as exc:  # surface the failure to the driver, then re-raise
+        try:
+            conn.send(exc)
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()

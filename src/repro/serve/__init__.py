@@ -1,0 +1,32 @@
+"""Batched serving frontend for secure inference.
+
+The ROADMAP's north star is a serving path that holds up under heavy query
+traffic.  The plan runtime already amortizes compilation and preprocessing
+across batched queries; this package adds the missing piece between clients
+and the runtime:
+
+- :class:`~repro.serve.cache.PlanPoolCache` — compiled plans and
+  pre-provisioned randomness pools cached per ``(model, batch_size)``, so
+  the serving hot path never compiles and (when provisioned ahead) never
+  runs the dealer;
+- :class:`~repro.serve.frontend.BatchingFrontend` — a request queue that
+  coalesces incoming queries up to ``(max_batch, max_wait)`` and dispatches
+  each coalesced batch through a single plan execution, resolving one future
+  per query and recording queue/serve latency percentiles.
+"""
+
+from repro.serve.cache import CacheStats, PlanPoolCache, ServableModel
+from repro.serve.frontend import (
+    BatchingFrontend,
+    ServedResult,
+    ServingStats,
+)
+
+__all__ = [
+    "BatchingFrontend",
+    "CacheStats",
+    "PlanPoolCache",
+    "ServableModel",
+    "ServedResult",
+    "ServingStats",
+]

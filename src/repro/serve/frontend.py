@@ -1,0 +1,317 @@
+"""Batching request frontend for the secure-inference runtime.
+
+Clients submit single queries; a dispatcher thread coalesces queued queries
+for the same model up to ``max_batch`` (or until the oldest waiting query
+has waited ``max_wait`` seconds), stacks them into one batch, and runs a
+single plan execution against a cached plan + pre-provisioned randomness
+pool.  Each query resolves to its own :class:`ServedResult` future.
+
+Batching is the amortization lever of the plan runtime (one communication
+round trip per protocol op regardless of batch size), so throughput scales
+with the coalesced batch size while per-query latency only pays the small
+coalescing wait — :mod:`benchmarks.bench_serving_throughput` measures both.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.crypto.context import make_context
+from repro.crypto.ring import FixedPointRing
+from repro.crypto.secure_model import SecureInferenceEngine
+from repro.serve.cache import PlanPoolCache, ServableModel
+
+
+@dataclass
+class ServedResult:
+    """What one client query resolves to."""
+
+    logits: np.ndarray
+    predicted_class: int
+    model: str
+    batch_size: int
+    latency_seconds: float
+    online_bytes_per_query: float
+
+
+#: latency samples kept for percentile computation (a sliding window, so a
+#: long-lived frontend under heavy traffic stays O(1) in memory)
+LATENCY_WINDOW = 100_000
+
+
+@dataclass
+class ServingStats:
+    """Aggregate counters and latency percentiles of a frontend's lifetime.
+
+    Percentiles are computed over the most recent :data:`LATENCY_WINDOW`
+    completed queries; the counters cover the whole lifetime.
+    """
+
+    queries_completed: int = 0
+    queries_failed: int = 0
+    batches_dispatched: int = 0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    latencies_seconds: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+    first_submit: Optional[float] = None
+    last_complete: Optional[float] = None
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches_dispatched:
+            return 0.0
+        return self.queries_completed / self.batches_dispatched
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        if not self.latencies_seconds:
+            return 0.0
+        return 1e3 * float(np.percentile(self.latencies_seconds, percentile))
+
+    @property
+    def queries_per_second(self) -> float:
+        if (
+            self.first_submit is None
+            or self.last_complete is None
+            or self.last_complete <= self.first_submit
+        ):
+            return 0.0
+        return self.queries_completed / (self.last_complete - self.first_submit)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "queries_completed": self.queries_completed,
+            "queries_failed": self.queries_failed,
+            "batches_dispatched": self.batches_dispatched,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": dict(sorted(self.batch_size_histogram.items())),
+            "p50_latency_ms": self.latency_percentile_ms(50),
+            "p95_latency_ms": self.latency_percentile_ms(95),
+            "queries_per_second": self.queries_per_second,
+        }
+
+
+@dataclass
+class _PendingQuery:
+    model: str
+    query: np.ndarray
+    future: "Future[ServedResult]"
+    submitted_at: float
+
+
+class BatchingFrontend:
+    """Coalescing request queue in front of the compiled-plan engine.
+
+    Args:
+        models: the deployable model zoo, keyed by the name clients use.
+        max_batch: hard cap on queries coalesced into one plan execution.
+        max_wait: seconds the oldest queued query may wait before its batch
+            is dispatched even if not full — the latency/throughput knob.
+        provision_pools: pools to pre-generate per model at ``max_batch``
+            (and at batch size 1) during startup, off the serving path.
+        seed: session seed for the serving context and dealer.
+        ring: fixed-point ring of the deployment.
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, ServableModel],
+        max_batch: int = 8,
+        max_wait: float = 0.01,
+        provision_pools: int = 0,
+        seed: int = 0,
+        ring: Optional[FixedPointRing] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.models = dict(models)
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.engine = SecureInferenceEngine(make_context(ring=ring, seed=seed))
+        self.cache = PlanPoolCache(ring=self.engine.ctx.ring, seed=seed + 1)
+        self.stats = ServingStats()
+        self._queue: "Queue[Optional[_PendingQuery]]" = Queue()
+        self._stats_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
+        self._closed = False
+        if provision_pools:
+            for servable in self.models.values():
+                self.cache.provision(servable.spec, self.max_batch, provision_pools)
+                self.cache.provision(servable.spec, 1, provision_pools)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Client API
+    # ------------------------------------------------------------------ #
+    def submit(self, model: str, query: np.ndarray) -> "Future[ServedResult]":
+        """Enqueue one query (CHW, no batch dimension); returns a future."""
+        if self._closed:
+            raise RuntimeError("frontend is closed")
+        servable = self.models.get(model)
+        if servable is None:
+            raise KeyError(
+                f"unknown model {model!r}; deployed: {sorted(self.models)}"
+            )
+        query = np.asarray(query, dtype=np.float64)
+        spec = servable.spec
+        expected = (spec.in_channels, spec.input_size, spec.input_size)
+        if query.shape != expected:
+            raise ValueError(
+                f"model {model!r} expects a query of shape {expected}, "
+                f"got {query.shape}"
+            )
+        now = time.perf_counter()
+        with self._stats_lock:
+            if self.stats.first_submit is None:
+                self.stats.first_submit = now
+        future: "Future[ServedResult]" = Future()
+        # The closed check and the enqueue are atomic w.r.t. close(), so a
+        # query can never land in the queue after the shutdown drain.
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("frontend is closed")
+            self._queue.put(_PendingQuery(model, query, future, now))
+        return future
+
+    def submit_many(
+        self, model: str, queries: np.ndarray
+    ) -> List["Future[ServedResult]"]:
+        """Enqueue a stack of queries individually (they may be re-batched)."""
+        return [self.submit(model, query) for query in np.asarray(queries)]
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain the queue, stop the dispatcher and reject new submissions."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)  # shutdown sentinel, after the last query
+        self._dispatcher.join(timeout=timeout)
+
+    def __enter__(self) -> "BatchingFrontend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        pending: Dict[str, List[_PendingQuery]] = {}
+        running = True
+        while running or any(pending.values()):
+            timeout = self._next_deadline_in(pending) if running else 0.0
+            item: Optional[_PendingQuery] = None
+            if running:
+                try:
+                    item = self._queue.get(timeout=max(timeout, 1e-4))
+                except Empty:
+                    item = None
+                if item is None and not self._queue.empty():
+                    continue
+            if item is None and running and self._closed:
+                running = False
+            elif item is None and running:
+                pass
+            elif item is None:
+                running = False
+            else:
+                pending.setdefault(item.model, []).append(item)
+            if not running:
+                # Shutdown: drain whatever is still queued, then flush all.
+                while True:
+                    try:
+                        leftover = self._queue.get_nowait()
+                    except Empty:
+                        break
+                    if leftover is not None:
+                        pending.setdefault(leftover.model, []).append(leftover)
+            self._flush_ready(pending, force=not running)
+
+    def _next_deadline_in(self, pending: Dict[str, List[_PendingQuery]]) -> float:
+        deadlines = [
+            bucket[0].submitted_at + self.max_wait
+            for bucket in pending.values()
+            if bucket
+        ]
+        if not deadlines:
+            return 0.05
+        return max(min(deadlines) - time.perf_counter(), 0.0)
+
+    def _flush_ready(
+        self, pending: Dict[str, List[_PendingQuery]], force: bool
+    ) -> None:
+        now = time.perf_counter()
+        for model, bucket in pending.items():
+            while bucket and (
+                force
+                or len(bucket) >= self.max_batch
+                or now - bucket[0].submitted_at >= self.max_wait
+            ):
+                batch = bucket[: self.max_batch]
+                del bucket[: self.max_batch]
+                self._execute_batch(model, batch)
+
+    def _execute_batch(self, model: str, batch: List[_PendingQuery]) -> None:
+        servable = self.models[model]
+        batch_size = len(batch)
+        try:
+            plan = self.cache.plan(servable.spec, batch_size)
+            pool = self.cache.acquire_pool(servable.spec, batch_size)
+            inputs = np.stack([item.query for item in batch])
+            result = self.engine.execute(plan, servable.weights, inputs, pool=pool)
+        except Exception as exc:
+            with self._stats_lock:
+                self.stats.queries_failed += len(batch)
+            for item in batch:
+                _resolve(item.future, exception=exc)
+            return
+        done = time.perf_counter()
+        predictions = result.logits.argmax(axis=1)
+        with self._stats_lock:
+            self.stats.batches_dispatched += 1
+            self.stats.queries_completed += batch_size
+            self.stats.batch_size_histogram[batch_size] = (
+                self.stats.batch_size_histogram.get(batch_size, 0) + 1
+            )
+            self.stats.last_complete = done
+            for item in batch:
+                self.stats.latencies_seconds.append(done - item.submitted_at)
+        for row, item in enumerate(batch):
+            _resolve(
+                item.future,
+                result=ServedResult(
+                    logits=result.logits[row],
+                    predicted_class=int(predictions[row]),
+                    model=model,
+                    batch_size=batch_size,
+                    latency_seconds=done - item.submitted_at,
+                    online_bytes_per_query=result.online_bytes_per_query,
+                ),
+            )
+
+
+def _resolve(future: "Future[ServedResult]", result=None, exception=None) -> None:
+    """Resolve a future without letting a client-side cancel() (or any other
+    already-settled state) kill the dispatcher thread."""
+    try:
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass
