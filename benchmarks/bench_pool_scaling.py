@@ -1,0 +1,346 @@
+"""Throughput scaling of the sharded serving pool vs. shard count.
+
+Three serving tiers are measured on the same query stream:
+
+1. **sequential** — the PR-2 baseline: one batch-1 in-process plan
+   execution per query (pools pre-provisioned);
+2. **batched-1worker** — the PR-2 batched frontend: one in-process worker
+   consuming coalesced batches;
+3. **pool-N** — the sharded pool: N persistent two-process worker pairs
+   behind the same coalescing frontend, jobs routed to idle shards.
+
+The pool runs with a simulated inter-party ``--link-latency-ms`` (default
+5 ms one-way, a same-region LAN/WAN figure) because deployed 2PC serving is
+round-trip-bound: that is the regime where horizontal sharding pays, and
+the regime the paper's latency model targets.  Localhost-only numbers
+(``--link-latency-ms 0``) degenerate to a CPU benchmark of the host.
+
+Before measuring, a correctness phase executes every zoo model on a
+persistent pool and asserts **bit-identity** with the in-process compiled
+engine at the job's derived seed, and that the pool spawned **zero
+processes after boot** (persistent servers, no per-request spawn).
+
+Run with:  PYTHONPATH=src python benchmarks/bench_pool_scaling.py
+Optionally ``--json out.json`` writes the measurements (schema
+``serving-bench/v1``, documented in docs/serving.md) for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.crypto import make_context
+from repro.crypto.secure_model import SecureInferenceEngine
+from repro.models import build_model, export_layer_weights, get_backbone
+from repro.nn.tensor import Tensor
+from repro.serve import BatchingFrontend, ServableModel, ShardedServingPool
+from repro.utils import seed_everything
+
+#: zoo models exercised by the bit-identity phase (numpy-trainable tinies)
+ZOO_MODELS = ("vgg-tiny", "resnet-tiny", "mobilenetv2-tiny")
+
+SCHEMA = "serving-bench/v1"
+
+
+def _trained_servable(name: str, input_size: int, polynomial: bool) -> ServableModel:
+    spec = get_backbone(name, input_size=input_size)
+    if polynomial:
+        spec = spec.with_all_polynomial()
+    net = build_model(spec)
+    rng = np.random.default_rng(0)
+    for _ in range(2):  # move BN running stats off their init values
+        net(Tensor(rng.normal(size=(4, spec.in_channels, input_size, input_size))))
+    net.eval()
+    return ServableModel(spec, export_layer_weights(net))
+
+
+def verify_zoo_bit_identity(input_size: int, seed: int) -> Dict[str, object]:
+    """Every zoo model, twice, on one persistent pool: bit-identical + warm."""
+    models = {
+        name: _trained_servable(name, input_size, polynomial=True)
+        for name in ZOO_MODELS
+    }
+    checked: List[Dict[str, object]] = []
+    serving_pids: set = set()
+    with ShardedServingPool(
+        models, num_shards=1, max_batch=2, provision_pools=2,
+        warm_batch_sizes=(2,), seed=seed,
+    ) as pool:
+        pids_after_boot = {p.pid for p in mp.active_children()}
+        for name, servable in models.items():
+            spec = servable.spec
+            for repeat in range(2):  # two jobs per model over ONE connection
+                x = np.random.default_rng(100 + repeat).normal(
+                    size=(2, spec.in_channels, input_size, input_size)
+                )
+                result = pool.run_batch(name, x)
+                serving_pids.update(result.worker_pids)
+                engine = SecureInferenceEngine(make_context(seed=result.seed))
+                plan = engine.compile(spec, batch_size=2)
+                reference = engine.execute(
+                    plan, servable.weights, x, pool=engine.preprocess(plan)
+                )
+                identical = bool(np.array_equal(result.logits, reference.logits))
+                checked.append(
+                    {"model": spec.name, "repeat": repeat, "bit_identical": identical}
+                )
+                if not identical:
+                    raise SystemExit(
+                        f"pool execution of {name} diverged from the "
+                        f"in-process compiled path at seed {result.seed}"
+                    )
+        pids_after_jobs = {p.pid for p in mp.active_children()}
+        snapshot = pool.stats_snapshot()
+    jobs = snapshot["jobs_executed"]
+    # Falsifiable zero-spawn check: every job must have been served by the
+    # same two OS processes that existed right after boot, and the set of
+    # live children must not have grown while jobs ran.
+    if len(serving_pids) != 2:
+        raise SystemExit(
+            f"{jobs} jobs were served by {len(serving_pids)} distinct "
+            f"processes — persistent servers must serve from exactly 2"
+        )
+    new_children = pids_after_jobs - pids_after_boot
+    if new_children:
+        raise SystemExit(
+            f"{len(new_children)} process(es) were spawned while serving "
+            f"{jobs} jobs — the serving path must not spawn"
+        )
+    return {
+        "checked": checked,
+        "jobs_executed": jobs,
+        "processes_spawned": snapshot["processes_spawned"],
+        "distinct_serving_pids": len(serving_pids),
+        "per_request_process_spawns": len(new_children) / max(jobs, 1),
+    }
+
+
+def _worker_records(pool: ShardedServingPool) -> List[Dict[str, object]]:
+    """Per-worker timing records of the shared ``serving-bench/v1`` schema."""
+    records: List[Dict[str, object]] = []
+    for shard in pool._shards:
+        if shard is None:
+            continue
+        for party, stats in sorted(shard.final_server_stats.items()):
+            records.append(
+                {
+                    "shard": shard.index,
+                    "party": party,
+                    "role": "party-server",
+                    "jobs_executed": stats.jobs_executed,
+                    # genuine per-party online time summed over the jobs —
+                    # the same meaning the field has in the two-process
+                    # example's workers[] records
+                    "online_seconds": stats.online_seconds,
+                    "offline_seconds": None,  # provisioning runs in background
+                    "payload_bytes_sent": stats.payload_bytes_sent,
+                    "control_bytes_sent": stats.control_bytes_sent,
+                    "pool_hits": stats.pool_hits,
+                    "pool_misses": stats.pool_misses,
+                    "pools_provisioned": stats.pools_provisioned,
+                }
+            )
+    return records
+
+
+def run_benchmark(
+    model: str = "vgg-tiny",
+    input_size: int = 8,
+    num_queries: int = 48,
+    max_batch: int = 4,
+    max_wait: float = 0.03,
+    shard_counts: List[int] = (1, 2, 4),
+    link_latency_ms: float = 5.0,
+    seed: int = 0,
+    skip_zoo_check: bool = False,
+) -> dict:
+    seed_everything(1)
+    servable = _trained_servable(model, input_size, polynomial=True)
+    spec = servable.spec
+    models = {model: servable}
+    queries = np.random.default_rng(3).normal(
+        size=(num_queries, spec.in_channels, input_size, input_size)
+    )
+
+    zoo_check = None
+    if not skip_zoo_check:
+        zoo_check = verify_zoo_bit_identity(input_size, seed)
+
+    # -- PR-2 baseline 1: sequential batch-1 in-process executions ----------- #
+    engine = SecureInferenceEngine(make_context(seed=seed))
+    plan1 = engine.compile(spec, batch_size=1)
+    pools = [engine.preprocess(plan1) for _ in range(num_queries)]  # offline
+    latencies = []
+    seq_start = time.perf_counter()
+    for i in range(num_queries):
+        t0 = time.perf_counter()
+        engine.execute(plan1, servable.weights, queries[i : i + 1], pool=pools[i])
+        latencies.append(time.perf_counter() - t0)
+    seq_seconds = time.perf_counter() - seq_start
+    paths: Dict[str, Dict[str, object]] = {
+        "sequential": {
+            "queries_per_second": num_queries / seq_seconds,
+            "p50_latency_ms": 1e3 * float(np.percentile(latencies, 50)),
+            "p95_latency_ms": 1e3 * float(np.percentile(latencies, 95)),
+            "total_seconds": seq_seconds,
+        }
+    }
+
+    # -- PR-2 baseline 2: single in-process worker behind the frontend ------- #
+    with BatchingFrontend(
+        models,
+        max_batch=max_batch,
+        max_wait=max_wait,
+        provision_pools=max(num_queries // max_batch + 1, 1),
+        seed=seed,
+    ) as frontend:
+        t0 = time.perf_counter()
+        futures = frontend.submit_many(model, queries)
+        for future in futures:
+            future.result(timeout=600)
+        total = time.perf_counter() - t0
+        stats = frontend.stats.snapshot()
+    paths["batched-1worker"] = {
+        "queries_per_second": num_queries / total,
+        "p50_latency_ms": stats["p50_latency_ms"],
+        "p95_latency_ms": stats["p95_latency_ms"],
+        "total_seconds": total,
+        "mean_batch_size": stats["mean_batch_size"],
+    }
+
+    # -- the sharded pool at each shard count --------------------------------- #
+    workers: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        pool = ShardedServingPool(
+            models,
+            num_shards=shards,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            provision_pools=max_batch,
+            high_water=max_batch,
+            link_latency=link_latency_ms / 1e3,
+            seed=seed,
+        )
+        t0 = time.perf_counter()
+        futures = pool.submit_many(model, queries)
+        for future in futures:
+            future.result(timeout=600)
+        total = time.perf_counter() - t0
+        snapshot = pool.stats_snapshot()
+        pool.close()
+        key = f"pool-{shards}shard"
+        paths[key] = {
+            "queries_per_second": num_queries / total,
+            "p50_latency_ms": snapshot["frontend"]["p50_latency_ms"],
+            "p95_latency_ms": snapshot["frontend"]["p95_latency_ms"],
+            "total_seconds": total,
+            "mean_batch_size": snapshot["frontend"]["mean_batch_size"],
+            "num_shards": shards,
+            "pool_hit_rate": snapshot["pool_hit_rate"],
+            "jobs_executed": snapshot["jobs_executed"],
+            "processes_spawned": snapshot["processes_spawned"],
+            "per_request_process_spawns": max(
+                snapshot["processes_spawned"] - 2 * snapshot["shards_booted"], 0
+            )
+            / max(snapshot["jobs_executed"], 1),
+        }
+        workers.extend(
+            dict(record, path=key) for record in _worker_records(pool)
+        )
+
+    first = f"pool-{shard_counts[0]}shard"
+    last = f"pool-{shard_counts[-1]}shard"
+    scaling = (
+        paths[last]["queries_per_second"] / paths[first]["queries_per_second"]
+        if paths[first]["queries_per_second"]
+        else 0.0
+    )
+    return {
+        "schema": SCHEMA,
+        "kind": "pool_scaling",
+        "model": spec.name,
+        "config": {
+            "num_queries": num_queries,
+            "max_batch": max_batch,
+            "max_wait_s": max_wait,
+            "shard_counts": list(shard_counts),
+            "link_latency_ms": link_latency_ms,
+            "seed": seed,
+        },
+        "paths": paths,
+        "workers": workers,
+        "scaling": {
+            "from": first,
+            "to": last,
+            "qps_speedup": scaling,
+        },
+        "zoo_bit_identity": zoo_check,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="vgg-tiny")
+    parser.add_argument("--input-size", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=48)
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument("--max-wait", type=float, default=0.03)
+    parser.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts to sweep (e.g. 1,2,4)",
+    )
+    parser.add_argument(
+        "--link-latency-ms", type=float, default=5.0,
+        help="one-way inter-party latency injected per frame (0 = raw loopback)",
+    )
+    parser.add_argument(
+        "--skip-zoo-check", action="store_true",
+        help="skip the zoo-wide bit-identity phase (faster CI smoke)",
+    )
+    parser.add_argument("--json", dest="json_path", default=None)
+    args = parser.parse_args()
+    shard_counts = [int(part) for part in args.shards.split(",") if part]
+
+    report = run_benchmark(
+        model=args.model,
+        input_size=args.input_size,
+        num_queries=args.queries,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        shard_counts=shard_counts,
+        link_latency_ms=args.link_latency_ms,
+        skip_zoo_check=args.skip_zoo_check,
+    )
+
+    print(f"== pool scaling: {report['model']}, {report['config']['num_queries']} "
+          f"queries, max_batch {report['config']['max_batch']}, "
+          f"link latency {report['config']['link_latency_ms']} ms ==")
+    if report["zoo_bit_identity"] is not None:
+        zoo = report["zoo_bit_identity"]
+        print(f"zoo bit-identity: {len(zoo['checked'])} jobs across "
+              f"{len(ZOO_MODELS)} models, all identical; "
+              f"{zoo['processes_spawned']} processes spawned, "
+              f"{zoo['per_request_process_spawns']:.0f} per request")
+    print(f"{'path':<18} {'qps':>9} {'p50 ms':>9} {'p95 ms':>9} {'total s':>9}")
+    for name, path in report["paths"].items():
+        print(f"{name:<18} {path['queries_per_second']:>9.1f} "
+              f"{path['p50_latency_ms']:>9.2f} {path['p95_latency_ms']:>9.2f} "
+              f"{path['total_seconds']:>9.3f}")
+    scaling = report["scaling"]
+    print(f"aggregate qps scaling {scaling['from']} -> {scaling['to']}: "
+          f"{scaling['qps_speedup']:.2f}x")
+
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote benchmark JSON to {args.json_path}")
+
+
+if __name__ == "__main__":
+    main()

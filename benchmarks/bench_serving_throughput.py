@@ -84,26 +84,40 @@ def run_benchmark(
     stats = frontend.stats.snapshot()
     cache = frontend.cache.stats.snapshot()
 
+    sequential = {
+        "queries_per_second": num_queries / seq_seconds,
+        "p50_latency_ms": seq_p50,
+        "p95_latency_ms": seq_p95,
+        "total_seconds": seq_seconds,
+    }
+    batched = {
+        "queries_per_second": num_queries / batch_seconds,
+        "p50_latency_ms": stats["p50_latency_ms"],
+        "p95_latency_ms": stats["p95_latency_ms"],
+        "total_seconds": batch_seconds,
+        "mean_batch_size": stats["mean_batch_size"],
+        "batches_dispatched": stats["batches_dispatched"],
+        "cold_pool_misses": cache["cold_pool_misses"],
+    }
     return {
+        # ``serving-bench/v1`` shared schema (docs/serving.md); the bare
+        # "sequential"/"batched" keys are kept for older consumers.
+        "schema": "serving-bench/v1",
+        "kind": "serving_throughput",
         "model": spec.name,
+        "config": {
+            "num_queries": num_queries,
+            "max_batch": max_batch,
+            "max_wait_s": max_wait,
+            "seed": seed,
+        },
+        "paths": {"sequential": sequential, "batched-1worker": batched},
+        "workers": [],  # in-process backend: no party workers
         "num_queries": num_queries,
         "max_batch": max_batch,
         "max_wait_s": max_wait,
-        "sequential": {
-            "queries_per_second": num_queries / seq_seconds,
-            "p50_latency_ms": seq_p50,
-            "p95_latency_ms": seq_p95,
-            "total_seconds": seq_seconds,
-        },
-        "batched": {
-            "queries_per_second": num_queries / batch_seconds,
-            "p50_latency_ms": stats["p50_latency_ms"],
-            "p95_latency_ms": stats["p95_latency_ms"],
-            "total_seconds": batch_seconds,
-            "mean_batch_size": stats["mean_batch_size"],
-            "batches_dispatched": stats["batches_dispatched"],
-            "cold_pool_misses": cache["cold_pool_misses"],
-        },
+        "sequential": sequential,
+        "batched": batched,
         "throughput_speedup": seq_seconds / batch_seconds,
     }
 

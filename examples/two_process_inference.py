@@ -89,9 +89,19 @@ def main() -> None:
         raise SystemExit("two-process execution diverged from the reference")
 
     if args.json_path:
+        # ``serving-bench/v1``: the schema shared with bench_pool_scaling /
+        # bench_serving_throughput so dashboards can ingest either benchmark
+        # uniformly (documented in docs/serving.md).
         payload = {
+            "schema": "serving-bench/v1",
+            "kind": "two_process_inference",
             "model": spec.name,
             "batch_size": args.batch,
+            "config": {
+                "num_queries": args.batch,
+                "seed": args.seed,
+                "polynomial": bool(args.polynomial),
+            },
             "bit_identical": bit_identical,
             "matches_manifest": result.matches_manifest,
             "predicted_online_bytes": plan.online_bytes,
@@ -99,6 +109,27 @@ def main() -> None:
             "wire_bytes_on_wire": result.wire_bytes_on_wire,
             "framing_overhead_bytes": result.framing_overhead_bytes,
             "online_rounds": result.online_rounds,
+            "paths": {
+                "socket_session": {
+                    "queries_per_second": args.batch / result.wall_seconds,
+                    "p50_latency_ms": None,
+                    "p95_latency_ms": None,
+                    "total_seconds": result.wall_seconds,
+                },
+            },
+            "workers": [
+                {
+                    "shard": None,  # one-shot runtime: no shard pool
+                    "party": party,
+                    "role": "party-worker",
+                    "jobs_executed": 1,
+                    "online_seconds": result.reports[party].online_seconds,
+                    "offline_seconds": result.reports[party].offline_seconds,
+                    "payload_bytes_sent": result.reports[party].payload_bytes_sent,
+                    "frames_sent": result.reports[party].frames_sent,
+                }
+                for party in (0, 1)
+            ],
             "wall_seconds": result.wall_seconds,
             "per_party": {
                 str(party): {

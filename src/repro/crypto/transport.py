@@ -24,6 +24,31 @@ width* — 8 bytes for the 64-bit executable ring, 4 bytes for the paper's
 :class:`~repro.crypto.channel.CommunicationLog` accounting and the
 :class:`~repro.crypto.plan.PreprocessingManifest` prediction exactly.  The
 few header/length-prefix bytes are tracked separately as framing overhead.
+
+Multi-message sessions
+----------------------
+
+A persistent connection carries many plan executions, so the wire protocol
+distinguishes two frame classes:
+
+- **array frames** (the protocol payload, accounted as above);
+- **control frames** (:meth:`Transport.send_control` /
+  :meth:`Transport.recv_control`): opaque byte blobs used by the session
+  layer for job headers, synchronization and the graceful-shutdown
+  handshake (:meth:`Transport.send_shutdown`, after which the peer's
+  ``recv_control`` returns ``None``).
+
+Invariants the rest of the system relies on:
+
+1. control bytes NEVER count as payload — :attr:`WireStats` tracks them
+   separately, so per-job payload deltas still equal the manifest
+   prediction exactly on a connection that multiplexes many jobs;
+2. frame order is deterministic (the 2PC programs are SPMD with a
+   canonical exchange order), so a receiver always knows whether the next
+   frame must be an array or a control message — a mismatch raises instead
+   of silently misparsing;
+3. both endpoints of a session observe symmetric stats: what one side
+   counts as sent, the other counts as received, frame for frame.
 """
 
 from __future__ import annotations
@@ -41,7 +66,14 @@ from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 
 #: dtype codes of the array codec.  Code 0 is special: ring elements held as
 #: uint64 in memory but packed at the ring's element width on the wire.
+#: Code 255 marks a control frame (session layer, not an array at all).
 _RING_CODE = 0
+_CONTROL_CODE = 255
+
+#: control payload of the graceful-shutdown handshake.  A peer that receives
+#: it learns the session ended cleanly (recv_control returns None) rather
+#: than by a dropped connection.
+SHUTDOWN_PAYLOAD = b"\x00__2pc_session_shutdown__"
 _DTYPE_CODES = {
     1: np.dtype("uint8"),
     2: np.dtype("<u4"),
@@ -111,6 +143,11 @@ def decode_array(frame: bytes) -> Tuple[np.ndarray, int]:
     element payloads come back as uint64 (the in-memory convention).
     """
     code, width, ndim = _HEADER_HEAD.unpack_from(frame, 0)
+    if code == _CONTROL_CODE:
+        raise ValueError(
+            "received a control frame where an array frame was expected — "
+            "the session layers of the two endpoints are out of sync"
+        )
     offset = _HEADER_HEAD.size
     shape = struct.unpack_from(f"<{ndim}Q", frame, offset)
     offset += 8 * ndim
@@ -135,7 +172,11 @@ class WireStats:
 
     ``payload_bytes_*`` counts array payload bytes only (the quantity the
     manifest predicts); ``overhead_bytes_*`` counts length prefixes and array
-    headers; their sum is what actually crossed the wire.
+    headers; ``control_bytes_*`` counts session-layer control frames (job
+    headers, shutdown handshake) in full.  The sum of all three is what
+    actually crossed the wire — and because control traffic is kept out of
+    the payload counters, per-job payload deltas on a persistent connection
+    still match the manifest exactly.
     """
 
     frames_sent: int = 0
@@ -144,14 +185,39 @@ class WireStats:
     payload_bytes_received: int = 0
     overhead_bytes_sent: int = 0
     overhead_bytes_received: int = 0
+    control_frames_sent: int = 0
+    control_frames_received: int = 0
+    control_bytes_sent: int = 0
+    control_bytes_received: int = 0
 
     @property
     def wire_bytes_sent(self) -> int:
-        return self.payload_bytes_sent + self.overhead_bytes_sent
+        return (
+            self.payload_bytes_sent
+            + self.overhead_bytes_sent
+            + self.control_bytes_sent
+        )
 
     @property
     def wire_bytes_received(self) -> int:
-        return self.payload_bytes_received + self.overhead_bytes_received
+        return (
+            self.payload_bytes_received
+            + self.overhead_bytes_received
+            + self.control_bytes_received
+        )
+
+    def snapshot(self) -> "WireStats":
+        """A frozen copy, for per-job deltas on a persistent connection."""
+        return WireStats(**self.__dict__)
+
+    def since(self, earlier: "WireStats") -> "WireStats":
+        """Field-wise ``self - earlier``: the traffic of one session slice."""
+        return WireStats(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self.__dict__
+            }
+        )
 
 
 class Transport:
@@ -191,6 +257,41 @@ class Transport:
             len(frame) - payload_bytes + _LEN_PREFIX.size
         )
         return array, payload_bytes
+
+    # -- session layer (multi-message framing) ------------------------------ #
+    def send_control(self, payload: bytes) -> None:
+        """Ship one opaque control message (job header, sync, shutdown).
+
+        Control bytes are accounted separately from array payload so that
+        manifest verification stays exact on a connection carrying many jobs.
+        """
+        frame = bytes([_CONTROL_CODE]) + payload
+        self._send_frame(frame)
+        self.stats.control_frames_sent += 1
+        self.stats.control_bytes_sent += len(frame) + _LEN_PREFIX.size
+
+    def recv_control(self) -> Optional[bytes]:
+        """Receive one control message; ``None`` means graceful shutdown.
+
+        Raises if an array frame arrives instead — the session layers of the
+        two endpoints must agree on the frame sequence.
+        """
+        frame = self._recv_frame()
+        if not frame or frame[0] != _CONTROL_CODE:
+            raise ValueError(
+                "received an array frame where a control frame was expected — "
+                "the session layers of the two endpoints are out of sync"
+            )
+        self.stats.control_frames_received += 1
+        self.stats.control_bytes_received += len(frame) + _LEN_PREFIX.size
+        payload = frame[1:]
+        if payload == SHUTDOWN_PAYLOAD:
+            return None
+        return payload
+
+    def send_shutdown(self) -> None:
+        """Announce a graceful end of session to the peer."""
+        self.send_control(SHUTDOWN_PAYLOAD)
 
 
 def _payload_length(frame: bytes) -> int:
@@ -245,17 +346,35 @@ class TcpTransport(Transport):
     Party 0 conventionally listens (:meth:`listen`) and party 1 connects
     (:meth:`connect`).  ``TCP_NODELAY`` is set because the 2PC online phase
     is latency-bound on many small openings, not bandwidth-bound.
+
+    ``link_latency`` (seconds) injects a one-way delay before each outgoing
+    frame, emulating a LAN/WAN link on localhost.  Deployed 2PC serving is
+    dominated by round-trip time, so capacity planning (and the pool-scaling
+    benchmark) exercises the runtime in that regime rather than the
+    unrealistically fast loopback one.
     """
 
-    def __init__(self, sock: socket.socket, timeout: float = 120.0) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        timeout: float = 120.0,
+        link_latency: float = 0.0,
+    ) -> None:
         super().__init__()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(timeout)
         self._sock = sock
+        self.link_latency = link_latency
 
     # -- connection establishment ------------------------------------------- #
     @classmethod
-    def listen(cls, host: str = "127.0.0.1", port: int = 0, timeout: float = 120.0) -> "TcpTransport":
+    def listen(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 120.0,
+        link_latency: float = 0.0,
+    ) -> "TcpTransport":
         """Accept exactly one peer connection (party 0's side)."""
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
@@ -266,7 +385,7 @@ class TcpTransport(Transport):
             conn, _ = server.accept()
         finally:
             server.close()
-        return cls(conn, timeout=timeout)
+        return cls(conn, timeout=timeout, link_latency=link_latency)
 
     @classmethod
     def connect(
@@ -276,6 +395,7 @@ class TcpTransport(Transport):
         timeout: float = 120.0,
         retries: int = 50,
         retry_delay: float = 0.1,
+        link_latency: float = 0.0,
     ) -> "TcpTransport":
         """Connect to the listening party, retrying until it is up."""
         last_error: Optional[OSError] = None
@@ -284,7 +404,7 @@ class TcpTransport(Transport):
             try:
                 sock.settimeout(timeout)
                 sock.connect((host, port))
-                return cls(sock, timeout=timeout)
+                return cls(sock, timeout=timeout, link_latency=link_latency)
             except OSError as exc:
                 last_error = exc
                 sock.close()
@@ -296,6 +416,8 @@ class TcpTransport(Transport):
 
     # -- frame layer --------------------------------------------------------- #
     def _send_frame(self, frame: bytes) -> None:
+        if self.link_latency > 0.0:
+            time.sleep(self.link_latency)
         self._sock.sendall(_LEN_PREFIX.pack(len(frame)) + frame)
 
     def _recv_exact(self, num_bytes: int) -> bytes:
@@ -337,6 +459,7 @@ class TransportEndpoint:
     port: int = 0
     timeout: float = 120.0
     connect_retries: int = 100
+    link_latency: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def open(self) -> TcpTransport:
@@ -349,7 +472,16 @@ class TransportEndpoint:
                 "pick one with repro.crypto.transport.free_port()"
             )
         if self.party == 0:
-            return TcpTransport.listen(self.host, self.port, timeout=self.timeout)
+            return TcpTransport.listen(
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                link_latency=self.link_latency,
+            )
         return TcpTransport.connect(
-            self.host, self.port, timeout=self.timeout, retries=self.connect_retries
+            self.host,
+            self.port,
+            timeout=self.timeout,
+            retries=self.connect_retries,
+            link_latency=self.link_latency,
         )

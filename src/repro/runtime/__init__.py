@@ -3,7 +3,10 @@
 :mod:`repro.runtime.party` runs one computing party (one share-world) against
 a transport; :mod:`repro.runtime.twoprocess` orchestrates a full two-OS-process
 private inference over localhost TCP and verifies the measured on-wire bytes
-against the plan's preprocessing manifest.
+against the plan's preprocessing manifest; :mod:`repro.runtime.server` keeps a
+party alive across requests — one long-lived process per party executing a
+stream of jobs over one persistent connection against pre-provisioned
+randomness pools.
 """
 
 from repro.runtime.party import (
@@ -13,16 +16,42 @@ from repro.runtime.party import (
     execute_plan_as_party,
     run_party_worker,
 )
+from repro.runtime.server import (
+    JobFailed,
+    JobReport,
+    JobRequest,
+    JobValidationError,
+    PartyServer,
+    ProvisionReport,
+    ProvisionRequest,
+    ServerConfig,
+    ServerStats,
+    ShutdownRequest,
+    derive_job_seed,
+    run_party_server,
+)
 from repro.runtime.twoprocess import (
     TwoProcessResult,
     run_two_process_inference,
 )
 
 __all__ = [
+    "JobFailed",
+    "JobReport",
+    "JobRequest",
+    "JobValidationError",
     "PartyExecution",
     "PartyJob",
     "PartyReport",
+    "PartyServer",
+    "ProvisionReport",
+    "ProvisionRequest",
+    "ServerConfig",
+    "ServerStats",
+    "ShutdownRequest",
+    "derive_job_seed",
     "execute_plan_as_party",
+    "run_party_server",
     "run_party_worker",
     "TwoProcessResult",
     "run_two_process_inference",

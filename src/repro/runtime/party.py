@@ -28,6 +28,22 @@ Because the randomness streams and openings are identical to the
 single-process compiled path, the reconstructed logits are bit-identical to
 it — and the measured on-wire payload bytes equal the manifest prediction,
 which :func:`verify_against_plan` asserts after every run.
+
+Invariants (relied on by the persistent server and the serving pool):
+
+1. **one share-world per process** — a party process never holds, receives
+   or derives the peer's genuine shares; the other world's lanes of the
+   SPMD program carry zero-filled garbage that is never consumed and never
+   put on the wire (``RandomnessPool.restrict_to_party`` enforces this for
+   the dealer material);
+2. **canonical-order exchange** — party 0 sends first, party 1 receives
+   first, and both parties log the full conversation in that order, so the
+   two logs are identical to each other and to the simulated channel's,
+   and the transport needs no concurrent send/receive to be deadlock-free;
+3. **payload == manifest** — after every execution, logged bytes, logged
+   rounds and per-direction on-wire payload bytes must equal the compiled
+   plan's static prediction exactly; a deviation is an error, not a
+   warning.
 """
 
 from __future__ import annotations

@@ -12,21 +12,39 @@ and the runtime:
 - :class:`~repro.serve.frontend.BatchingFrontend` — a request queue that
   coalesces incoming queries up to ``(max_batch, max_wait)`` and dispatches
   each coalesced batch through a single plan execution, resolving one future
-  per query and recording queue/serve latency percentiles.
+  per query and recording queue/serve latency percentiles;
+- :class:`~repro.serve.pool.ShardedServingPool` — N persistent two-process
+  worker pairs behind the same coalescing frontend: batches route to idle
+  shards, party servers keep randomness buffers filled in the background,
+  and a dead worker pair is evicted while the rest keep serving.
 """
 
 from repro.serve.cache import CacheStats, PlanPoolCache, ServableModel
 from repro.serve.frontend import (
     BatchingFrontend,
+    BatchOutcome,
     ServedResult,
     ServingStats,
+)
+from repro.serve.pool import (
+    PoolBatchResult,
+    ShardedServingPool,
+    ShardFailure,
+    ShardStats,
+    WorkerShard,
 )
 
 __all__ = [
     "BatchingFrontend",
+    "BatchOutcome",
     "CacheStats",
     "PlanPoolCache",
+    "PoolBatchResult",
     "ServableModel",
     "ServedResult",
     "ServingStats",
+    "ShardedServingPool",
+    "ShardFailure",
+    "ShardStats",
+    "WorkerShard",
 ]

@@ -10,6 +10,24 @@ Batching is the amortization lever of the plan runtime (one communication
 round trip per protocol op regardless of batch size), so throughput scales
 with the coalesced batch size while per-query latency only pays the small
 coalescing wait — :mod:`benchmarks.bench_serving_throughput` measures both.
+
+Execution is pluggable: coalescing, future bookkeeping and statistics live
+here, while the two overridable hooks :meth:`BatchingFrontend._dispatch_batch`
+(where a coalesced batch runs: inline by default, handed to a shard pool by
+:mod:`repro.serve.pool`) and :meth:`BatchingFrontend._run_batch` (how it
+runs: the in-process engine by default, a persistent worker pair in the
+pool) let backends swap in without touching the queueing logic.
+
+Invariants:
+
+- every submitted query resolves exactly once — with a
+  :class:`ServedResult` or with the exception that killed its batch; a
+  backend failure never wedges a client future;
+- a query accepted by :meth:`BatchingFrontend.submit` is dispatched even if
+  :meth:`BatchingFrontend.close` races with it (the closed check and the
+  enqueue are atomic w.r.t. the shutdown drain);
+- statistics are updated under one lock and are safe against concurrent
+  batch completions from asynchronous backends.
 """
 
 from __future__ import annotations
@@ -40,6 +58,22 @@ class ServedResult:
     batch_size: int
     latency_seconds: float
     online_bytes_per_query: float
+    #: which worker shard executed the batch (None on the in-process backend)
+    shard: Optional[int] = None
+    #: session seed of the executing job — replaying the in-process engine at
+    #: this seed reproduces the logits bit for bit (None on the in-process
+    #: backend, whose engine seed is fixed at construction)
+    job_seed: Optional[int] = None
+
+
+@dataclass
+class BatchOutcome:
+    """What one backend execution of a coalesced batch returns."""
+
+    logits: np.ndarray
+    online_bytes_per_query: float
+    shard: Optional[int] = None
+    job_seed: Optional[int] = None
 
 
 #: latency samples kept for percentile computation (a sliding window, so a
@@ -137,8 +171,13 @@ class BatchingFrontend:
         self.models = dict(models)
         self.max_batch = max_batch
         self.max_wait = max_wait
-        self.engine = SecureInferenceEngine(make_context(ring=ring, seed=seed))
-        self.cache = PlanPoolCache(ring=self.engine.ctx.ring, seed=seed + 1)
+        # Engine and cache are built on first use: a subclass that overrides
+        # _run_batch with a remote backend (the shard pool) never constructs
+        # the in-process engine/dealer at all.
+        self._ring = ring
+        self._seed = seed
+        self._engine: Optional[SecureInferenceEngine] = None
+        self._cache: Optional[PlanPoolCache] = None
         self.stats = ServingStats()
         self._queue: "Queue[Optional[_PendingQuery]]" = Queue()
         self._stats_lock = threading.Lock()
@@ -152,6 +191,28 @@ class BatchingFrontend:
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
         self._dispatcher.start()
+
+    @property
+    def engine(self) -> SecureInferenceEngine:
+        """The in-process execution engine (built on first use)."""
+        if self._engine is None:
+            self._engine = SecureInferenceEngine(
+                make_context(ring=self._ring, seed=self._seed)
+            )
+        return self._engine
+
+    @property
+    def cache(self) -> PlanPoolCache:
+        """The plan/pool cache of the in-process backend (built on first use)."""
+        if self._cache is None:
+            self._cache = PlanPoolCache(ring=self.engine.ctx.ring, seed=self._seed + 1)
+        return self._cache
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """A consistent copy of the serving stats (safe against concurrent
+        batch completions from asynchronous backends)."""
+        with self._stats_lock:
+            return self.stats.snapshot()
 
     # ------------------------------------------------------------------ #
     # Client API
@@ -264,16 +325,44 @@ class BatchingFrontend:
             ):
                 batch = bucket[: self.max_batch]
                 del bucket[: self.max_batch]
-                self._execute_batch(model, batch)
+                self._dispatch_batch(model, batch)
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+    def _dispatch_batch(self, model: str, batch: List[_PendingQuery]) -> None:
+        """Where a coalesced batch runs.
+
+        The default executes inline on the dispatcher thread; an
+        asynchronous backend (the shard pool) overrides this to hand the
+        batch off so coalescing continues while shards work.
+        """
+        self._execute_batch(model, batch)
+
+    def _run_batch(
+        self, model: str, servable: ServableModel, inputs: np.ndarray
+    ) -> BatchOutcome:
+        """How a coalesced batch runs: one plan execution on the backend.
+
+        The default is the in-process compiled engine against the plan/pool
+        cache; :class:`repro.serve.pool.ShardedServingPool` overrides this
+        to route the batch to a persistent two-process worker pair.
+        """
+        batch_size = int(inputs.shape[0])
+        plan = self.cache.plan(servable.spec, batch_size)
+        pool = self.cache.acquire_pool(servable.spec, batch_size)
+        result = self.engine.execute(plan, servable.weights, inputs, pool=pool)
+        return BatchOutcome(
+            logits=result.logits,
+            online_bytes_per_query=result.online_bytes_per_query,
+        )
 
     def _execute_batch(self, model: str, batch: List[_PendingQuery]) -> None:
         servable = self.models[model]
         batch_size = len(batch)
         try:
-            plan = self.cache.plan(servable.spec, batch_size)
-            pool = self.cache.acquire_pool(servable.spec, batch_size)
             inputs = np.stack([item.query for item in batch])
-            result = self.engine.execute(plan, servable.weights, inputs, pool=pool)
+            outcome = self._run_batch(model, servable, inputs)
         except Exception as exc:
             with self._stats_lock:
                 self.stats.queries_failed += len(batch)
@@ -281,7 +370,7 @@ class BatchingFrontend:
                 _resolve(item.future, exception=exc)
             return
         done = time.perf_counter()
-        predictions = result.logits.argmax(axis=1)
+        predictions = outcome.logits.argmax(axis=1)
         with self._stats_lock:
             self.stats.batches_dispatched += 1
             self.stats.queries_completed += batch_size
@@ -295,12 +384,14 @@ class BatchingFrontend:
             _resolve(
                 item.future,
                 result=ServedResult(
-                    logits=result.logits[row],
+                    logits=outcome.logits[row],
                     predicted_class=int(predictions[row]),
                     model=model,
                     batch_size=batch_size,
                     latency_seconds=done - item.submitted_at,
-                    online_bytes_per_query=result.online_bytes_per_query,
+                    online_bytes_per_query=outcome.online_bytes_per_query,
+                    shard=outcome.shard,
+                    job_seed=outcome.job_seed,
                 ),
             )
 

@@ -1,0 +1,688 @@
+"""Sharded serving pool: N persistent worker pairs behind one frontend.
+
+One two-process worker pair executes one plan at a time — its throughput is
+bounded by the round-trip-heavy online phase.  The pool scales horizontally:
+``num_shards`` worker pairs (each a pair of long-lived
+:func:`repro.runtime.server.run_party_server` processes over one persistent
+TCP connection), a dispatcher that routes coalesced batches to idle shards,
+and the existing :class:`~repro.serve.frontend.BatchingFrontend` coalescing
+in front of it all.
+
+Lifecycle of a shard:
+
+1. **boot** — two party processes are spawned (the only process spawns the
+   shard ever performs), the inter-party connection is established once,
+   plans for the warm batch sizes are compiled and randomness pools are
+   pre-provisioned;
+2. **serve** — each coalesced batch becomes one :class:`JobRequest` to both
+   parties; the shard secret-shares the batch with the job's deterministic
+   seed, reconstructs the logits from the returned shares, and cross-checks
+   both parties' accounting;
+3. **refill** — each party's background provisioner tops its pool buffer up
+   whenever it falls below the low-water mark, off the serving path;
+4. **evict / restart** — a shard whose worker processes die is evicted
+   (its in-flight batch fails cleanly; remaining shards keep serving) and
+   can be replaced with :meth:`ShardedServingPool.restart_shard`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+from repro.crypto.sharing import share
+from repro.crypto.transport import free_port
+from repro.models.specs import ModelSpec
+from repro.runtime.server import (
+    JobFailed,
+    JobReport,
+    JobRequest,
+    ProvisionReport,
+    ProvisionRequest,
+    ServerConfig,
+    ServerStats,
+    ShutdownRequest,
+    derive_job_seed,
+    run_party_server,
+)
+from repro.serve.cache import ServableModel
+from repro.serve.frontend import BatchingFrontend, BatchOutcome, _PendingQuery
+
+
+class ShardFailure(RuntimeError):
+    """A worker pair died or desynchronized; the shard must be evicted."""
+
+
+@dataclass
+class PoolBatchResult:
+    """One batch executed on a shard: reconstructed output + accounting."""
+
+    logits: np.ndarray
+    model: str
+    batch_size: int
+    seed: int
+    shard: int
+    wall_seconds: float
+    online_seconds: float
+    payload_bytes_on_wire: int
+    pool_hits: int
+    pool_misses: int
+    #: pids of the two party processes that served the job — constant across
+    #: a shard's lifetime (the measurable form of "no per-request spawns")
+    worker_pids: Tuple[int, int] = (0, 0)
+
+
+@dataclass
+class ShardStats:
+    """Lifetime counters of one shard (driver-side view)."""
+
+    jobs_executed: int = 0
+    queries_served: int = 0
+    failures: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    busy_seconds: float = 0.0
+    job_latencies: Deque[float] = field(default_factory=lambda: deque(maxlen=10_000))
+
+    @property
+    def pool_hit_rate(self) -> float:
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        latencies = list(self.job_latencies)
+        return {
+            "jobs_executed": self.jobs_executed,
+            "queries_served": self.queries_served,
+            "failures": self.failures,
+            "pool_hits": self.pool_hits,
+            "pool_misses": self.pool_misses,
+            "pool_hit_rate": self.pool_hit_rate,
+            "busy_seconds": self.busy_seconds,
+            "p50_job_ms": 1e3 * float(np.percentile(latencies, 50)) if latencies else 0.0,
+            "p95_job_ms": 1e3 * float(np.percentile(latencies, 95)) if latencies else 0.0,
+        }
+
+
+class WorkerShard:
+    """One persistent worker pair: two party-server processes, one session.
+
+    All serving-path interaction goes through :meth:`run_job`; the shard is
+    handed to exactly one dispatcher thread at a time (via the pool's idle
+    queue), and an internal lock guards against misuse beyond that.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        models: Dict[str, ServableModel],
+        base_seed: int,
+        ring: FixedPointRing = DEFAULT_RING,
+        host: str = "127.0.0.1",
+        timeout: float = 300.0,
+        link_latency: float = 0.0,
+        warm_batch_sizes: Tuple[int, ...] = (),
+        provision_pools: int = 0,
+        low_water: int = 1,
+        high_water: int = 3,
+        verify: bool = True,
+    ) -> None:
+        self.index = index
+        self.models = models
+        self.base_seed = base_seed
+        self.ring = ring
+        self.host = host
+        self.timeout = timeout
+        self.alive = False
+        self.stats = ShardStats()
+        self.final_server_stats: Dict[int, ServerStats] = {}
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, int], int] = {}
+        self._next_job_id = 0
+        self._pipes: List = []
+        self._processes: List[mp.Process] = []
+
+        config = ServerConfig(
+            base_seed=base_seed,
+            models={name: servable.spec for name, servable in models.items()},
+            weights={name: servable.weights for name, servable in models.items()},
+            warm_batch_sizes=tuple(warm_batch_sizes),
+            provision_pools=provision_pools,
+            low_water=low_water,
+            high_water=high_water,
+            ring=ring,
+            verify=verify,
+        )
+        port = free_port(host)
+        try:
+            for party in (0, 1):
+                parent_conn, child_conn = mp.Pipe()
+                process = mp.Process(
+                    target=run_party_server,
+                    args=(child_conn, party, host, port),
+                    kwargs={"timeout": timeout, "link_latency": link_latency},
+                    name=f"shard{index}-party{party}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                parent_conn.send(config)
+                self._pipes.append(parent_conn)
+                self._processes.append(process)
+            for party in (0, 1):
+                ready = self._recv(party, timeout)
+                if ready != "ready":
+                    raise ShardFailure(
+                        f"shard {index} party {party} failed to boot: {ready!r}"
+                    )
+        except Exception:
+            self.kill()
+            raise
+        self.alive = True
+
+    # -- control-pipe plumbing ---------------------------------------------- #
+    def _recv(self, party: int, timeout: float):
+        conn = self._pipes[party]
+        try:
+            if not conn.poll(timeout):
+                raise ShardFailure(
+                    f"shard {self.index} party {party} did not answer "
+                    f"within {timeout:.0f}s"
+                )
+            message = conn.recv()
+        except ShardFailure:
+            raise
+        except (EOFError, OSError) as exc:
+            raise ShardFailure(
+                f"shard {self.index} party {party} pipe broke: {exc}"
+            ) from exc
+        if isinstance(message, BaseException):
+            raise ShardFailure(
+                f"shard {self.index} party {party} failed: {message}"
+            ) from message
+        return message
+
+    def _send(self, party: int, message) -> None:
+        try:
+            self._pipes[party].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardFailure(
+                f"shard {self.index} party {party} pipe broke: {exc}"
+            ) from exc
+
+    # -- serving path --------------------------------------------------------- #
+    def run_job(self, model: str, spec: ModelSpec, inputs: np.ndarray) -> PoolBatchResult:
+        """Execute one batch on this shard's persistent worker pair."""
+        if not self.alive:
+            raise ShardFailure(f"shard {self.index} is not alive")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        batch_size = int(inputs.shape[0])
+        start = time.perf_counter()
+        try:
+            with self._lock:
+                key = (model, batch_size)
+                counter = self._counters.get(key, 0)
+                self._counters[key] = counter + 1
+                job_id = self._next_job_id
+                self._next_job_id += 1
+            seed = derive_job_seed(self.base_seed, model, batch_size, counter)
+            # Client role: secret-share the batch with the job's session seed
+            # (rng = seed + 1, the TwoPartyContext convention, so the session
+            # is bit-identical to the in-process engine at the same seed).
+            client_rng = np.random.default_rng(seed + 1)
+            shared = share(inputs, self.ring, client_rng)
+            for party, input_share in ((0, shared.share0), (1, shared.share1)):
+                self._send(
+                    party,
+                    JobRequest(
+                        job_id=job_id,
+                        model=model,
+                        batch_size=batch_size,
+                        counter=counter,
+                        input_share=input_share,
+                    ),
+                )
+            replies = {
+                party: self._recv(party, self.timeout) for party in (0, 1)
+            }
+            if all(isinstance(r, JobFailed) for r in replies.values()):
+                # job-scoped rejection (both parties, pre-wire): the shard
+                # pair is healthy and keeps serving
+                raise ValueError(
+                    f"shard {self.index} rejected the job: {replies[0].error}"
+                )
+            reports: Dict[int, JobReport] = {}
+            for party, message in replies.items():
+                if not isinstance(message, JobReport):
+                    raise ShardFailure(
+                        f"shard {self.index} party {party}: expected a "
+                        f"JobReport, got {type(message).__name__}"
+                    )
+                reports[party] = message
+            self._cross_check(reports)
+        except ShardFailure:
+            self.alive = False
+            with self._lock:
+                self.stats.failures += 1
+            raise
+        logits = self.ring.decode(
+            self.ring.add(reports[0].logit_share, reports[1].logit_share)
+        )
+        wall = time.perf_counter() - start
+        with self._lock:
+            self.stats.jobs_executed += 1
+            self.stats.queries_served += batch_size
+            self.stats.busy_seconds += wall
+            self.stats.job_latencies.append(wall)
+            self.stats.pool_hits += sum(reports[p].pool_hit for p in (0, 1))
+            self.stats.pool_misses += sum(not reports[p].pool_hit for p in (0, 1))
+        return PoolBatchResult(
+            logits=logits,
+            model=model,
+            batch_size=batch_size,
+            seed=reports[0].seed,
+            shard=self.index,
+            wall_seconds=wall,
+            online_seconds=max(reports[p].online_seconds for p in (0, 1)),
+            payload_bytes_on_wire=sum(
+                reports[p].payload_bytes_sent for p in (0, 1)
+            ),
+            pool_hits=sum(reports[p].pool_hit for p in (0, 1)),
+            pool_misses=sum(not reports[p].pool_hit for p in (0, 1)),
+            worker_pids=(reports[0].pid, reports[1].pid),
+        )
+
+    def _cross_check(self, reports: Dict[int, JobReport]) -> None:
+        r0, r1 = reports[0], reports[1]
+        if r0.seed != r1.seed:
+            raise ShardFailure(
+                f"shard {self.index}: parties derived different job seeds "
+                f"({r0.seed} vs {r1.seed})"
+            )
+        if (
+            r0.payload_bytes_sent != r1.payload_bytes_received
+            or r1.payload_bytes_sent != r0.payload_bytes_received
+        ):
+            raise ShardFailure(
+                f"shard {self.index}: per-job wire asymmetry between parties"
+            )
+        if r0.communication_bytes != r1.communication_bytes:
+            raise ShardFailure(
+                f"shard {self.index}: parties logged different online bytes"
+            )
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """A consistent copy of the shard stats (appended to concurrently)."""
+        with self._lock:
+            return self.stats.snapshot()
+
+    def provision(self, model: str, batch_size: int, count: int) -> Dict[int, ProvisionReport]:
+        """Synchronously top up both parties' pool buffers for one key."""
+        if not self.alive:
+            raise ShardFailure(f"shard {self.index} is not alive")
+        request = ProvisionRequest(model=model, batch_size=batch_size, count=count)
+        for party in (0, 1):
+            self._send(party, request)
+        return {party: self._recv(party, self.timeout) for party in (0, 1)}
+
+    # -- lifecycle ------------------------------------------------------------ #
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: wire shutdown handshake, then join the processes."""
+        if self.alive:
+            try:
+                for party in (0, 1):
+                    self._send(party, ShutdownRequest())
+                for party in (0, 1):
+                    stats = self._recv(party, timeout)
+                    if isinstance(stats, ServerStats):
+                        self.final_server_stats[party] = stats
+            except ShardFailure:
+                pass
+        self.alive = False
+        for process in self._processes:
+            process.join(timeout=timeout)
+        self.kill()
+
+    def kill(self) -> None:
+        """Hard stop: terminate whatever is still running."""
+        self.alive = False
+        for conn in self._pipes:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10.0)
+
+    @property
+    def processes(self) -> List[mp.Process]:
+        return list(self._processes)
+
+
+class _PoolFrontend(BatchingFrontend):
+    """A BatchingFrontend whose batches execute on the shard pool."""
+
+    def __init__(self, pool: "ShardedServingPool", **kwargs) -> None:
+        self._pool = pool
+        super().__init__(**kwargs)
+
+    def _dispatch_batch(self, model: str, batch: List[_PendingQuery]) -> None:
+        # Hand off to a pool worker thread so the coalescing loop keeps
+        # draining the queue while shards execute concurrently.
+        try:
+            self._pool._executor.submit(self._execute_batch, model, batch)
+        except RuntimeError:
+            # Executor already shut down (close() raced a slow drain): run
+            # inline so every accepted query still resolves exactly once —
+            # _execute_batch converts any backend failure into failed
+            # futures rather than letting them hang.
+            self._execute_batch(model, batch)
+
+    def _run_batch(
+        self, model: str, servable: ServableModel, inputs: np.ndarray
+    ) -> BatchOutcome:
+        result = self._pool._run_on_shard(model, servable.spec, inputs)
+        return BatchOutcome(
+            logits=result.logits,
+            online_bytes_per_query=result.payload_bytes_on_wire / max(result.batch_size, 1),
+            shard=result.shard,
+            job_seed=result.seed,
+        )
+
+
+class ShardedServingPool:
+    """N persistent worker pairs behind a coalescing frontend.
+
+    Args:
+        models: the deployable model zoo, keyed by the name clients use.
+        num_shards: worker pairs to boot (two OS processes each, spawned
+            once — the serving path never spawns).
+        max_batch / max_wait: the frontend's coalescing knobs.
+        provision_pools: randomness pools to pre-buffer per warm key at
+            boot; each party's background provisioner keeps refilling
+            between ``low_water`` and ``high_water`` afterwards.
+        warm_batch_sizes: batch sizes to compile/provision ahead of traffic
+            (defaults to ``(1, max_batch)``).
+        link_latency: one-way seconds injected per frame on the inter-party
+            link (capacity planning for LAN/WAN-like deployments).
+        seed: base seed; job seeds derive deterministically from it.
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, ServableModel],
+        num_shards: int = 2,
+        max_batch: int = 8,
+        max_wait: float = 0.01,
+        provision_pools: int = 2,
+        warm_batch_sizes: Optional[Tuple[int, ...]] = None,
+        low_water: int = 1,
+        high_water: int = 3,
+        link_latency: float = 0.0,
+        seed: int = 0,
+        ring: Optional[FixedPointRing] = None,
+        host: str = "127.0.0.1",
+        job_timeout: float = 300.0,
+        verify: bool = True,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.models = dict(models)
+        self.num_shards = num_shards
+        self.ring = ring or DEFAULT_RING
+        self.seed = seed
+        self.host = host
+        self.job_timeout = job_timeout
+        self.link_latency = link_latency
+        self.verify = verify
+        self.low_water = low_water
+        self.high_water = high_water
+        self.provision_pools = provision_pools
+        self.warm_batch_sizes: Tuple[int, ...] = (
+            tuple(warm_batch_sizes) if warm_batch_sizes is not None else (1, max_batch)
+        )
+        self.processes_spawned = 0
+        self.shards_booted = 0
+        self._shards: List[Optional[WorkerShard]] = []
+        self._restarting: set = set()
+        self._idle: "Queue[WorkerShard]" = Queue()
+        self._shard_lock = threading.Lock()
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="pool-shard"
+        )
+        try:
+            for index in range(num_shards):
+                shard = self._boot_shard(index)
+                # register before enqueueing: live_shards must see the shard
+                # no later than any dispatcher that pulls it from the queue
+                self._shards.append(shard)
+                self._idle.put(shard)
+        except Exception:
+            self.close()
+            raise
+        self.frontend = _PoolFrontend(
+            self,
+            models=self.models,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            provision_pools=0,  # provisioning lives in the party servers
+            seed=seed,
+            ring=self.ring,
+        )
+
+    # -- shard management ----------------------------------------------------- #
+    def _boot_shard(self, index: int) -> WorkerShard:
+        shard = WorkerShard(
+            index=index,
+            models=self.models,
+            # distinct seed stream per shard slot *and* per boot generation,
+            # so a restarted shard never replays a previous incarnation's jobs
+            base_seed=self.seed + 7919 * index + 104_729 * self.shards_booted,
+            ring=self.ring,
+            host=self.host,
+            timeout=self.job_timeout,
+            link_latency=self.link_latency,
+            warm_batch_sizes=self.warm_batch_sizes,
+            provision_pools=self.provision_pools,
+            low_water=self.low_water,
+            high_water=self.high_water,
+            verify=self.verify,
+        )
+        self.processes_spawned += 2
+        self.shards_booted += 1
+        return shard
+
+    @property
+    def live_shards(self) -> int:
+        with self._shard_lock:
+            return sum(1 for s in self._shards if s is not None and s.alive)
+
+    def restart_shard(self, index: int) -> None:
+        """Replace an evicted shard with a freshly booted worker pair."""
+        with self._shard_lock:
+            if index < 0 or index >= len(self._shards):
+                raise IndexError(f"no shard slot {index}")
+            old = self._shards[index]
+            if old is not None and old.alive:
+                raise RuntimeError(f"shard {index} is still alive")
+            if index in self._restarting:
+                raise RuntimeError(f"shard {index} restart already in progress")
+            self._restarting.add(index)
+        try:
+            if old is not None:
+                old.kill()
+            shard = self._boot_shard(index)
+            with self._shard_lock:
+                self._shards[index] = shard
+            # enqueue only after the slot is registered, so live_shards
+            # cannot report 0 while the replacement is idle and serviceable
+            self._idle.put(shard)
+        finally:
+            with self._shard_lock:
+                self._restarting.discard(index)
+
+    def _acquire_shard(self) -> WorkerShard:
+        deadline = time.monotonic() + self.job_timeout
+        while True:
+            if self.live_shards == 0:
+                with self._shard_lock:
+                    restarting = bool(self._restarting)
+                if not restarting:
+                    raise RuntimeError(
+                        "no live shards remain in the serving pool"
+                    )
+                # a replacement pair is booting; keep waiting for it
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"no shard became idle within {self.job_timeout:.0f}s"
+                )
+            try:
+                shard = self._idle.get(timeout=min(remaining, 0.5))
+            except Empty:
+                continue
+            if shard.alive:
+                return shard
+            # evicted while queued; drop it and keep looking
+
+    def _run_on_shard(
+        self, model: str, spec: ModelSpec, inputs: np.ndarray
+    ) -> PoolBatchResult:
+        shard = self._acquire_shard()
+        try:
+            return shard.run_job(model, spec, inputs)
+        except ShardFailure:
+            shard.kill()  # evict: never returns to the idle queue
+            raise
+        finally:
+            if shard.alive:
+                self._idle.put(shard)
+
+    # -- client API ------------------------------------------------------------ #
+    def submit(self, model: str, query: np.ndarray):
+        """Enqueue one query (CHW, no batch dim); returns a future."""
+        return self.frontend.submit(model, query)
+
+    def submit_many(self, model: str, queries: np.ndarray):
+        return self.frontend.submit_many(model, queries)
+
+    def run_batch(self, model: str, inputs: np.ndarray) -> PoolBatchResult:
+        """Execute one batch directly (no coalescing) on an idle shard.
+
+        Deterministic entry point for verification: the returned result
+        carries the job seed, so the in-process engine at that seed must
+        reproduce ``result.logits`` bit for bit.
+        """
+        servable = self.models.get(model)
+        if servable is None:
+            raise KeyError(
+                f"unknown model {model!r}; deployed: {sorted(self.models)}"
+            )
+        inputs = np.asarray(inputs)
+        spec = servable.spec
+        expected = (spec.in_channels, spec.input_size, spec.input_size)
+        if inputs.ndim != 4 or tuple(inputs.shape[1:]) != expected:
+            raise ValueError(
+                f"model {model!r} expects a batch of shape (N, {expected[0]}, "
+                f"{expected[1]}, {expected[2]}), got {inputs.shape}"
+            )
+        return self._run_on_shard(model, servable.spec, inputs)
+
+    def warm_up(
+        self,
+        batch_sizes: Optional[Tuple[int, ...]] = None,
+        count: Optional[int] = None,
+        acquire_timeout: float = 5.0,
+    ) -> None:
+        """Synchronously top up idle shards' pool buffers.
+
+        Holds every shard it can acquire until all are provisioned, so no
+        shard is warmed twice in one call.  Best-effort under concurrent
+        traffic: a shard that stays busy longer than ``acquire_timeout``
+        keeps serving and is skipped (its own background provisioner still
+        refills it after every job).
+        """
+        batch_sizes = tuple(batch_sizes) if batch_sizes else self.warm_batch_sizes
+        count = count if count is not None else self.high_water
+        held: List[WorkerShard] = []
+        try:
+            while len(held) < self.live_shards:
+                try:
+                    shard = self._idle.get(timeout=acquire_timeout)
+                except Empty:
+                    break  # the rest are busy serving; skip them
+                if not shard.alive:
+                    continue  # evicted while queued
+                held.append(shard)
+            for shard in held:
+                try:
+                    for model in self.models:
+                        for batch_size in batch_sizes:
+                            shard.provision(model, batch_size, count)
+                except ShardFailure:
+                    shard.kill()
+        finally:
+            for shard in held:
+                if shard.alive:
+                    self._idle.put(shard)
+
+    # -- observability --------------------------------------------------------- #
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Aggregate + per-shard serving statistics."""
+        with self._shard_lock:
+            shards = [s for s in self._shards if s is not None]
+        per_shard = {s.index: s.stats_snapshot() for s in shards}
+        pool_hits = sum(snap["pool_hits"] for snap in per_shard.values())
+        pool_misses = sum(snap["pool_misses"] for snap in per_shard.values())
+        frontend = self.frontend.stats_snapshot() if hasattr(self, "frontend") else {}
+        return {
+            "num_shards": self.num_shards,
+            "live_shards": self.live_shards,
+            "shards_booted": self.shards_booted,
+            "processes_spawned": self.processes_spawned,
+            "jobs_executed": sum(snap["jobs_executed"] for snap in per_shard.values()),
+            "queries_served": sum(snap["queries_served"] for snap in per_shard.values()),
+            "shard_failures": sum(snap["failures"] for snap in per_shard.values()),
+            "pool_hits": pool_hits,
+            "pool_misses": pool_misses,
+            "pool_hit_rate": pool_hits / (pool_hits + pool_misses)
+            if (pool_hits + pool_misses)
+            else 0.0,
+            "frontend": frontend,
+            "per_shard": per_shard,
+        }
+
+    # -- lifecycle ------------------------------------------------------------- #
+    def close(self, timeout: float = 60.0) -> None:
+        """Drain the frontend, stop the executor, shut every shard down."""
+        if self._closed:
+            return
+        self._closed = True
+        if hasattr(self, "frontend"):
+            self.frontend.close(timeout=timeout)
+        self._executor.shutdown(wait=True)
+        with self._shard_lock:
+            shards = [s for s in self._shards if s is not None]
+        for shard in shards:
+            if shard.alive:
+                shard.shutdown(timeout=timeout)
+            else:
+                shard.kill()
+
+    def __enter__(self) -> "ShardedServingPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -360,3 +360,80 @@ class TestCommunicationLogEdgeCases:
         opened = ctx.channel.open_bits(bits0, bits1, tag="and")
         np.testing.assert_array_equal(opened, bits0 ^ bits1)
         assert ctx.channel.total_bytes == 8
+
+
+class TestSessionFraming:
+    """Multi-message session layer: control frames + graceful shutdown."""
+
+    def test_control_roundtrip_over_loopback(self):
+        a, b = LoopbackTransport.pair()
+        a.send_control(b'{"job": 1}')
+        assert b.recv_control() == b'{"job": 1}'
+
+    def test_shutdown_handshake_returns_none(self):
+        a, b = LoopbackTransport.pair()
+        a.send_shutdown()
+        assert b.recv_control() is None
+
+    def test_control_bytes_never_count_as_payload(self):
+        """The invariant manifest verification rests on: per-job payload
+        deltas stay exact on a connection that multiplexes control traffic."""
+        a, b = LoopbackTransport.pair()
+        a.send_control(b"x" * 100)
+        b.recv_control()
+        a.send_array(np.arange(4, dtype=np.uint64), DEFAULT_RING)
+        b.recv_array()
+        assert a.stats.payload_bytes_sent == 32
+        assert b.stats.payload_bytes_received == 32
+        assert a.stats.control_frames_sent == 1
+        assert a.stats.control_bytes_sent > 100
+        assert b.stats.control_frames_received == 1
+        # wire total = payload + framing overhead + control traffic
+        assert a.stats.wire_bytes_sent == (
+            a.stats.payload_bytes_sent
+            + a.stats.overhead_bytes_sent
+            + a.stats.control_bytes_sent
+        )
+
+    def test_desync_raises_on_both_sides(self):
+        a, b = LoopbackTransport.pair()
+        a.send_control(b"header")
+        with pytest.raises(ValueError, match="out of sync"):
+            b.recv_array()
+        a2, b2 = LoopbackTransport.pair()
+        a2.send_array(np.arange(2, dtype=np.uint64), DEFAULT_RING)
+        with pytest.raises(ValueError, match="out of sync"):
+            b2.recv_control()
+
+    def test_stats_snapshot_and_since(self):
+        a, b = LoopbackTransport.pair()
+        a.send_array(np.arange(4, dtype=np.uint64), DEFAULT_RING)
+        b.recv_array()
+        before = a.stats.snapshot()
+        a.send_array(np.arange(8, dtype=np.uint64), DEFAULT_RING)
+        b.recv_array()
+        delta = a.stats.since(before)
+        assert delta.payload_bytes_sent == 64
+        assert delta.frames_sent == 1
+        # the snapshot froze the earlier state
+        assert before.payload_bytes_sent == 32
+
+    def test_control_frames_cross_a_real_socket(self):
+        port = free_port()
+        result = {}
+
+        def server():
+            transport = TcpTransport.listen(port=port)
+            result["got"] = transport.recv_control()
+            result["bye"] = transport.recv_control()
+            transport.close()
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        client = TcpTransport.connect(port=port)
+        client.send_control(b"job-header")
+        client.send_shutdown()
+        thread.join(timeout=10)
+        client.close()
+        assert result["got"] == b"job-header"
+        assert result["bye"] is None

@@ -1,0 +1,85 @@
+"""Execute every ``python`` code block in docs/*.md against the live code.
+
+The docs promise that their snippets run; this script keeps the promise
+honest in CI.  Rules:
+
+- fenced blocks whose info string is exactly ``python`` are executed;
+- blocks in the same file share one namespace and run top-to-bottom, so a
+  page can build up state (model -> engine -> result) across blocks;
+- blocks marked ``python no-run`` (and non-python fences: ``json``,
+  ``bash``, ...) are skipped;
+- any exception fails the run, reporting file, block index and line.
+
+Run with:  PYTHONPATH=src python tools/check_doc_snippets.py [docs_dir]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+FENCE = re.compile(r"^```(\S*)[ \t]*(.*)$")
+
+
+def extract_blocks(text: str) -> List[Tuple[int, str, str]]:
+    """``(start_line, info_string, source)`` for every fenced block."""
+    blocks: List[Tuple[int, str, str]] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE.match(lines[i])
+        if match and match.group(1):
+            info = (match.group(1) + " " + match.group(2)).strip()
+            start = i + 1
+            body: List[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, info, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def run_file(path: Path) -> Tuple[int, int]:
+    """Execute the runnable blocks of one markdown file; returns (run, skipped)."""
+    namespace: dict = {"__name__": f"docsnippet_{path.stem}"}
+    run = skipped = 0
+    for start_line, info, source in extract_blocks(path.read_text(encoding="utf-8")):
+        parts = info.split()
+        if parts[0] != "python" or "no-run" in parts[1:]:
+            skipped += 1
+            continue
+        t0 = time.perf_counter()
+        try:
+            code = compile(source, f"{path}:{start_line}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as exc:
+            print(f"FAIL  {path}:{start_line}: {type(exc).__name__}: {exc}")
+            raise SystemExit(1) from exc
+        run += 1
+        print(f"ok    {path}:{start_line} ({time.perf_counter() - t0:.2f}s)")
+    return run, skipped
+
+
+def main() -> None:
+    docs_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("docs")
+    pages = sorted(docs_dir.glob("*.md"))
+    if not pages:
+        raise SystemExit(f"no markdown files under {docs_dir}/")
+    total_run = total_skipped = 0
+    for page in pages:
+        run, skipped = run_file(page)
+        total_run += run
+        total_skipped += skipped
+    print(f"\n{total_run} snippet(s) executed, {total_skipped} skipped, "
+          f"{len(pages)} page(s) checked")
+    if total_run == 0:
+        raise SystemExit("docs contain no runnable snippets — that is a bug")
+
+
+if __name__ == "__main__":
+    main()
