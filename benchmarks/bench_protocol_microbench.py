@@ -137,5 +137,6 @@ def test_plan_offline_online_split():
         ),
     )
     assert result.communication_bytes == plan.online_bytes
-    assert result.communication_rounds == plan.online_rounds
+    # sequential execution logs the legacy (uncoalesced) round count
+    assert result.communication_rounds == plan.legacy_online_rounds
     assert result.offline_material_bytes > 0

@@ -83,7 +83,8 @@ def main() -> None:
               f"offline {1e3 * report.offline_seconds:.1f} ms")
     print(f"framing overhead: {result.framing_overhead_bytes} bytes "
           f"({100 * result.framing_overhead_bytes / max(result.wire_bytes_on_wire, 1):.2f}% of wire traffic)")
-    print(f"rounds: {result.online_rounds} (predicted {plan.online_rounds})")
+    print(f"rounds: {result.online_rounds} (predicted {plan.online_rounds}, "
+          f"sequential would be {plan.legacy_online_rounds})")
 
     if not bit_identical or not result.matches_manifest:
         raise SystemExit("two-process execution diverged from the reference")

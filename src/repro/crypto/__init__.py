@@ -24,13 +24,31 @@ from repro.crypto.dealer import (
     RandomnessPool,
     TrustedDealer,
 )
+from repro.crypto.events import (
+    CommEvent,
+    open_bits_event,
+    open_ring_event,
+    run_phases,
+    transfer_event,
+)
 from repro.crypto.ot import OTFlow, OTFlowCost, one_of_four_ot
 from repro.crypto.plan import (
+    PLAN_INPUT,
     InferencePlan,
     PlanOp,
     PreprocessingManifest,
     compile_plan,
 )
+from repro.crypto.passes import (
+    PlanSchedule,
+    ScheduledPlan,
+    ScheduledRound,
+    dead_op_elimination,
+    levelize,
+    optimize_plan,
+    schedule_rounds,
+)
+from repro.crypto.scheduler import run_scheduled_plan
 from repro.crypto.ring import DEFAULT_RING, PAPER_RING, FixedPointRing
 from repro.crypto.stats import ProtocolStatistics, collect_statistics
 from repro.crypto.sharing import (
@@ -65,7 +83,21 @@ __all__ = [
     "InferencePlan",
     "PlanOp",
     "PreprocessingManifest",
+    "PLAN_INPUT",
     "compile_plan",
+    "PlanSchedule",
+    "ScheduledPlan",
+    "ScheduledRound",
+    "dead_op_elimination",
+    "levelize",
+    "optimize_plan",
+    "schedule_rounds",
+    "run_scheduled_plan",
+    "CommEvent",
+    "open_ring_event",
+    "open_bits_event",
+    "transfer_event",
+    "run_phases",
     "OTFlow",
     "OTFlowCost",
     "one_of_four_ot",

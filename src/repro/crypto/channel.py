@@ -19,9 +19,15 @@ API (:meth:`Channel.open_ring`, :meth:`Channel.open_bits`,
   order (S0's message first), so their logs are identical to each other and
   to the simulated channel's.
 
-Protocol code MUST consume the return values of these three methods rather
-than recombining local variables — that is what makes the identical SPMD
-protocol program correct in both the simulated and the networked setting.
+Protocol code MUST consume the results delivered for its communication
+events (or the return values of these methods) rather than recombining
+local variables — that is what makes the identical SPMD protocol program
+correct in both the simulated and the networked setting.  Since the
+phase-generator refactor the protocols do not call the channel directly:
+they yield :class:`~repro.crypto.events.CommEvent` round groups, and the
+driver either performs each event individually (sequential reference mode)
+or hands a whole coalesced round to :meth:`Channel.run_round` — one framed
+message per direction per round.
 """
 
 from __future__ import annotations
@@ -31,6 +37,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.crypto.events import (
+    OPEN_BITS,
+    OPEN_RING,
+    TRANSFER,
+    CommEvent,
+    group_direction_bytes,
+)
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.crypto.transport import Transport
 
@@ -165,6 +178,38 @@ class Channel:
         it (in the simulation that is the payload itself)."""
         return self.send(sender, receiver, payload, tag=tag)
 
+    def run_round(self, events: List[CommEvent]) -> List[object]:
+        """Perform one coalesced communication round.
+
+        All events of the round are mutually independent (the scheduler's
+        contract); their messages share at most one framed message per
+        direction.  The log therefore records one entry per direction with
+        the summed payload bytes — the round structure the plan schedule
+        predicts — while the per-event results are exactly what the
+        individual :meth:`open_ring`/:meth:`open_bits`/:meth:`transfer`
+        calls would have returned.
+        """
+        results: List[object] = []
+        for event in events:
+            if event.kind == OPEN_RING:
+                results.append(self.ring.add(event.payload0, event.payload1))
+            elif event.kind == OPEN_BITS:
+                results.append(event.payload0 ^ event.payload1)
+            elif event.kind == TRANSFER:
+                results.append(event.payload0)
+            else:
+                raise ValueError(f"unknown comm event kind {event.kind!r}")
+        self._log_round(events)
+        return results
+
+    def _log_round(self, events: List[CommEvent]) -> None:
+        """One log entry per direction with the round's summed payload."""
+        from_0, from_1 = group_direction_bytes(events, self.element_bytes)
+        if from_0:
+            self.log.messages.append(Message(0, 1, from_0, "round"))
+        if from_1:
+            self.log.messages.append(Message(1, 0, from_1, "round"))
+
     def reset(self) -> None:
         self.log.clear()
 
@@ -283,3 +328,70 @@ class PartyChannel(Channel):
         self._log(1, s1, tag)
         # received_by_0 is what S1 sent and vice versa.
         return (theirs, payload1) if self.party == 0 else (payload0, theirs)
+
+    def run_round(self, events: List[CommEvent]) -> List[object]:
+        """One coalesced round over the transport: one multi-tensor frame
+        per direction (party 0's first — the canonical, deadlock-free
+        exchange order), instead of one frame per event.
+
+        A direction with nothing to ship sends no frame at all; both parties
+        derive that from the same (SPMD-identical) event list, so the frame
+        sequence stays deterministic.  Logging matches the simulated
+        channel's: one entry per direction with the round's summed payload
+        bytes.
+        """
+        outgoing: List[np.ndarray] = []
+        expected = 0
+        for event in events:
+            if event.kind in (OPEN_RING, OPEN_BITS):
+                mine = np.asarray(
+                    event.payload0 if self.party == 0 else event.payload1
+                )
+                if event.kind == OPEN_BITS:
+                    mine = mine.astype(np.uint8)
+                outgoing.append(mine)
+                expected += 1
+            elif event.kind == TRANSFER:
+                if event.sender == self.party:
+                    outgoing.append(np.asarray(event.payload0))
+                else:
+                    expected += 1
+            else:
+                raise ValueError(f"unknown comm event kind {event.kind!r}")
+
+        received: List[np.ndarray] = []
+        if self.party == 0:
+            if outgoing:
+                self.transport.send_arrays(outgoing, self.ring)
+            if expected:
+                received = [array for array, _ in self.transport.recv_arrays()]
+        else:
+            if expected:
+                received = [array for array, _ in self.transport.recv_arrays()]
+            if outgoing:
+                self.transport.send_arrays(outgoing, self.ring)
+        if len(received) != expected:
+            raise ValueError(
+                f"party {self.party}: round frame carried {len(received)} "
+                f"arrays, expected {expected} — the peers' schedules diverged"
+            )
+
+        results: List[object] = []
+        mine_iter = iter(outgoing)
+        theirs_iter = iter(received)
+        for event in events:
+            if event.kind == OPEN_RING:
+                mine = next(mine_iter)
+                theirs = next(theirs_iter)
+                results.append(self.ring.add(mine, theirs))
+            elif event.kind == OPEN_BITS:
+                mine = next(mine_iter)
+                theirs = next(theirs_iter).astype(np.uint8)
+                results.append(mine ^ theirs)
+            else:  # TRANSFER
+                if event.sender == self.party:
+                    results.append(next(mine_iter))
+                else:
+                    results.append(next(theirs_iter))
+        self._log_round(events)
+        return results

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Tuple
+from typing import Callable, Deque, Dict, List, Tuple
 
 import numpy as np
 
@@ -224,6 +224,27 @@ class RandomnessPool:
                         field = f"{name}{other}"
                         setattr(item, field, np.zeros_like(getattr(item, field)))
         return self
+
+    # -- per-op partitioning (round-coalescing scheduler) --------------------- #
+    def partition(self, request_groups) -> "List[RandomnessPool]":
+        """Split the pool into per-consumer sub-pools, in manifest order.
+
+        ``request_groups`` is an iterable of per-op
+        :class:`~repro.crypto.protocols.registry.RandomnessRequest` sequences
+        (e.g. ``[op.requests for op in plan.ops]``).  Items are popped from
+        this pool in exactly the global manifest order and re-queued into one
+        sub-pool per group, so an op served from its sub-pool consumes the
+        *identical* correlated randomness it would have drawn from the shared
+        FIFO in a sequential execution — regardless of how a round-coalescing
+        scheduler interleaves the ops.  This pool is drained in the process.
+        """
+        pools: "List[RandomnessPool]" = []
+        for requests in request_groups:
+            sub = RandomnessPool(ring=self.ring)
+            for request in requests:
+                sub._push(request.kind, request.shape, self._pop(request.kind, request.shape))
+            pools.append(sub)
+        return pools
 
     def triple(
         self,

@@ -1,0 +1,154 @@
+"""Communication events: the phase interface between protocols and channels.
+
+The online protocols are written as *phase generators* (see
+:mod:`repro.crypto.protocols.registry`): pure local computation punctuated by
+``yield``\\ ed **round groups** — tuples of :class:`CommEvent` whose messages
+are mutually independent and may therefore share one network round.  The
+driver that consumes a generator decides how the events hit the wire:
+
+- :func:`run_phases` (this module) performs every event of a group
+  individually against ``ctx.channel`` — the *sequential* reference
+  semantics, byte- and round-identical to the pre-refactor handlers;
+- the round-coalescing executor (:mod:`repro.crypto.scheduler`) hands whole
+  groups — possibly merged across independent ops of one plan level — to
+  :meth:`repro.crypto.channel.Channel.run_round`, which puts at most one
+  framed message per direction on the wire per round.
+
+Protocol code never calls ``channel.open_ring``/``open_bits``/``transfer``
+directly anymore; it *describes* the communication as events and lets the
+scheduler drive the channel.  The event results delivered back into the
+generator are exactly what the corresponding channel method would have
+returned, so the local math is oblivious to the driving mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: event kinds (``CommEvent.kind``)
+OPEN_RING = "open_ring"
+OPEN_BITS = "open_bits"
+TRANSFER = "transfer"
+
+
+@dataclass
+class CommEvent:
+    """One pending channel interaction of a protocol phase.
+
+    ``payload0`` / ``payload1`` hold the two parties' contributions for the
+    bidirectional ``open_*`` kinds; a ``transfer`` stores its single payload
+    in ``payload0`` together with ``sender``/``receiver``.
+    """
+
+    kind: str
+    payload0: np.ndarray
+    payload1: Optional[np.ndarray] = None
+    sender: int = 0
+    receiver: int = 1
+    tag: str = ""
+
+
+def open_ring_event(
+    share_from_0: np.ndarray, share_from_1: np.ndarray, tag: str = ""
+) -> CommEvent:
+    """Open an additively shared ring value (one bidirectional exchange)."""
+    return CommEvent(OPEN_RING, np.asarray(share_from_0), np.asarray(share_from_1), tag=tag)
+
+
+def open_bits_event(
+    bits_from_0: np.ndarray, bits_from_1: np.ndarray, tag: str = ""
+) -> CommEvent:
+    """Open an XOR-shared bit tensor (one bidirectional exchange)."""
+    return CommEvent(
+        OPEN_BITS,
+        np.asarray(bits_from_0, dtype=np.uint8),
+        np.asarray(bits_from_1, dtype=np.uint8),
+        tag=tag,
+    )
+
+
+def transfer_event(
+    sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+) -> CommEvent:
+    """One-directional transfer from ``sender`` to ``receiver``."""
+    if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
+        raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
+    return CommEvent(TRANSFER, np.asarray(payload), sender=sender, receiver=receiver, tag=tag)
+
+
+RoundGroup = Tuple[CommEvent, ...]
+
+
+def as_group(group) -> RoundGroup:
+    """Normalize a yielded value (event or iterable of events) to a tuple."""
+    if isinstance(group, CommEvent):
+        return (group,)
+    return tuple(group)
+
+
+def event_payload_arrays(event: CommEvent) -> List[Tuple[int, np.ndarray]]:
+    """``(sender, array)`` for every message the event puts on the wire."""
+    if event.kind == TRANSFER:
+        return [(event.sender, event.payload0)]
+    return [(0, event.payload0), (1, event.payload1)]
+
+
+def payload_num_bytes(array: np.ndarray, element_bytes: int) -> int:
+    """The channel accounting rule: ring elements at the ring width,
+    everything else at native width (uint8 bit payloads count one byte)."""
+    array = np.asarray(array)
+    if array.dtype in (np.uint64, np.int64):
+        return int(array.size) * element_bytes
+    return int(array.nbytes)
+
+
+def event_direction_bytes(event: CommEvent, element_bytes: int) -> Tuple[int, int]:
+    """Payload bytes the event contributes per direction ``(from_0, from_1)``."""
+    totals = [0, 0]
+    for sender, array in event_payload_arrays(event):
+        totals[sender] += payload_num_bytes(array, element_bytes)
+    return totals[0], totals[1]
+
+
+def group_direction_bytes(
+    events: Iterable[CommEvent], element_bytes: int
+) -> Tuple[int, int]:
+    """Summed per-direction payload bytes of one (coalesced) round."""
+    total0 = total1 = 0
+    for event in events:
+        b0, b1 = event_direction_bytes(event, element_bytes)
+        total0 += b0
+        total1 += b1
+    return total0, total1
+
+
+def perform_event(channel, event: CommEvent):
+    """Execute one event against a channel, exactly as the legacy direct
+    calls did (same logging, same tags, same return value)."""
+    if event.kind == OPEN_RING:
+        return channel.open_ring(event.payload0, event.payload1, tag=event.tag)
+    if event.kind == OPEN_BITS:
+        return channel.open_bits(event.payload0, event.payload1, tag=event.tag)
+    if event.kind == TRANSFER:
+        return channel.transfer(event.sender, event.receiver, event.payload0, tag=event.tag)
+    raise ValueError(f"unknown comm event kind {event.kind!r}")
+
+
+def run_phases(ctx, gen):
+    """Drive a phase generator sequentially (the reference semantics).
+
+    Every event of every yielded group is performed individually against
+    ``ctx.channel`` in group order, which reproduces the pre-refactor wire
+    conversation byte for byte: grouping carries *scheduling freedom*, not a
+    semantic change.  Returns the generator's return value.
+    """
+    results: Optional[Sequence] = None
+    while True:
+        try:
+            group = gen.send(results)
+        except StopIteration as stop:
+            return stop.value
+        results = tuple(perform_event(ctx.channel, event) for event in as_group(group))

@@ -2,11 +2,14 @@
 
 Two pieces live here:
 
-1. :func:`one_of_four_ot` — a simulated 1-of-4 OT batch used by the digit
-   comparison inside the millionaire protocol.  The sender transmits all four
-   masked messages (that is what the wire sees in the real OT extension as
-   well, and what the paper's communication model counts in Eq. 8); the
-   receiver's choice never leaves its side of the simulation.
+1. :func:`one_of_four_ot` — a simulated 1-of-4 OT batch.  The sender
+   transmits all four masked messages (that is what the wire sees in the
+   real OT extension as well, and what the paper's communication model
+   counts in Eq. 8); the receiver's choice never leaves its side of the
+   simulation.  The millionaire protocol's phase generator expresses the
+   same transfer as batched :func:`~repro.crypto.events.transfer_event`\\ s
+   so all digit OTs of a comparison share one coalesced round; this
+   stand-alone entry point keeps the OT semantics testable in isolation.
 
 2. :class:`OTFlow` — an accounting replica of the exact four-step 2PC-OT
    message flow of Fig. 4 (shared base S, R list, encrypted comparison

@@ -14,13 +14,19 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
+from repro.crypto.events import run_phases
 from repro.crypto.protocols.arithmetic import (
     add_public,
     multiply_public,
-    square,
+    square_phases,
     square_trace,
 )
-from repro.crypto.protocols.comparison import drelu, drelu_trace, select, select_trace
+from repro.crypto.protocols.comparison import (
+    drelu_phases,
+    drelu_trace,
+    select_phases,
+    select_trace,
+)
 from repro.crypto.protocols.registry import (
     OpTrace,
     register_protocol,
@@ -31,10 +37,42 @@ from repro.crypto.sharing import SharePair, add_shares
 from repro.models.specs import LayerKind, LayerSpec
 
 
-def secure_relu(ctx: TwoPartyContext, x: SharePair, tag: str = "relu") -> SharePair:
+def secure_relu_phases(ctx: TwoPartyContext, x: SharePair, tag: str = "relu"):
     """2PC-ReLU: ReLU(x) = x * DReLU(x) via comparison + multiplexing."""
-    bit = drelu(ctx, x, tag=f"{tag}/drelu")
-    return select(ctx, x, bit, tag=f"{tag}/select")
+    bit = yield from drelu_phases(ctx, x, tag=f"{tag}/drelu")
+    result = yield from select_phases(ctx, x, bit, tag=f"{tag}/select")
+    return result
+
+
+def secure_relu(ctx: TwoPartyContext, x: SharePair, tag: str = "relu") -> SharePair:
+    """Sequential entry point of :func:`secure_relu_phases`."""
+    return run_phases(ctx, secure_relu_phases(ctx, x, tag=tag))
+
+
+def secure_x2act_phases(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    w1: float,
+    w2: float,
+    b: float,
+    num_elements: Optional[int] = None,
+    scale_constant: float = 1.0,
+    tag: str = "x2act",
+):
+    """2PC-X^2act: delta(x) = (c/sqrt(Nx)) * w1 * x^2 + w2 * x + b.
+
+    ``w1``, ``w2`` and ``b`` are the trained polynomial coefficients (model
+    parameters, public to the compute servers in the paper's deployment);
+    ``num_elements`` is Nx, the number of elements of the feature map, and
+    ``scale_constant`` is the constant c of Eq. 4.
+    """
+    n_x = num_elements if num_elements is not None else int(np.prod(x.shape[1:]))
+    effective_w1 = scale_constant / math.sqrt(max(n_x, 1)) * w1
+    squared = yield from square_phases(ctx, x, truncate=True, tag=f"{tag}/square")
+    quad_term = multiply_public(ctx, squared, np.array(effective_w1), tag=f"{tag}/w1")
+    lin_term = multiply_public(ctx, x, np.array(w2), tag=f"{tag}/w2")
+    out = add_shares(quad_term, lin_term)
+    return add_public(ctx, out, np.array(b))
 
 
 def secure_x2act(
@@ -47,25 +85,25 @@ def secure_x2act(
     scale_constant: float = 1.0,
     tag: str = "x2act",
 ) -> SharePair:
-    """2PC-X^2act: delta(x) = (c/sqrt(Nx)) * w1 * x^2 + w2 * x + b.
-
-    ``w1``, ``w2`` and ``b`` are the trained polynomial coefficients (model
-    parameters, public to the compute servers in the paper's deployment);
-    ``num_elements`` is Nx, the number of elements of the feature map, and
-    ``scale_constant`` is the constant c of Eq. 4.
-    """
-    n_x = num_elements if num_elements is not None else int(np.prod(x.shape[1:]))
-    effective_w1 = scale_constant / math.sqrt(max(n_x, 1)) * w1
-    squared = square(ctx, x, truncate=True, tag=f"{tag}/square")
-    quad_term = multiply_public(ctx, squared, np.array(effective_w1), tag=f"{tag}/w1")
-    lin_term = multiply_public(ctx, x, np.array(w2), tag=f"{tag}/w2")
-    out = add_shares(quad_term, lin_term)
-    return add_public(ctx, out, np.array(b))
+    """Sequential entry point of :func:`secure_x2act_phases`."""
+    return run_phases(
+        ctx,
+        secure_x2act_phases(
+            ctx,
+            x,
+            w1=w1,
+            w2=w2,
+            b=b,
+            num_elements=num_elements,
+            scale_constant=scale_constant,
+            tag=tag,
+        ),
+    )
 
 
 def secure_square_activation(ctx: TwoPartyContext, x: SharePair, tag: str = "sq") -> SharePair:
     """Plain x^2 activation (CryptoNets-style), kept for the baselines."""
-    return square(ctx, x, truncate=True, tag=tag)
+    return run_phases(ctx, square_phases(ctx, x, truncate=True, tag=tag))
 
 
 # --------------------------------------------------------------------------- #
@@ -83,8 +121,9 @@ def _run_relu(
     params: Dict[str, np.ndarray],
     x: SharePair,
     cache: Dict[str, SharePair],
-) -> SharePair:
-    return secure_relu(ctx, x, tag=layer.name or "relu")
+):
+    result = yield from secure_relu_phases(ctx, x, tag=layer.name or "relu")
+    return result
 
 
 def _x2act_trace(layer: LayerSpec, input_shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
@@ -99,8 +138,8 @@ def _run_x2act(
     params: Dict[str, np.ndarray],
     x: SharePair,
     cache: Dict[str, SharePair],
-) -> SharePair:
-    return secure_x2act(
+):
+    result = yield from secure_x2act_phases(
         ctx,
         x,
         w1=float(params.get("w1", 0.0)),
@@ -110,3 +149,4 @@ def _run_x2act(
         scale_constant=float(params.get("c", 1.0)),
         tag=layer.name or "x2act",
     )
+    return result

@@ -4,11 +4,20 @@ Implements the Beaver-triple based multiplication (Eq. 2) and square (Eq. 3)
 protocols of Section II-B, plus elementwise helpers used by the secure
 activation and pooling protocols.
 
-Next to each interactive protocol lives its *trace* function
-(:func:`multiply_trace`, :func:`square_trace`), which declares the exact
-correlated-randomness requests and wire messages of one invocation for the
-plan compiler (see :mod:`repro.crypto.plan`).  Trace and protocol must be
-kept in lockstep — the preprocessing manifest is exact only because they are.
+Each interactive protocol is written as a *phase generator*
+(:func:`multiply_phases`, :func:`square_phases`): local computation that
+``yield``\\ s round groups of :class:`~repro.crypto.events.CommEvent` and
+receives the opened values back from whichever driver runs it — the
+sequential reference driver or the round-coalescing scheduler.  The plain
+functions (:func:`multiply`, :func:`square`) drive the generator
+sequentially and keep the original call-site API.
+
+Next to each protocol lives its *trace* function (:func:`multiply_trace`,
+:func:`square_trace`), which declares the exact correlated-randomness
+requests and wire messages of one invocation for the plan compiler (see
+:mod:`repro.crypto.plan`).  Trace groups and generator yields must be kept
+in lockstep — the preprocessing manifest and the round schedule are exact
+only because they are.
 """
 
 from __future__ import annotations
@@ -18,48 +27,45 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
-from repro.crypto.protocols.registry import OpTrace, element_bytes
+from repro.crypto.events import open_ring_event, run_phases
+from repro.crypto.protocols.registry import OpTrace, element_bytes, open_trace_event
 from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
 
 
-def _open_difference(
-    ctx: TwoPartyContext, x: SharePair, a: SharePair, tag: str
-) -> np.ndarray:
-    """Jointly reconstruct E = X - A (both parties learn E).
-
-    Each party sends its share of the difference to the other (one round of
-    bidirectional communication), mirroring ``rec([E])`` in the paper.
-    """
-    ring = ctx.ring
-    e0 = ring.sub(x.share0, a.share0)
-    e1 = ring.sub(x.share1, a.share1)
-    # The channel owns the recombination: under a PartyChannel only this
-    # party's difference share is genuine and the other arrives on the wire.
-    return ctx.channel.open_ring(e0, e1, tag=tag)
-
-
-def multiply(
+def multiply_phases(
     ctx: TwoPartyContext,
     x: SharePair,
     y: SharePair,
     product: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
     truncate: bool = True,
     tag: str = "mul",
-) -> SharePair:
+):
     """Secure product [R] = [X] ⊗ [Y] with a Beaver triple (Eq. 2).
 
     ``product`` is the bilinear map on ring elements (defaults to the
     Hadamard product).  ``truncate`` should be True when both operands carry
     fixed-point scale (so the result must be rescaled by 2^{-f}) and False
     when one operand is a plain integer (e.g. a 0/1 selection bit).
+
+    Phases: the E = X - A and F = Y - B openings are mutually independent,
+    so they ride in one round group (``rec([E])`` / ``rec([F])`` of the
+    paper share a round under coalescing).
     """
     ring = ctx.ring
     prod = product or ring.mul
     triple = ctx.dealer.triple(x.shape, y.shape, prod)
 
-    e = _open_difference(ctx, x, triple.a, tag=f"{tag}/open-e")
-    f = _open_difference(ctx, y, triple.b, tag=f"{tag}/open-f")
+    e0 = ring.sub(x.share0, triple.a.share0)
+    e1 = ring.sub(x.share1, triple.a.share1)
+    f0 = ring.sub(y.share0, triple.b.share0)
+    f1 = ring.sub(y.share1, triple.b.share1)
+    # The channel owns the recombination: under a PartyChannel only this
+    # party's difference share is genuine and the other arrives on the wire.
+    e, f = yield (
+        open_ring_event(e0, e1, tag=f"{tag}/open-e"),
+        open_ring_event(f0, f1, tag=f"{tag}/open-f"),
+    )
 
     with np.errstate(over="ignore"):
         # R_Si = -i * E⊗F + X_Si⊗F + E⊗Y_Si + Z_Si      (Eq. 2)
@@ -78,22 +84,38 @@ def multiply(
     return result
 
 
+def multiply(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    y: SharePair,
+    product: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+    truncate: bool = True,
+    tag: str = "mul",
+) -> SharePair:
+    """Sequential entry point of :func:`multiply_phases`."""
+    return run_phases(ctx, multiply_phases(ctx, x, y, product=product, truncate=truncate, tag=tag))
+
+
 def multiply_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
     """Offline/online trace of one elementwise :func:`multiply` call:
-    one Beaver triple, then the E and F openings (two exchanges)."""
+    one Beaver triple, then the E and F openings in one round group."""
     n = int(np.prod(shape)) if shape else 1
     eb = element_bytes(ring)
     trace = OpTrace().request("triple", shape)
-    trace.exchange(n * eb)  # open E = X - A
-    trace.exchange(n * eb)  # open F = Y - B
+    # open E = X - A and F = Y - B: independent, one coalescible group
+    trace.group([open_trace_event(n * eb), open_trace_event(n * eb)])
     return trace
 
 
-def square(ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str = "square") -> SharePair:
+def square_phases(
+    ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str = "square"
+):
     """Secure elementwise square [R] = [X] ⊙ [X] with a Beaver pair (Eq. 3)."""
     ring = ctx.ring
     pair = ctx.dealer.square_pair(x.shape)
-    e = _open_difference(ctx, x, pair.a, tag=f"{tag}/open-e")
+    e0 = ring.sub(x.share0, pair.a.share0)
+    e1 = ring.sub(x.share1, pair.a.share1)
+    (e,) = yield (open_ring_event(e0, e1, tag=f"{tag}/open-e"),)
     with np.errstate(over="ignore"):
         # R_Si = Z_Si + 2 E ⊙ A_Si + E ⊙ E (the E⊙E term is public; add once)
         two_e = ring.scalar_mul(e, 2)
@@ -108,6 +130,11 @@ def square(ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str =
             ring,
         )
     return result
+
+
+def square(ctx: TwoPartyContext, x: SharePair, truncate: bool = True, tag: str = "square") -> SharePair:
+    """Sequential entry point of :func:`square_phases`."""
+    return run_phases(ctx, square_phases(ctx, x, truncate=truncate, tag=tag))
 
 
 def square_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:

@@ -7,6 +7,19 @@ per digit transfers masked greater-than / equality indicator bits, which are
 then combined with a GMW-style prefix circuit (AND gates from dealer bit
 triples) into a single XOR-shared comparison bit.
 
+Every interactive routine is a phase generator (``*_phases``) whose yielded
+round groups encode the protocol's intrinsic parallelism:
+
+- the per-digit OTs are mutually independent — all of them ride in **one**
+  round group instead of one round each;
+- at every prefix step the greater-than AND and the equality AND both read
+  the *previous* ``eq_prefix``, so their two openings share a group;
+- the B2A conversion and the multiplexer keep the Beaver-multiply grouping
+  of :func:`~repro.crypto.protocols.arithmetic.multiply_phases`.
+
+The plain functions drive the generators sequentially (the reference
+semantics, byte-identical to the pre-generator code).
+
 On top of the raw comparison this module builds:
 
 - :func:`drelu` -- XOR-shared derivative of ReLU, i.e. the bit (x > 0),
@@ -17,27 +30,27 @@ On top of the raw comparison this module builds:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
-from repro.crypto.ot import one_of_four_ot
-from repro.crypto.protocols.arithmetic import multiply, multiply_trace
-from repro.crypto.protocols.registry import OpTrace
+from repro.crypto.events import open_bits_event, run_phases, transfer_event
+from repro.crypto.protocols.arithmetic import multiply_phases, multiply_trace
+from repro.crypto.protocols.registry import OpTrace, TraceEvent, open_trace_event, send_trace_event
 from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
 
 XorSharedBit = Tuple[np.ndarray, np.ndarray]
 
 
-def secure_and(
-    ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: str = "and"
-) -> XorSharedBit:
-    """GMW AND gate on XOR-shared bits using a dealer bit triple.
+def _and_prepare(ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: str):
+    """Local-compute half of a GMW AND gate.
 
-    Each party opens (x ^ a) and (y ^ b); the shares of x AND y are then a
-    local affine combination of the opened values and the triple shares.
+    Pops the bit triple and masks the inputs; returns the pending opening
+    event plus the local-finish closure that consumes the opened planes.
+    Splitting the gate this way lets callers batch several independent AND
+    gates into one round group.
     """
     x0, x1 = x
     y0, y1 = y
@@ -47,14 +60,38 @@ def secure_and(
     e0 = y0 ^ triple.b0
     e1 = y1 ^ triple.b1
     # Open d = x ^ a and e = y ^ b (two bits per element, each direction).
-    opened = ctx.channel.open_bits(
-        np.stack([d0, e0]).astype(np.uint8), np.stack([d1, e1]).astype(np.uint8), tag=tag
+    event = open_bits_event(
+        np.stack([d0, e0]).astype(np.uint8),
+        np.stack([d1, e1]).astype(np.uint8),
+        tag=tag,
     )
-    d = opened[0]
-    e = opened[1]
-    z0 = triple.c0 ^ (d & triple.b0) ^ (e & triple.a0) ^ (d & e)
-    z1 = triple.c1 ^ (d & triple.b1) ^ (e & triple.a1)
-    return z0.astype(np.uint8), z1.astype(np.uint8)
+
+    def finish(opened: np.ndarray) -> XorSharedBit:
+        d = opened[0]
+        e = opened[1]
+        z0 = triple.c0 ^ (d & triple.b0) ^ (e & triple.a0) ^ (d & e)
+        z1 = triple.c1 ^ (d & triple.b1) ^ (e & triple.a1)
+        return z0.astype(np.uint8), z1.astype(np.uint8)
+
+    return event, finish
+
+
+def secure_and_phases(ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: str = "and"):
+    """GMW AND gate on XOR-shared bits using a dealer bit triple.
+
+    Each party opens (x ^ a) and (y ^ b); the shares of x AND y are then a
+    local affine combination of the opened values and the triple shares.
+    """
+    event, finish = _and_prepare(ctx, x, y, tag)
+    (opened,) = yield (event,)
+    return finish(opened)
+
+
+def secure_and(
+    ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: str = "and"
+) -> XorSharedBit:
+    """Sequential entry point of :func:`secure_and_phases`."""
+    return run_phases(ctx, secure_and_phases(ctx, x, y, tag=tag))
 
 
 def secure_xor(x: XorSharedBit, y: XorSharedBit) -> XorSharedBit:
@@ -67,14 +104,14 @@ def secure_not(x: XorSharedBit) -> XorSharedBit:
     return (x[0] ^ np.uint8(1)).astype(np.uint8), x[1].astype(np.uint8)
 
 
-def millionaire_gt(
+def millionaire_gt_phases(
     ctx: TwoPartyContext,
     value_s0: np.ndarray,
     value_s1: np.ndarray,
     bit_width: int,
     digit_bits: int = 2,
     tag: str = "cmp",
-) -> XorSharedBit:
+):
     """Secure greater-than between a value held by S0 and one held by S1.
 
     Args:
@@ -105,28 +142,47 @@ def millionaire_gt(
     rng = ctx.rng
 
     # Per-digit OT: S0 prepares masked (gt, eq) indicator bits for every
-    # candidate digit value, S1 selects with its own digit.  After this loop
-    # gt_shares[i] / eq_shares[i] are XOR-shared indicator bits.
-    gt_shares = []
-    eq_shares = []
+    # candidate digit value, S1 selects with its own digit.  The digits are
+    # mutually independent, so every OT payload rides in one round group.
+    pads: List[Tuple[np.ndarray, np.ndarray]] = []
+    choices: List[np.ndarray] = []
+    ot_events = []
+    candidates = np.arange(radix, dtype=np.uint8).reshape((radix,) + (1,) * len(shape))
     for i in range(num_digits):
         a_digit = ((value_s0 >> np.uint64(i * digit_bits)) & digit_mask).astype(np.uint8)
         b_digit = ((value_s1 >> np.uint64(i * digit_bits)) & digit_mask).astype(np.uint8)
         pad_gt = rng.integers(0, 2, size=shape, dtype=np.uint8)
         pad_eq = rng.integers(0, 2, size=shape, dtype=np.uint8)
-        candidates = np.arange(radix, dtype=np.uint8).reshape((radix,) + (1,) * len(shape))
         gt_table = (a_digit[None, ...] > candidates).astype(np.uint8) ^ pad_gt[None, ...]
         eq_table = (a_digit[None, ...] == candidates).astype(np.uint8) ^ pad_eq[None, ...]
         # Pack gt/eq into one 2-bit payload per candidate for a single OT.
+        # The sender pushes all four masked messages onto the wire (what the
+        # real OT extension transmits too); the receiver selects from what
+        # actually arrived.
         payload = (gt_table << 1) | eq_table
-        received = one_of_four_ot(ctx, payload, b_digit, tag=f"{tag}/ot-digit{i}")
-        gt_shares.append((pad_gt, (received >> 1) & np.uint8(1)))
-        eq_shares.append((pad_eq, received & np.uint8(1)))
+        pads.append((pad_gt, pad_eq))
+        choices.append(b_digit)
+        ot_events.append(
+            transfer_event(0, 1, payload.astype(np.uint8), tag=f"{tag}/ot-digit{i}")
+        )
+    received = yield tuple(ot_events)
+
+    gt_shares: List[XorSharedBit] = []
+    eq_shares: List[XorSharedBit] = []
+    for i in range(num_digits):
+        chosen = np.take_along_axis(
+            received[i], choices[i].astype(np.intp)[None, ...], axis=0
+        )[0]
+        pad_gt, pad_eq = pads[i]
+        gt_shares.append((pad_gt, (chosen >> 1) & np.uint8(1)))
+        eq_shares.append((pad_eq, chosen & np.uint8(1)))
 
     # Prefix combination from the most significant digit downwards:
     #   result  = XOR_i ( eq_prefix_i AND gt_i )
     #   eq_prefix updates with AND of eq_i.
-    # The terms are mutually exclusive so XOR == OR.
+    # The terms are mutually exclusive so XOR == OR.  Both AND gates of one
+    # step read the same (previous) eq_prefix, so their openings share a
+    # round group.
     result: XorSharedBit = (
         np.zeros(shape, dtype=np.uint8),
         np.zeros(shape, dtype=np.uint8),
@@ -136,14 +192,37 @@ def millionaire_gt(
         np.zeros(shape, dtype=np.uint8),
     )
     for i in reversed(range(num_digits)):
-        term = secure_and(ctx, eq_prefix, gt_shares[i], tag=f"{tag}/and-gt{i}")
-        result = secure_xor(result, term)
+        gt_event, gt_finish = _and_prepare(ctx, eq_prefix, gt_shares[i], tag=f"{tag}/and-gt{i}")
         if i:  # the last equality update is never used
-            eq_prefix = secure_and(ctx, eq_prefix, eq_shares[i], tag=f"{tag}/and-eq{i}")
+            eq_event, eq_finish = _and_prepare(ctx, eq_prefix, eq_shares[i], tag=f"{tag}/and-eq{i}")
+            opened_gt, opened_eq = yield (gt_event, eq_event)
+            term = gt_finish(opened_gt)
+            eq_prefix = eq_finish(opened_eq)
+        else:
+            (opened_gt,) = yield (gt_event,)
+            term = gt_finish(opened_gt)
+        result = secure_xor(result, term)
     return result
 
 
-def drelu(ctx: TwoPartyContext, x: SharePair, tag: str = "drelu") -> XorSharedBit:
+def millionaire_gt(
+    ctx: TwoPartyContext,
+    value_s0: np.ndarray,
+    value_s1: np.ndarray,
+    bit_width: int,
+    digit_bits: int = 2,
+    tag: str = "cmp",
+) -> XorSharedBit:
+    """Sequential entry point of :func:`millionaire_gt_phases`."""
+    return run_phases(
+        ctx,
+        millionaire_gt_phases(
+            ctx, value_s0, value_s1, bit_width, digit_bits=digit_bits, tag=tag
+        ),
+    )
+
+
+def drelu_phases(ctx: TwoPartyContext, x: SharePair, tag: str = "drelu"):
     """XOR-shared DReLU bit: 1 where the shared value is positive.
 
     Uses the identity  msb(x) = msb(x0) ^ msb(x1) ^ carry  where ``carry`` is
@@ -157,14 +236,19 @@ def drelu(ctx: TwoPartyContext, x: SharePair, tag: str = "drelu") -> XorSharedBi
     low1 = ring.low_bits(x.share1)
     # carry = (low0 + low1) >= 2^{k-1}  <=>  low0 > (2^{k-1} - 1) - low1
     threshold_s1 = (half - low1).astype(np.uint64)
-    carry = millionaire_gt(
+    carry = yield from millionaire_gt_phases(
         ctx, low0, threshold_s1, bit_width=ring.ring_bits, tag=f"{tag}/carry"
     )
     msb = secure_xor(carry, (ring.msb(x.share0), ring.msb(x.share1)))
     return secure_not(msb)
 
 
-def bit_to_arithmetic(ctx: TwoPartyContext, bit: XorSharedBit, tag: str = "b2a") -> SharePair:
+def drelu(ctx: TwoPartyContext, x: SharePair, tag: str = "drelu") -> XorSharedBit:
+    """Sequential entry point of :func:`drelu_phases`."""
+    return run_phases(ctx, drelu_phases(ctx, x, tag=tag))
+
+
+def bit_to_arithmetic_phases(ctx: TwoPartyContext, bit: XorSharedBit, tag: str = "b2a"):
     """Convert an XOR-shared bit into additive shares of the same bit value.
 
     b = b0 ^ b1 = b0 + b1 - 2*b0*b1; the cross term is computed with one
@@ -175,47 +259,68 @@ def bit_to_arithmetic(ctx: TwoPartyContext, bit: XorSharedBit, tag: str = "b2a")
     zeros = np.zeros(b0.shape, dtype=np.uint64)
     lifted0 = SharePair(b0.astype(np.uint64), zeros.copy(), ring)
     lifted1 = SharePair(zeros.copy(), b1.astype(np.uint64), ring)
-    cross = multiply(ctx, lifted0, lifted1, truncate=False, tag=f"{tag}/cross")
+    cross = yield from multiply_phases(
+        ctx, lifted0, lifted1, truncate=False, tag=f"{tag}/cross"
+    )
     s0 = ring.sub(ring.add(lifted0.share0, lifted1.share0), ring.scalar_mul(cross.share0, 2))
     s1 = ring.sub(ring.add(lifted0.share1, lifted1.share1), ring.scalar_mul(cross.share1, 2))
     return SharePair(s0, s1, ring)
 
 
+def bit_to_arithmetic(ctx: TwoPartyContext, bit: XorSharedBit, tag: str = "b2a") -> SharePair:
+    """Sequential entry point of :func:`bit_to_arithmetic_phases`."""
+    return run_phases(ctx, bit_to_arithmetic_phases(ctx, bit, tag=tag))
+
+
+def select_phases(ctx: TwoPartyContext, x: SharePair, bit: XorSharedBit, tag: str = "select"):
+    """Shares of ``x * bit`` (bit in {0,1}) — the ReLU multiplexer."""
+    arith_bit = yield from bit_to_arithmetic_phases(ctx, bit, tag=f"{tag}/b2a")
+    result = yield from multiply_phases(ctx, x, arith_bit, truncate=False, tag=f"{tag}/mux")
+    return result
+
+
 def select(
     ctx: TwoPartyContext, x: SharePair, bit: XorSharedBit, tag: str = "select"
 ) -> SharePair:
-    """Return shares of ``x * bit`` (bit in {0,1}) — the ReLU multiplexer."""
-    arith_bit = bit_to_arithmetic(ctx, bit, tag=f"{tag}/b2a")
-    return multiply(ctx, x, arith_bit, truncate=False, tag=f"{tag}/mux")
+    """Sequential entry point of :func:`select_phases`."""
+    return run_phases(ctx, select_phases(ctx, x, bit, tag=tag))
 
 
 # --------------------------------------------------------------------------- #
-# Trace functions (plan-compiler accounting; mirror the protocols above)
+# Trace functions (plan-compiler accounting; mirror the phase generators)
 # --------------------------------------------------------------------------- #
+def _and_trace_event(shape: Tuple[int, ...]) -> TraceEvent:
+    """One GMW AND gate opening: two uint8 planes per element per direction."""
+    n = int(np.prod(shape)) if shape else 1
+    return open_trace_event(2 * n)
+
+
 def secure_and_trace(shape: Tuple[int, ...]) -> OpTrace:
     """One GMW AND gate: a bit triple, then both parties open (d, e) packed
     as two uint8 planes per direction."""
-    n = int(np.prod(shape)) if shape else 1
-    return OpTrace().request("bit", shape).exchange(2 * n)
+    return OpTrace().request("bit", shape).group([_and_trace_event(shape)])
 
 
 def millionaire_trace(
     shape: Tuple[int, ...], ring: FixedPointRing, digit_bits: int = 2
 ) -> OpTrace:
     """Trace of :func:`millionaire_gt`: one 1-of-4 OT per digit (all four
-    masked uint8 messages cross the wire), then the prefix circuit's AND
-    gates — one greater-than AND per digit plus one equality AND per digit
-    except the least significant."""
+    masked uint8 messages cross the wire) — every digit in one round group —
+    then the prefix circuit's AND gates, the greater-than and equality AND of
+    each step sharing a group (the least significant step has no equality
+    update)."""
     n = int(np.prod(shape)) if shape else 1
     num_digits = ring.ring_bits // digit_bits
     radix = 1 << digit_bits
     trace = OpTrace()
-    for _ in range(num_digits):
-        trace.send(0, radix * n)  # one_of_four_ot payload
+    trace.group([send_trace_event(0, radix * n) for _ in range(num_digits)])
     for i in reversed(range(num_digits)):
-        trace.extend(secure_and_trace(shape))  # eq_prefix AND gt_i
+        trace.request("bit", shape)  # eq_prefix AND gt_i
+        events = [_and_trace_event(shape)]
         if i:
-            trace.extend(secure_and_trace(shape))  # eq_prefix AND eq_i
+            trace.request("bit", shape)  # eq_prefix AND eq_i
+            events.append(_and_trace_event(shape))
+        trace.group(events)
     return trace
 
 

@@ -7,7 +7,13 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
-from repro.crypto.protocols.comparison import drelu, drelu_trace, select, select_trace
+from repro.crypto.events import run_phases
+from repro.crypto.protocols.comparison import (
+    drelu_phases,
+    drelu_trace,
+    select_phases,
+    select_trace,
+)
 from repro.crypto.protocols.registry import (
     OpTrace,
     no_trace,
@@ -32,13 +38,13 @@ def _extract_windows(share: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     return windows.reshape(n, c, oh, ow, kernel * kernel).copy()
 
 
-def secure_maxpool2d(
+def secure_maxpool2d_phases(
     ctx: TwoPartyContext,
     x: SharePair,
     kernel_size: int = 2,
     stride: int | None = None,
     tag: str = "maxpool",
-) -> SharePair:
+):
     """2PC-MaxPool: window maxima via repeated secure pairwise max.
 
     max(a, b) = b + ReLU(a - b), so each reduction step costs one comparison
@@ -55,10 +61,24 @@ def secure_maxpool2d(
     for i in range(1, k):
         candidate = SharePair(win0[..., i].copy(), win1[..., i].copy(), ring)
         diff = sub_shares(candidate, current)
-        bit = drelu(ctx, diff, tag=f"{tag}/cmp{i}")
-        gated = select(ctx, diff, bit, tag=f"{tag}/sel{i}")
+        bit = yield from drelu_phases(ctx, diff, tag=f"{tag}/cmp{i}")
+        gated = yield from select_phases(ctx, diff, bit, tag=f"{tag}/sel{i}")
         current = add_shares(current, gated)
     return current
+
+
+def secure_maxpool2d(
+    ctx: TwoPartyContext,
+    x: SharePair,
+    kernel_size: int = 2,
+    stride: int | None = None,
+    tag: str = "maxpool",
+) -> SharePair:
+    """Sequential entry point of :func:`secure_maxpool2d_phases`."""
+    return run_phases(
+        ctx,
+        secure_maxpool2d_phases(ctx, x, kernel_size=kernel_size, stride=stride, tag=tag),
+    )
 
 
 def secure_avgpool2d(
@@ -121,10 +141,11 @@ def _run_maxpool(
     params: Dict[str, np.ndarray],
     x: SharePair,
     cache: Dict[str, SharePair],
-) -> SharePair:
-    return secure_maxpool2d(
+):
+    result = yield from secure_maxpool2d_phases(
         ctx, x, kernel_size=layer.kernel, stride=layer.stride, tag=layer.name or "maxpool"
     )
+    return result
 
 
 @register_protocol(LayerKind.AVGPOOL, infer_shape=_pool_infer_shape, trace=no_trace)

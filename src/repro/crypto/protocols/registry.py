@@ -3,15 +3,23 @@
 Every layer kind that can be executed under 2PC registers a
 :class:`ProtocolHandler` here (see the ``@register_protocol`` decorators at
 the bottom of the modules in :mod:`repro.crypto.protocols`).  A handler
-bundles the three facets the compiler and runtime need:
+bundles the facets the compiler and runtime need:
 
-- ``execute`` — the online protocol itself, operating on secret shares;
+- ``phases`` — the online protocol as a *phase generator*: local computation
+  punctuated by ``yield``\\ ed round groups of
+  :class:`~repro.crypto.events.CommEvent`.  The driver (not the handler)
+  decides how each group hits the wire: sequentially (reference semantics)
+  or coalesced into shared rounds by the plan scheduler;
+- ``execute`` — the sequential entry point derived from ``phases`` via
+  :func:`repro.crypto.events.run_phases` (or the plain function itself for
+  communication-free ops), byte-identical to the pre-generator handlers;
 - ``infer_shape`` — static shape inference used by the plan compiler;
 - ``trace`` — the *exact* offline/online cost of one invocation: the ordered
-  list of correlated-randomness requests the op will make to the dealer and
-  the ordered list of channel messages it will put on the wire.
+  correlated-randomness requests and the **grouped** wire messages.  Trace
+  groups mirror the generator's yield groups one for one, which is what lets
+  the compiler schedule rounds without running the protocol.
 
-Because ``trace`` is declared next to ``execute`` in the same module, the
+Because ``trace`` is declared next to ``phases`` in the same module, the
 preprocessing manifest and the byte accounting of a compiled plan are exact
 by construction: the trace lists requests/messages in the same order the
 protocol performs them, so an offline phase that generates randomness in
@@ -21,13 +29,31 @@ path would have drawn.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro.crypto.events import run_phases
 from repro.crypto.ring import FixedPointRing
 from repro.models.specs import LayerKind, LayerSpec
+
+#: one traced wire event: the ``(sender, num_bytes)`` messages it emits.  An
+#: opening is bidirectional (two messages, S0's first); a transfer is one.
+TraceEvent = Tuple[Tuple[int, int], ...]
+#: one traced round group: events that may share a coalesced round
+TraceGroup = Tuple[TraceEvent, ...]
+
+
+def open_trace_event(num_bytes: int) -> TraceEvent:
+    """A bidirectional opening of ``num_bytes`` per direction."""
+    return ((0, int(num_bytes)), (1, int(num_bytes)))
+
+
+def send_trace_event(sender: int, num_bytes: int) -> TraceEvent:
+    """A one-directional transfer."""
+    return ((int(sender), int(num_bytes)),)
 
 
 @dataclass(frozen=True)
@@ -67,15 +93,19 @@ class RandomnessRequest:
 
 @dataclass
 class OpTrace:
-    """Ordered randomness requests and wire messages of one protocol op.
+    """Ordered randomness requests and grouped wire messages of one op.
 
-    ``messages`` holds ``(sender, num_bytes)`` pairs in transmission order,
-    mirroring exactly what :class:`repro.crypto.channel.Channel` will log, so
-    both total bytes and the direction-change round count can be predicted.
+    ``groups`` holds one entry per round group the protocol's phase
+    generator yields, in yield order; each group holds its events' messages.
+    The flat legacy view (:attr:`messages`) concatenates every event's
+    ``(sender, num_bytes)`` messages in transmission order, mirroring exactly
+    what a *sequential* execution logs; the coalesced view
+    (:attr:`scheduled_messages`) emits at most one message per direction per
+    group, mirroring what a round-coalescing execution logs.
     """
 
     requests: List[RandomnessRequest] = field(default_factory=list)
-    messages: List[Tuple[int, int]] = field(default_factory=list)
+    groups: List[TraceGroup] = field(default_factory=list)
 
     # -- builders ---------------------------------------------------------- #
     def request(self, kind: str, shape: Tuple[int, ...]) -> "OpTrace":
@@ -83,17 +113,41 @@ class OpTrace:
         return self
 
     def send(self, sender: int, num_bytes: int) -> "OpTrace":
-        self.messages.append((sender, int(num_bytes)))
+        """One transfer in a round group of its own."""
+        self.groups.append((send_trace_event(sender, num_bytes),))
         return self
 
     def exchange(self, num_bytes: int) -> "OpTrace":
-        """Both directions, S0 first — mirrors :meth:`Channel.exchange`."""
-        return self.send(0, num_bytes).send(1, num_bytes)
+        """Both directions, S0 first — one opening in a group of its own."""
+        self.groups.append((open_trace_event(num_bytes),))
+        return self
+
+    def group(self, events: List[TraceEvent]) -> "OpTrace":
+        """One round group of independent events (coalescible together)."""
+        if events:
+            self.groups.append(tuple(events))
+        return self
 
     def extend(self, other: "OpTrace") -> "OpTrace":
         self.requests.extend(other.requests)
-        self.messages.extend(other.messages)
+        self.groups.extend(other.groups)
         return self
+
+    # -- views -------------------------------------------------------------- #
+    @property
+    def messages(self) -> List[Tuple[int, int]]:
+        """Flat ``(sender, num_bytes)`` sequence of a sequential execution."""
+        return [
+            message
+            for group in self.groups
+            for event in group
+            for message in event
+        ]
+
+    @property
+    def scheduled_messages(self) -> List[Tuple[int, int]]:
+        """Per-direction message sequence of a round-coalesced execution."""
+        return scheduled_messages_of_groups(self.groups)
 
     # -- aggregates -------------------------------------------------------- #
     @property
@@ -102,8 +156,42 @@ class OpTrace:
 
     @property
     def rounds(self) -> int:
-        """Direction changes + 1 (the :class:`CommunicationLog` convention)."""
+        """Sequential round count: direction changes + 1 (the
+        :class:`CommunicationLog` convention).  Kept as the *legacy* metric;
+        the scheduled count is :attr:`scheduled_rounds`."""
         return trace_rounds(self.messages)
+
+    @property
+    def scheduled_rounds(self) -> int:
+        """Round count after intra-op coalescing (one frame per direction
+        per yielded group)."""
+        return trace_rounds(self.scheduled_messages)
+
+
+def group_direction_totals(group) -> Tuple[int, int]:
+    """Summed ``(bytes_from_0, bytes_from_1)`` of one traced round group.
+
+    The single accounting rule shared by the manifest round trace, the
+    scheduled-message view and the round scheduler — they must agree or the
+    payload==manifest invariant drifts.
+    """
+    totals = [0, 0]
+    for event in group:
+        for sender, num_bytes in event:
+            totals[sender] += num_bytes
+    return totals[0], totals[1]
+
+
+def scheduled_messages_of_groups(groups) -> List[Tuple[int, int]]:
+    """Coalesced ``(sender, num_bytes)`` stream: per group, per direction,
+    one summed message (S0's first — the canonical exchange order)."""
+    out: List[Tuple[int, int]] = []
+    for group in groups:
+        totals = group_direction_totals(group)
+        for sender in (0, 1):
+            if totals[sender]:
+                out.append((sender, totals[sender]))
+    return out
 
 
 def trace_rounds(messages) -> int:
@@ -116,6 +204,8 @@ def trace_rounds(messages) -> int:
 
 #: execute(ctx, layer, params, x, cache) -> SharePair
 ExecuteFn = Callable[..., object]
+#: phases(ctx, layer, params, x, cache) -> Generator[RoundGroup, results, SharePair]
+PhasesFn = Callable[..., object]
 #: infer_shape(layer, input_shape) -> output_shape
 InferShapeFn = Callable[[LayerSpec, Tuple[int, ...]], Tuple[int, ...]]
 #: trace(layer, input_shape, ring) -> OpTrace
@@ -124,10 +214,11 @@ TraceFn = Callable[[LayerSpec, Tuple[int, ...], FixedPointRing], OpTrace]
 
 @dataclass(frozen=True)
 class ProtocolHandler:
-    """The registered (execute, infer_shape, trace) triple for a layer kind."""
+    """The registered (execute, phases, infer_shape, trace) facets of a kind."""
 
     kind: LayerKind
     execute: ExecuteFn
+    phases: PhasesFn
     infer_shape: InferShapeFn
     trace: TraceFn
 
@@ -135,16 +226,52 @@ class ProtocolHandler:
 _HANDLERS: Dict[LayerKind, ProtocolHandler] = {}
 
 
+def _as_phases(fn: Callable) -> PhasesFn:
+    """Wrap a communication-free plain handler as a (yield-less) generator."""
+    if inspect.isgeneratorfunction(fn):
+        return fn
+
+    def phases(*args, **kwargs):
+        return fn(*args, **kwargs)
+        yield  # pragma: no cover — unreachable; makes this a generator fn
+
+    phases.__name__ = getattr(fn, "__name__", "phases")
+    phases.__doc__ = fn.__doc__
+    return phases
+
+
+def _sequential_execute(fn: Callable) -> ExecuteFn:
+    """Sequential entry point: drive the generator event by event."""
+    if not inspect.isgeneratorfunction(fn):
+        return fn
+
+    def execute(ctx, layer, params, x, cache):
+        return run_phases(ctx, fn(ctx, layer, params, x, cache))
+
+    execute.__name__ = getattr(fn, "__name__", "execute")
+    execute.__doc__ = fn.__doc__
+    return execute
+
+
 def register_protocol(
     kind: LayerKind, *, infer_shape: InferShapeFn, trace: TraceFn
-) -> Callable[[ExecuteFn], ExecuteFn]:
-    """Decorator registering ``fn`` as the online protocol for ``kind``."""
+) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn`` as the online protocol for ``kind``.
 
-    def decorate(fn: ExecuteFn) -> ExecuteFn:
+    ``fn`` is either a phase generator (interactive protocols) or a plain
+    function (communication-free ops); the sequential ``execute`` facet is
+    derived automatically in the former case.
+    """
+
+    def decorate(fn: Callable) -> Callable:
         if kind in _HANDLERS:
             raise ValueError(f"protocol handler for {kind} already registered")
         _HANDLERS[kind] = ProtocolHandler(
-            kind=kind, execute=fn, infer_shape=infer_shape, trace=trace
+            kind=kind,
+            execute=_sequential_execute(fn),
+            phases=_as_phases(fn),
+            infer_shape=infer_shape,
+            trace=trace,
         )
         return fn
 

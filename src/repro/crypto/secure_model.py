@@ -36,8 +36,10 @@ import numpy as np
 
 from repro.crypto.context import TwoPartyContext, make_context
 from repro.crypto.dealer import RandomnessPool
+from repro.crypto.passes import ScheduledPlan, optimize_plan
 from repro.crypto.plan import InferencePlan, compile_plan
 from repro.crypto.protocols.registry import get_handler
+from repro.crypto.scheduler import run_scheduled_plan
 from repro.crypto.sharing import SharePair, reconstruct, share
 from repro.models.specs import ModelSpec
 
@@ -75,11 +77,18 @@ class SecureInferenceEngine:
     # ------------------------------------------------------------------ #
     # Offline phase
     # ------------------------------------------------------------------ #
-    def compile(self, spec: ModelSpec, batch_size: int = 1) -> InferencePlan:
-        """Lower ``spec`` into a plan for this engine's ring and batch size."""
-        return compile_plan(spec, batch_size=batch_size, ring=self.ctx.ring)
+    def compile(self, spec: ModelSpec, batch_size: int = 1, optimize: bool = False):
+        """Lower ``spec`` into a plan for this engine's ring and batch size.
 
-    def preprocess(self, plan: InferencePlan) -> RandomnessPool:
+        With ``optimize=True`` the optimizer pass pipeline
+        (:func:`repro.crypto.passes.optimize_plan`) runs on the compiled
+        graph and a :class:`~repro.crypto.passes.ScheduledPlan` is returned;
+        executing it coalesces independent openings into shared rounds.
+        """
+        plan = compile_plan(spec, batch_size=batch_size, ring=self.ctx.ring)
+        return optimize_plan(plan) if optimize else plan
+
+    def preprocess(self, plan) -> RandomnessPool:
         """Generate the plan's correlated randomness from the live dealer."""
         return self.ctx.dealer.preprocess(plan)
 
@@ -88,7 +97,7 @@ class SecureInferenceEngine:
     # ------------------------------------------------------------------ #
     def execute(
         self,
-        plan: InferencePlan,
+        plan,
         weights: Dict[str, Dict[str, np.ndarray]],
         inputs: np.ndarray,
         pool: Optional[RandomnessPool] = None,
@@ -96,7 +105,12 @@ class SecureInferenceEngine:
         """Execute the online phase of a compiled plan on a query batch.
 
         Args:
-            plan: a compiled :class:`InferencePlan` (see :meth:`compile`).
+            plan: a compiled :class:`InferencePlan` (sequential reference
+                execution) or an optimized
+                :class:`~repro.crypto.passes.ScheduledPlan` (round-coalescing
+                execution; see :meth:`compile` with ``optimize=True``).  The
+                two are bit-identical in logits; the scheduled path logs
+                fewer communication rounds.
             weights: mapping layer-name -> parameter dict as produced by
                 :func:`repro.models.builder.export_layer_weights`.
             inputs: plaintext client queries, NCHW float array whose batch
@@ -128,16 +142,21 @@ class SecureInferenceEngine:
         try:
             ctx.reset_communication()
             shared = share(inputs, ctx.ring, ctx.rng)
-            per_layer: Dict[str, int] = {}
             cache: Dict[str, SharePair] = {}
-            for op in plan.ops:
-                before = ctx.communication_bytes
-                handler = get_handler(op.kind)
-                shared = handler.execute(
-                    ctx, op.layer, weights.get(op.name, {}), shared, cache
+            if isinstance(plan, ScheduledPlan):
+                shared, per_layer = run_scheduled_plan(
+                    ctx, plan, weights, shared, cache
                 )
-                cache[op.name] = shared
-                per_layer[op.name] = ctx.communication_bytes - before
+            else:
+                per_layer = {}
+                for op in plan.ops:
+                    before = ctx.communication_bytes
+                    handler = get_handler(op.kind)
+                    shared = handler.execute(
+                        ctx, op.layer, weights.get(op.name, {}), shared, cache
+                    )
+                    cache[op.name] = shared
+                    per_layer[op.name] = ctx.communication_bytes - before
             logits = reconstruct(shared)
         finally:
             ctx.dealer = dealer

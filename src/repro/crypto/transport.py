@@ -66,8 +66,11 @@ from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 
 #: dtype codes of the array codec.  Code 0 is special: ring elements held as
 #: uint64 in memory but packed at the ring's element width on the wire.
-#: Code 255 marks a control frame (session layer, not an array at all).
+#: Code 255 marks a control frame (session layer, not an array at all);
+#: code 254 marks a multi-array *round* frame (one coalesced communication
+#: round: several independent arrays in a single framed message).
 _RING_CODE = 0
+_ROUND_CODE = 254
 _CONTROL_CODE = 255
 
 #: control payload of the graceful-shutdown handshake.  A peer that receives
@@ -189,6 +192,13 @@ class WireStats:
     control_frames_received: int = 0
     control_bytes_sent: int = 0
     control_bytes_received: int = 0
+    #: coalesced multi-array round frames (each counts once in frames_*
+    #: too); ``round_arrays_*`` counts the arrays that rode inside them —
+    #: the round counters of the round-coalescing scheduler
+    round_frames_sent: int = 0
+    round_frames_received: int = 0
+    round_arrays_sent: int = 0
+    round_arrays_received: int = 0
 
     @property
     def wire_bytes_sent(self) -> int:
@@ -258,6 +268,70 @@ class Transport:
         )
         return array, payload_bytes
 
+    # -- round layer (multi-tensor coalesced frames) ------------------------- #
+    def send_arrays(self, arrays, ring: FixedPointRing = DEFAULT_RING) -> int:
+        """Ship one coalesced round frame carrying several ndarrays.
+
+        The frame is ``[_ROUND_CODE][u32 count]`` followed by one
+        ``u32 length || header || payload`` record per array (the same codec
+        as single-array frames).  Array payload bytes count toward the
+        payload stats exactly as if each array had been sent alone — the
+        manifest check stays exact — while the per-array framing the round
+        *saves* shows up as reduced overhead.  Returns the summed payload
+        byte count.
+        """
+        records = []
+        payload_bytes = 0
+        for array in arrays:
+            encoded = encode_array(array, ring)
+            payload_bytes += _payload_length(encoded)
+            records.append(encoded)
+        # records need no per-array length prefix: each header (dtype code,
+        # element width, dims) determines its own payload length, so the
+        # receiver walks the concatenation — that is what makes a coalesced
+        # round cheaper in overhead than N single-array frames.
+        frame = bytes([_ROUND_CODE]) + _LEN_PREFIX.pack(len(records)) + b"".join(records)
+        self._send_frame(frame)
+        self.stats.frames_sent += 1
+        self.stats.round_frames_sent += 1
+        self.stats.round_arrays_sent += len(records)
+        self.stats.payload_bytes_sent += payload_bytes
+        self.stats.overhead_bytes_sent += len(frame) - payload_bytes + _LEN_PREFIX.size
+        return payload_bytes
+
+    def recv_arrays(self) -> "list[Tuple[np.ndarray, int]]":
+        """Receive one coalesced round frame; ``(array, payload_bytes)`` per
+        array, in the order the peer packed them."""
+        frame = self._recv_frame()
+        if not frame or frame[0] != _ROUND_CODE:
+            raise ValueError(
+                "received a non-round frame where a round frame was expected "
+                "— the schedulers of the two endpoints are out of sync"
+            )
+        (count,) = _LEN_PREFIX.unpack_from(frame, 1)
+        offset = 1 + _LEN_PREFIX.size
+        out = []
+        payload_total = 0
+        for _ in range(count):
+            length = _encoded_record_length(frame, offset)
+            array, payload_bytes = decode_array(frame[offset : offset + length])
+            offset += length
+            out.append((array, payload_bytes))
+            payload_total += payload_bytes
+        if offset != len(frame):
+            raise ValueError(
+                f"round frame has {len(frame) - offset} trailing bytes after "
+                f"{count} arrays — corrupt frame"
+            )
+        self.stats.frames_received += 1
+        self.stats.round_frames_received += 1
+        self.stats.round_arrays_received += count
+        self.stats.payload_bytes_received += payload_total
+        self.stats.overhead_bytes_received += (
+            len(frame) - payload_total + _LEN_PREFIX.size
+        )
+        return out
+
     # -- session layer (multi-message framing) ------------------------------ #
     def send_control(self, payload: bytes) -> None:
         """Ship one opaque control message (job header, sync, shutdown).
@@ -297,6 +371,21 @@ class Transport:
 def _payload_length(frame: bytes) -> int:
     _, _, ndim = _HEADER_HEAD.unpack_from(frame, 0)
     return len(frame) - _HEADER_HEAD.size - 8 * ndim
+
+
+def _encoded_record_length(buffer: bytes, offset: int) -> int:
+    """Length of the ``header || dims || payload`` record at ``offset``.
+
+    The header fully determines the payload size (element width times the
+    product of the dims), which is what lets round frames concatenate
+    records without per-array length prefixes.
+    """
+    _, width, ndim = _HEADER_HEAD.unpack_from(buffer, offset)
+    dims = struct.unpack_from(f"<{ndim}Q", buffer, offset + _HEADER_HEAD.size)
+    num_elements = 1
+    for dim in dims:
+        num_elements *= dim
+    return _HEADER_HEAD.size + 8 * ndim + width * num_elements
 
 
 class LoopbackTransport(Transport):
@@ -376,16 +465,11 @@ class TcpTransport(Transport):
         link_latency: float = 0.0,
     ) -> "TcpTransport":
         """Accept exactly one peer connection (party 0's side)."""
-        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener = TcpListener(host=host, port=port)
         try:
-            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            server.bind((host, port))
-            server.listen(1)
-            server.settimeout(timeout)
-            conn, _ = server.accept()
+            return listener.accept(timeout=timeout, link_latency=link_latency)
         finally:
-            server.close()
-        return cls(conn, timeout=timeout, link_latency=link_latency)
+            listener.close()
 
     @classmethod
     def connect(
@@ -443,8 +527,52 @@ class TcpTransport(Transport):
         self._sock.close()
 
 
+class TcpListener:
+    """A bound listening socket whose port is known *before* accepting.
+
+    Binding and accepting are split so party 0 can bind an ephemeral port
+    (``port=0``), report the kernel-assigned port to whoever must tell party
+    1 where to connect, and only then block in :meth:`accept`.  This closes
+    the pick-then-bind race of :func:`free_port`: the port is never released
+    between discovery and use, so parallel CI jobs cannot steal it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 1) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._sock.bind((host, port))
+            self._sock.listen(backlog)
+        except OSError:
+            self._sock.close()
+            raise
+        self.host = host
+        self.port = int(self._sock.getsockname()[1])
+
+    def accept(self, timeout: float = 120.0, link_latency: float = 0.0) -> TcpTransport:
+        """Block until the peer connects; returns the connected transport."""
+        self._sock.settimeout(timeout)
+        conn, _ = self._sock.accept()
+        return TcpTransport(conn, timeout=timeout, link_latency=link_latency)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "TcpListener":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def free_port(host: str = "127.0.0.1") -> int:
-    """Pick a currently free TCP port (racy, but fine for localhost tests)."""
+    """Pick a currently free TCP port.
+
+    Inherently racy (the port is released before the caller binds it);
+    retained for tests that only need *a likely-free* port.  Runtime code
+    binds ephemeral ports directly via :class:`TcpListener` and passes the
+    bound port to the peer instead.
+    """
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
         sock.bind((host, 0))
         return int(sock.getsockname()[1])
@@ -452,7 +580,13 @@ def free_port(host: str = "127.0.0.1") -> int:
 
 @dataclass
 class TransportEndpoint:
-    """How one party reaches the other: host/port plus its own role."""
+    """How one party reaches the other: host/port plus its own role.
+
+    Party 0 may carry a pre-bound :class:`TcpListener` (its ``port`` then
+    names the listener's kernel-assigned port); :meth:`open` accepts on it
+    instead of binding anew, which is what makes end-to-end ephemeral-port
+    sessions race-free.
+    """
 
     party: int
     host: str = "127.0.0.1"
@@ -460,16 +594,25 @@ class TransportEndpoint:
     timeout: float = 120.0
     connect_retries: int = 100
     link_latency: float = 0.0
+    listener: Optional[TcpListener] = None
     extra: dict = field(default_factory=dict)
 
     def open(self) -> TcpTransport:
         """Establish the inter-party connection for this endpoint's role."""
+        if self.party == 0 and self.listener is not None:
+            try:
+                return self.listener.accept(
+                    timeout=self.timeout, link_latency=self.link_latency
+                )
+            finally:
+                self.listener.close()
         if self.port <= 0:
             # port 0 would listen on an undiscoverable ephemeral port / try to
             # connect to an invalid one; fail immediately instead of timing out.
             raise ValueError(
-                f"TransportEndpoint needs a concrete port, got {self.port}; "
-                "pick one with repro.crypto.transport.free_port()"
+                f"TransportEndpoint needs a concrete port (or a pre-bound "
+                f"listener for party 0), got {self.port}; bind one with "
+                "repro.crypto.transport.TcpListener(host, 0)"
             )
         if self.party == 0:
             return TcpTransport.listen(

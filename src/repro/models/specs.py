@@ -117,6 +117,41 @@ class LayerSpec:
         """Return a copy of the layer with a different operator kind."""
         return dc_replace(self, kind=kind)
 
+    # -- (de)serialization ------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (shared by ModelSpec and the plan IR)."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel": self.kernel,
+            "stride": self.stride,
+            "padding": self.padding,
+            "groups": self.groups,
+            "input_size": self.input_size,
+            "searchable": self.searchable,
+            "block": self.block,
+            "residual_from": self.residual_from,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LayerSpec":
+        return cls(
+            name=data["name"],
+            kind=LayerKind(data["kind"]),
+            in_channels=data.get("in_channels", 0),
+            out_channels=data.get("out_channels", 0),
+            kernel=data.get("kernel", 1),
+            stride=data.get("stride", 1),
+            padding=data.get("padding", 0),
+            groups=data.get("groups", 1),
+            input_size=data.get("input_size", 1),
+            searchable=data.get("searchable", False),
+            block=data.get("block", ""),
+            residual_from=data.get("residual_from", ""),
+        )
+
 
 @dataclass(frozen=True)
 class ModelSpec:
@@ -251,44 +286,12 @@ class ModelSpec:
             "input_size": self.input_size,
             "in_channels": self.in_channels,
             "num_classes": self.num_classes,
-            "layers": [
-                {
-                    "name": l.name,
-                    "kind": l.kind.value,
-                    "in_channels": l.in_channels,
-                    "out_channels": l.out_channels,
-                    "kernel": l.kernel,
-                    "stride": l.stride,
-                    "padding": l.padding,
-                    "groups": l.groups,
-                    "input_size": l.input_size,
-                    "searchable": l.searchable,
-                    "block": l.block,
-                    "residual_from": l.residual_from,
-                }
-                for l in self.layers
-            ],
+            "layers": [layer.to_dict() for layer in self.layers],
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ModelSpec":
-        layers = tuple(
-            LayerSpec(
-                name=entry["name"],
-                kind=LayerKind(entry["kind"]),
-                in_channels=entry.get("in_channels", 0),
-                out_channels=entry.get("out_channels", 0),
-                kernel=entry.get("kernel", 1),
-                stride=entry.get("stride", 1),
-                padding=entry.get("padding", 0),
-                groups=entry.get("groups", 1),
-                input_size=entry.get("input_size", 1),
-                searchable=entry.get("searchable", False),
-                block=entry.get("block", ""),
-                residual_from=entry.get("residual_from", ""),
-            )
-            for entry in data["layers"]
-        )
+        layers = tuple(LayerSpec.from_dict(entry) for entry in data["layers"])
         return cls(
             name=data["name"],
             input_size=data["input_size"],

@@ -57,17 +57,24 @@ import numpy as np
 from repro.crypto.channel import PartyChannel
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.dealer import RandomnessPool, TrustedDealer
+from repro.crypto.passes import ScheduledPlan, optimize_plan
 from repro.crypto.plan import InferencePlan, compile_plan
 from repro.crypto.protocols.registry import get_handler
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
+from repro.crypto.scheduler import run_scheduled_plan
 from repro.crypto.sharing import SharePair
-from repro.crypto.transport import TransportEndpoint, WireStats
+from repro.crypto.transport import TcpListener, TransportEndpoint, WireStats
 from repro.models.specs import ModelSpec
 
 
 @dataclass
 class PartyJob:
-    """Everything one party needs to join a two-process inference session."""
+    """Everything one party needs to join a two-process inference session.
+
+    ``optimize=True`` (the default) runs the optimizer pass pipeline after
+    compilation and executes the round-coalescing schedule; both parties
+    must agree on the flag (it is part of the job, so they do).
+    """
 
     spec: ModelSpec
     weights: Dict[str, Dict[str, np.ndarray]]
@@ -75,6 +82,7 @@ class PartyJob:
     seed: int
     input_share: np.ndarray
     ring: FixedPointRing = DEFAULT_RING
+    optimize: bool = True
 
 
 @dataclass
@@ -107,7 +115,7 @@ class PartyReport:
     pool_served: int
 
 
-def predicted_direction_bytes(plan: InferencePlan, sender: int) -> int:
+def predicted_direction_bytes(plan, sender: int) -> int:
     """Manifest-predicted online payload bytes flowing out of ``sender``."""
     return sum(
         num_bytes
@@ -117,19 +125,35 @@ def predicted_direction_bytes(plan: InferencePlan, sender: int) -> int:
     )
 
 
+def predicted_rounds(plan) -> int:
+    """The round count executing ``plan`` must log.
+
+    A :class:`~repro.crypto.passes.ScheduledPlan` executes coalesced, so its
+    scheduled count applies; a bare :class:`InferencePlan` executes
+    sequentially and must match the legacy trace-derived count.
+    """
+    if isinstance(plan, ScheduledPlan):
+        return plan.online_rounds
+    return plan.legacy_online_rounds
+
+
 def verify_against_plan(
-    plan: InferencePlan, execution: PartyExecution, stats: WireStats
+    plan, execution: PartyExecution, stats: WireStats
 ) -> None:
     """Assert the measured traffic equals the plan's static prediction.
 
-    Checks three layers of accounting against the manifest: the party's
-    communication log (both directions), the payload bytes its transport
-    actually serialized onto the wire, and the payload bytes it received.
+    ``plan`` is the executed artifact — an :class:`InferencePlan` for the
+    sequential path or a :class:`~repro.crypto.passes.ScheduledPlan` for the
+    round-coalescing path; byte predictions are identical, round predictions
+    are mode-specific (see :func:`predicted_rounds`).  Checks three layers
+    of accounting against the manifest: the party's communication log (both
+    directions), the payload bytes its transport actually serialized onto
+    the wire, and the payload bytes it received.
     """
     party = execution.party
     checks = [
         ("logged online bytes", execution.communication_bytes, plan.online_bytes),
-        ("logged online rounds", execution.communication_rounds, plan.online_rounds),
+        ("logged online rounds", execution.communication_rounds, predicted_rounds(plan)),
         (
             "on-wire payload bytes sent",
             stats.payload_bytes_sent,
@@ -153,12 +177,17 @@ def verify_against_plan(
 def execute_plan_as_party(
     ctx: TwoPartyContext,
     party: int,
-    plan: InferencePlan,
+    plan,
     weights: Dict[str, Dict[str, np.ndarray]],
     input_share: np.ndarray,
     pool: Optional[RandomnessPool] = None,
 ) -> PartyExecution:
     """Run the online phase of ``plan`` holding only ``party``'s share-world.
+
+    ``plan`` is either a bare :class:`InferencePlan` (sequential reference
+    execution) or a :class:`~repro.crypto.passes.ScheduledPlan`
+    (round-coalescing execution over multi-tensor round frames) — the
+    reconstructed logits are bit-identical either way.
 
     ``ctx.channel`` must be a :class:`PartyChannel` for the same party (or a
     simulated channel in tests).  ``input_share`` is this party's additive
@@ -188,16 +217,19 @@ def execute_plan_as_party(
     ctx.dealer = pool
     try:
         ctx.reset_communication()
-        per_layer: Dict[str, int] = {}
         cache: Dict[str, SharePair] = {}
-        for op in plan.ops:
-            before = ctx.communication_bytes
-            handler = get_handler(op.kind)
-            shared = handler.execute(
-                ctx, op.layer, weights.get(op.name, {}), shared, cache
-            )
-            cache[op.name] = shared
-            per_layer[op.name] = ctx.communication_bytes - before
+        if isinstance(plan, ScheduledPlan):
+            shared, per_layer = run_scheduled_plan(ctx, plan, weights, shared, cache)
+        else:
+            per_layer = {}
+            for op in plan.ops:
+                before = ctx.communication_bytes
+                handler = get_handler(op.kind)
+                shared = handler.execute(
+                    ctx, op.layer, weights.get(op.name, {}), shared, cache
+                )
+                cache[op.name] = shared
+                per_layer[op.name] = ctx.communication_bytes - before
         logit_share = shared.share0 if party == 0 else shared.share1
     finally:
         ctx.dealer = dealer
@@ -229,6 +261,8 @@ def run_party_session(
 
         offline_start = time.perf_counter()
         plan = compile_plan(job.spec, batch_size=job.batch_size, ring=job.ring)
+        if job.optimize:
+            plan = optimize_plan(plan)
         dealer = TrustedDealer(ring=job.ring, seed=job.seed)
         pool = dealer.preprocess(plan).restrict_to_party(party)
         offline_seconds = time.perf_counter() - offline_start
@@ -267,10 +301,22 @@ def run_party_worker(conn, party: int, host: str, port: int, timeout: float = 12
     for the client/dealer provisioning path — *not* part of the measured
     inter-server traffic), runs the session over TCP, and sends back either a
     :class:`PartyReport` or the exception that ended the session.
+
+    With ``port <= 0`` party 0 binds an ephemeral port itself and announces
+    the kernel-assigned port over the pipe (``("bound-port", port)``) before
+    accepting — the driver forwards it to party 1, so no free-then-bind race
+    exists end to end.
     """
     try:
         job: PartyJob = conn.recv()
-        endpoint = TransportEndpoint(party=party, host=host, port=port, timeout=timeout)
+        listener = None
+        if party == 0 and port <= 0:
+            listener = TcpListener(host=host, port=0)
+            conn.send(("bound-port", listener.port))
+            port = listener.port
+        endpoint = TransportEndpoint(
+            party=party, host=host, port=port, timeout=timeout, listener=listener
+        )
         report = run_party_session(job, endpoint)
         conn.send(report)
     except Exception as exc:  # surface the failure to the driver, then re-raise

@@ -48,9 +48,10 @@ import numpy as np
 from repro.crypto.channel import PartyChannel
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.dealer import RandomnessPool, TrustedDealer
-from repro.crypto.plan import InferencePlan, compile_plan
+from repro.crypto.passes import optimize_plan
+from repro.crypto.plan import compile_plan
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
-from repro.crypto.transport import TransportEndpoint
+from repro.crypto.transport import TcpListener, TransportEndpoint
 from repro.models.specs import ModelSpec
 from repro.runtime.party import (
     execute_plan_as_party,
@@ -80,7 +81,12 @@ def derive_job_seed(base_seed: int, model: str, batch_size: int, counter: int) -
 
 @dataclass
 class ServerConfig:
-    """Everything a party server needs to boot, sent once over the pipe."""
+    """Everything a party server needs to boot, sent once over the pipe.
+
+    ``coalesce_rounds`` selects the round-coalescing schedule (default) or
+    the sequential reference execution for every plan the server compiles;
+    both parties receive the same config, so they always agree.
+    """
 
     base_seed: int
     models: Dict[str, ModelSpec]
@@ -91,6 +97,7 @@ class ServerConfig:
     high_water: int = DEFAULT_HIGH_WATER
     ring: FixedPointRing = DEFAULT_RING
     verify: bool = True
+    coalesce_rounds: bool = True
 
 
 @dataclass
@@ -190,7 +197,9 @@ class ServerStats:
 
 @dataclass
 class _PlanEntry:
-    plan: InferencePlan
+    #: the executed artifact: a ScheduledPlan (coalesce_rounds) or a bare
+    #: InferencePlan (sequential reference mode)
+    plan: object
     #: FIFO of (counter, party-restricted pool); counters strictly increase
     pools: Deque[Tuple[int, RandomnessPool]] = field(default_factory=deque)
     next_counter: int = 0
@@ -241,13 +250,15 @@ class PartyServer:
                 f"registered: {sorted(self.config.models)}"
             )
         plan = compile_plan(spec, batch_size=batch_size, ring=self.ring)
+        if self.config.coalesce_rounds:
+            plan = optimize_plan(plan)
         with self._lock:
             entry = self._entries.setdefault(key, _PlanEntry(plan=plan))
             if entry.plan is plan:
                 self.stats.plans_compiled += 1
         return entry
 
-    def _generate_pool(self, model: str, batch_size: int, counter: int, plan: InferencePlan) -> RandomnessPool:
+    def _generate_pool(self, model: str, batch_size: int, counter: int, plan) -> RandomnessPool:
         seed = derive_job_seed(self.config.base_seed, model, batch_size, counter)
         dealer = TrustedDealer(ring=self.ring, seed=seed)
         pool = dealer.preprocess(plan).restrict_to_party(self.party)
@@ -480,16 +491,27 @@ def run_party_server(
     lifetime :class:`ServerStats`.  The inter-party transport is opened once
     and reused for every job — a warm server spawns no processes and opens
     no connections on the serving path.
+
+    With ``port <= 0`` party 0 binds an ephemeral port and announces the
+    kernel-assigned number over the pipe (``("bound-port", port)``) right
+    after receiving the config, *before* accepting — the pool driver reads
+    it and only then boots party 1, so no free-then-bind race exists.
     """
     transport = None
     try:
         config: ServerConfig = conn.recv()
+        listener = None
+        if party == 0 and port <= 0:
+            listener = TcpListener(host=host, port=0)
+            conn.send(("bound-port", listener.port))
+            port = listener.port
         endpoint = TransportEndpoint(
             party=party,
             host=host,
             port=port,
             timeout=timeout,
             link_latency=link_latency,
+            listener=listener,
         )
         transport = endpoint.open()
         server = PartyServer(party, transport, config)

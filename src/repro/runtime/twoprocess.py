@@ -18,20 +18,25 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.crypto.plan import InferencePlan, compile_plan
+from repro.crypto.passes import optimize_plan
+from repro.crypto.plan import compile_plan
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.crypto.sharing import share
-from repro.crypto.transport import free_port
 from repro.models.specs import ModelSpec
 from repro.runtime.party import PartyJob, PartyReport, run_party_worker
 
 
 @dataclass
 class TwoProcessResult:
-    """Reconstructed output and verified accounting of one socket session."""
+    """Reconstructed output and verified accounting of one socket session.
+
+    ``plan`` is the artifact the parties executed: a
+    :class:`~repro.crypto.passes.ScheduledPlan` by default, or the bare
+    :class:`~repro.crypto.plan.InferencePlan` when ``optimize=False``.
+    """
 
     logits: np.ndarray
-    plan: InferencePlan
+    plan: object
     reports: Dict[int, PartyReport]
     wall_seconds: float
 
@@ -65,7 +70,7 @@ class TwoProcessResult:
 
 
 def _check_cross_party_consistency(
-    plan: InferencePlan, report0: PartyReport, report1: PartyReport
+    plan, report0: PartyReport, report1: PartyReport
 ) -> None:
     """Both parties observed the same conversation, and it matches the plan."""
     if report0.payload_bytes_sent != report1.payload_bytes_received:
@@ -99,6 +104,7 @@ def run_two_process_inference(
     host: str = "127.0.0.1",
     port: Optional[int] = None,
     timeout: float = 300.0,
+    optimize: bool = True,
 ) -> TwoProcessResult:
     """Run one private inference with the two parties in separate OS processes.
 
@@ -109,11 +115,18 @@ def run_two_process_inference(
     a localhost socket, then reconstruct the logits from the returned result
     shares.  Raises if either party's measured traffic deviates from the
     plan manifest.
+
+    Ports: with ``port=None`` (the default) party 0 binds an ephemeral port
+    and announces the kernel-assigned number over its control pipe before
+    party 1 is spawned — end-to-end race-free, so parallel CI jobs cannot
+    collide.  ``optimize`` selects the round-coalescing schedule (default)
+    or the sequential reference execution.
     """
     ring = ring or DEFAULT_RING
     inputs = np.asarray(inputs, dtype=np.float64)
     batch_size = int(inputs.shape[0])
-    port = port if port is not None else free_port(host)
+    ephemeral = port is None
+    port = 0 if ephemeral else port
 
     # Client: secret-share the query batch.  The RNG seed convention matches
     # TwoPartyContext (rng = seed + 1) so the mask equals the reference run's.
@@ -142,10 +155,27 @@ def run_two_process_inference(
                     seed=seed,
                     input_share=input_share,
                     ring=ring,
+                    optimize=optimize,
                 )
             )
             pipes.append(parent_conn)
             processes.append(process)
+            if party == 0 and ephemeral:
+                # wait for party 0's kernel-assigned port: the listener is
+                # already bound, so handing the number to party 1 is race-free
+                if not parent_conn.poll(timeout):
+                    raise TimeoutError(
+                        f"party 0 did not announce its bound port within {timeout:.0f}s"
+                    )
+                announcement = parent_conn.recv()
+                if isinstance(announcement, BaseException):
+                    raise RuntimeError(f"party 0 failed: {announcement}") from announcement
+                kind, bound_port = announcement
+                if kind != "bound-port":
+                    raise RuntimeError(
+                        f"party 0 announced {announcement!r}, expected a bound port"
+                    )
+                port = int(bound_port)
 
         reports: Dict[int, PartyReport] = {}
         deadline = time.monotonic() + timeout
@@ -171,6 +201,8 @@ def run_two_process_inference(
     wall_seconds = time.perf_counter() - start
 
     plan = compile_plan(spec, batch_size=batch_size, ring=ring)
+    if optimize:
+        plan = optimize_plan(plan)
     _check_cross_party_consistency(plan, reports[0], reports[1])
 
     # Client: reconstruct the logits from the two result shares.

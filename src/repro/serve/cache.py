@@ -19,7 +19,8 @@ from typing import Deque, Dict, Optional, Tuple
 import numpy as np
 
 from repro.crypto.dealer import RandomnessPool, TrustedDealer
-from repro.crypto.plan import InferencePlan, compile_plan
+from repro.crypto.passes import optimize_plan
+from repro.crypto.plan import compile_plan
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.models.specs import ModelSpec
 
@@ -57,21 +58,34 @@ class PlanPoolCache:
     may call into the cache concurrently.
     """
 
-    def __init__(self, ring: Optional[FixedPointRing] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        ring: Optional[FixedPointRing] = None,
+        seed: int = 0,
+        optimize: bool = True,
+    ) -> None:
         self.ring = ring or DEFAULT_RING
+        self.optimize = optimize
         self.dealer = TrustedDealer(ring=self.ring, seed=seed)
         self.stats = CacheStats()
-        self._plans: Dict[Tuple[str, int], InferencePlan] = {}
+        self._plans: Dict[Tuple[str, int], object] = {}
         self._pools: Dict[Tuple[str, int], Deque[RandomnessPool]] = {}
         self._lock = threading.Lock()
 
-    def plan(self, spec: ModelSpec, batch_size: int) -> InferencePlan:
-        """The compiled plan for ``(spec.name, batch_size)``; compiles once."""
+    def plan(self, spec: ModelSpec, batch_size: int):
+        """The compiled plan for ``(spec.name, batch_size)``; compiles once.
+
+        With ``optimize`` (the default) the optimizer pass pipeline runs
+        once at compile time and a round-coalescing
+        :class:`~repro.crypto.passes.ScheduledPlan` is cached.
+        """
         key = (spec.name, batch_size)
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
                 plan = compile_plan(spec, batch_size=batch_size, ring=self.ring)
+                if self.optimize:
+                    plan = optimize_plan(plan)
                 self._plans[key] = plan
                 self.stats.plans_compiled += 1
             return plan

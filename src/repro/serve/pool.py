@@ -40,7 +40,6 @@ import numpy as np
 
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.crypto.sharing import share
-from repro.crypto.transport import free_port
 from repro.models.specs import ModelSpec
 from repro.runtime.server import (
     JobFailed,
@@ -135,6 +134,7 @@ class WorkerShard:
         low_water: int = 1,
         high_water: int = 3,
         verify: bool = True,
+        coalesce_rounds: bool = True,
     ) -> None:
         self.index = index
         self.models = models
@@ -161,8 +161,12 @@ class WorkerShard:
             high_water=high_water,
             ring=ring,
             verify=verify,
+            coalesce_rounds=coalesce_rounds,
         )
-        port = free_port(host)
+        # Party 0 binds an ephemeral port itself and announces the
+        # kernel-assigned number before party 1 boots — race-free even when
+        # many pools boot shards concurrently (e.g. parallel CI jobs).
+        port = 0
         try:
             for party in (0, 1):
                 parent_conn, child_conn = mp.Pipe()
@@ -178,6 +182,18 @@ class WorkerShard:
                 parent_conn.send(config)
                 self._pipes.append(parent_conn)
                 self._processes.append(process)
+                if party == 0:
+                    announcement = self._recv(0, timeout)
+                    if (
+                        not isinstance(announcement, tuple)
+                        or len(announcement) != 2
+                        or announcement[0] != "bound-port"
+                    ):
+                        raise ShardFailure(
+                            f"shard {index} party 0 announced {announcement!r}, "
+                            "expected its bound port"
+                        )
+                    port = int(announcement[1])
             for party in (0, 1):
                 ready = self._recv(party, timeout)
                 if ready != "ready":
@@ -435,6 +451,7 @@ class ShardedServingPool:
         host: str = "127.0.0.1",
         job_timeout: float = 300.0,
         verify: bool = True,
+        coalesce_rounds: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -446,6 +463,7 @@ class ShardedServingPool:
         self.job_timeout = job_timeout
         self.link_latency = link_latency
         self.verify = verify
+        self.coalesce_rounds = coalesce_rounds
         self.low_water = low_water
         self.high_water = high_water
         self.provision_pools = provision_pools
@@ -499,6 +517,7 @@ class ShardedServingPool:
             low_water=self.low_water,
             high_water=self.high_water,
             verify=self.verify,
+            coalesce_rounds=self.coalesce_rounds,
         )
         self.processes_spawned += 2
         self.shards_booted += 1

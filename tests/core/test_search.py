@@ -8,7 +8,6 @@ import pytest
 from repro.core.search import DifferentiablePolynomialSearch, SearchConfig
 from repro.core.supernet import Supernet
 from repro.data import DataLoader, synthetic_tiny, train_val_split
-from repro.models.specs import LayerKind
 from repro.models.vgg import vgg_tiny
 
 

@@ -23,7 +23,6 @@ from repro.crypto import (
     compile_plan,
     make_context,
 )
-from repro.crypto.plan import InferencePlan
 from repro.crypto.protocols.registry import get_handler, registered_kinds
 from repro.crypto.secure_model import SecureInferenceEngine
 from repro.models.builder import build_model, export_layer_weights
@@ -156,7 +155,12 @@ class TestCompiledExecutionEquivalence:
         "build", [vgg_tiny, resnet_tiny], ids=["vgg-tiny", "resnet-tiny"]
     )
     def test_manifest_prediction_matches_observed_bytes_exactly(self, build):
-        """Acceptance: predicted online bytes == CommunicationLog, per op."""
+        """Acceptance: predicted online bytes == CommunicationLog, per op.
+
+        A sequential execution logs the legacy (uncoalesced) round count;
+        ``plan.online_rounds`` reports the scheduled count, so the legacy
+        metric lives in ``legacy_online_rounds``.
+        """
         spec = build(input_size=8)
         net, weights = _trained_weights(spec)
         engine = SecureInferenceEngine(make_context(seed=5))
@@ -164,8 +168,25 @@ class TestCompiledExecutionEquivalence:
         x = np.random.default_rng(3).normal(size=(2, 3, 8, 8))
         result = engine.execute(plan, weights, x)
         assert result.communication_bytes == plan.online_bytes
-        assert result.communication_rounds == plan.online_rounds
+        assert result.communication_rounds == plan.legacy_online_rounds
         assert result.per_layer_bytes == plan.per_op_bytes()
+
+    @pytest.mark.parametrize(
+        "build", [vgg_tiny, resnet_tiny], ids=["vgg-tiny", "resnet-tiny"]
+    )
+    def test_scheduled_prediction_matches_observed_rounds_exactly(self, build):
+        """The round-coalescing path logs exactly the scheduled prediction."""
+        spec = build(input_size=8)
+        net, weights = _trained_weights(spec)
+        engine = SecureInferenceEngine(make_context(seed=5))
+        splan = engine.compile(spec, batch_size=2, optimize=True)
+        x = np.random.default_rng(3).normal(size=(2, 3, 8, 8))
+        result = engine.execute(splan, weights, x)
+        assert result.communication_bytes == splan.online_bytes
+        assert result.communication_rounds == splan.online_rounds
+        assert result.communication_rounds == splan.manifest.online_rounds
+        assert result.per_layer_bytes == splan.per_op_bytes()
+        assert splan.online_rounds < splan.legacy_online_rounds
 
     def test_online_phase_makes_zero_dealer_generation_calls(self):
         spec = vgg_tiny(input_size=8)  # ReLU + MaxPool: heavy randomness use

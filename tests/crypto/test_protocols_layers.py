@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.crypto import make_context, reconstruct, share
+from repro.crypto import reconstruct, share
 from repro.crypto.protocols.activation import (
     secure_relu,
     secure_square_activation,

@@ -437,3 +437,115 @@ class TestSessionFraming:
         client.close()
         assert result["got"] == b"job-header"
         assert result["bye"] is None
+
+
+class TestRoundFrames:
+    """Multi-tensor round frames: the wire form of one coalesced round."""
+
+    def test_send_arrays_round_trips_in_order(self):
+        a, b = LoopbackTransport.pair()
+        arrays = [
+            np.arange(6, dtype=np.uint64).reshape(2, 3),
+            np.arange(4, dtype=np.uint8),
+            np.arange(3, dtype=np.uint64),
+        ]
+        sent_payload = a.send_arrays(arrays, DEFAULT_RING)
+        received = b.recv_arrays()
+        assert len(received) == 3
+        for original, (decoded, payload_bytes) in zip(arrays, received):
+            np.testing.assert_array_equal(decoded, original)
+            assert payload_bytes > 0
+        assert sent_payload == sum(p for _, p in received)
+
+    def test_round_frame_stats_count_payload_exactly(self):
+        a, b = LoopbackTransport.pair()
+        arrays = [np.arange(8, dtype=np.uint64), np.arange(5, dtype=np.uint8)]
+        a.send_arrays(arrays, DEFAULT_RING)
+        b.recv_arrays()
+        # 8 ring elements at 8 bytes + 5 uint8 = 69 payload bytes
+        assert a.stats.payload_bytes_sent == 69
+        assert b.stats.payload_bytes_received == 69
+        assert a.stats.frames_sent == 1
+        assert a.stats.round_frames_sent == 1
+        assert a.stats.round_arrays_sent == 2
+        assert b.stats.round_frames_received == 1
+        assert b.stats.round_arrays_received == 2
+        assert a.stats.overhead_bytes_sent > 0
+
+    def test_round_frame_overhead_is_less_than_per_array_frames(self):
+        """The point of coalescing: one frame's overhead, not N frames'."""
+        arrays = [np.arange(4, dtype=np.uint64) for _ in range(10)]
+        coalesced, sink_end = LoopbackTransport.pair()
+        coalesced.send_arrays(arrays, DEFAULT_RING)
+        sink_end.recv_arrays()
+        per_array = LoopbackTransport.pair()
+        for array in arrays:
+            per_array[0].send_array(array, DEFAULT_RING)
+            per_array[1].recv_array()
+        assert coalesced.stats.payload_bytes_sent == per_array[0].stats.payload_bytes_sent
+        assert coalesced.stats.overhead_bytes_sent < per_array[0].stats.overhead_bytes_sent
+
+    def test_recv_arrays_rejects_non_round_frames(self):
+        a, b = LoopbackTransport.pair()
+        a.send_array(np.arange(3, dtype=np.uint64), DEFAULT_RING)
+        with pytest.raises(ValueError, match="round frame"):
+            b.recv_arrays()
+
+    def test_recv_array_rejects_round_frames(self):
+        a, b = LoopbackTransport.pair()
+        a.send_arrays([np.arange(3, dtype=np.uint64)], DEFAULT_RING)
+        with pytest.raises(ValueError):
+            b.recv_array()
+
+    def test_party_channels_run_coalesced_rounds_like_the_simulation(self):
+        """run_round over a real transport: same results, same coalesced log
+        as the simulated channel."""
+        from repro.crypto.events import open_bits_event, open_ring_event, transfer_event
+
+        rng = np.random.default_rng(0)
+        s0 = DEFAULT_RING.random((4,), rng)
+        s1 = DEFAULT_RING.random((4,), rng)
+        b0 = rng.integers(0, 2, size=(5,), dtype=np.uint8)
+        b1 = rng.integers(0, 2, size=(5,), dtype=np.uint8)
+        payload = rng.integers(0, 255, size=(3,), dtype=np.uint8)
+
+        def events():
+            return [
+                open_ring_event(s0, s1, tag="open"),
+                open_bits_event(b0, b1, tag="bits"),
+                transfer_event(0, 1, payload, tag="ot"),
+            ]
+
+        simulated = Channel(ring=DEFAULT_RING)
+        expected = simulated.run_round(events())
+
+        ta, tb = LoopbackTransport.pair()
+        results = {}
+
+        def run(party, transport):
+            channel = PartyChannel(transport, party, ring=DEFAULT_RING)
+            results[party] = (channel.run_round(events()), channel.log)
+
+        threads = [
+            threading.Thread(target=run, args=(0, ta)),
+            threading.Thread(target=run, args=(1, tb)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        for party in (0, 1):
+            got, log = results[party]
+            np.testing.assert_array_equal(got[0], expected[0])
+            np.testing.assert_array_equal(got[1], expected[1])
+            if party == 1:  # the receiver sees the genuine OT payload
+                np.testing.assert_array_equal(got[2], payload)
+            assert [
+                (m.sender, m.num_bytes) for m in log.messages
+            ] == [(m.sender, m.num_bytes) for m in simulated.log.messages]
+            assert log.rounds == simulated.log.rounds
+        # one round frame each direction, arrays coalesced
+        assert ta.stats.round_frames_sent == 1
+        assert ta.stats.round_arrays_sent == 3  # open + bits + transfer
+        assert tb.stats.round_arrays_sent == 2  # open + bits (no transfer)

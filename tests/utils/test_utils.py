@@ -6,7 +6,6 @@ import logging
 import time
 
 import numpy as np
-import pytest
 
 from repro.utils import Timer, get_logger, load_json, save_json, seed_everything
 

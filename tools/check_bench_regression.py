@@ -1,0 +1,119 @@
+"""Compare a bench_round_coalescing JSON report against a committed baseline.
+
+CI runs the round-coalescing benchmark on every push; this script fails the
+job when the run regresses against ``benchmarks/baselines/*.json``:
+
+- the **qps improvement ratio** (coalesced / sequential throughput at the
+  reference link latency and shard count) must not fall more than
+  ``--max-qps-regression`` below the baseline's ratio.  The *ratio* is
+  compared — not absolute qps — because CI machines differ wildly in speed
+  while the coalescing speedup is a property of the frame schedule;
+- the **round reduction** of every zoo model must not fall below the
+  baseline's (rounds are deterministic compile-time quantities, so any drop
+  is a real scheduling regression, checked exactly);
+- the zoo-wide **bit-identity** phase must have passed.
+
+Run with:
+  python tools/check_bench_regression.py current.json \\
+      benchmarks/baselines/round_coalescing_2shards.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: float) -> list:
+    failures = []
+
+    if current.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+
+    shards = baseline.get("config", {}).get("shards")
+    if current.get("config", {}).get("shards") != shards:
+        failures.append(
+            f"shard count mismatch: baseline ran at {shards} shards, "
+            f"current at {current.get('config', {}).get('shards')}"
+        )
+
+    # -- qps improvement ratio (machine-independent) -------------------------- #
+    baseline_ratio = baseline.get("qps_improvement", {}).get(latency_key)
+    current_ratio = current.get("qps_improvement", {}).get(latency_key)
+    if baseline_ratio is None or current_ratio is None:
+        failures.append(
+            f"missing qps_improvement[{latency_key!r}]: "
+            f"current={current_ratio}, baseline={baseline_ratio}"
+        )
+    else:
+        floor = baseline_ratio * (1.0 - max_qps_regression)
+        if current_ratio < floor:
+            failures.append(
+                f"qps improvement at {latency_key} regressed: "
+                f"{current_ratio:.3f}x vs baseline {baseline_ratio:.3f}x "
+                f"(floor {floor:.3f}x at {max_qps_regression:.0%} tolerance)"
+            )
+
+    # -- deterministic round reductions --------------------------------------- #
+    for model, entry in baseline.get("rounds", {}).items():
+        current_entry = current.get("rounds", {}).get(model)
+        if current_entry is None:
+            failures.append(f"model {model!r} missing from current rounds report")
+            continue
+        if current_entry["round_reduction"] < entry["round_reduction"] - 1e-9:
+            failures.append(
+                f"{model}: round reduction regressed "
+                f"{current_entry['round_reduction']:.3f} < baseline "
+                f"{entry['round_reduction']:.3f}"
+            )
+
+    # -- bit identity ---------------------------------------------------------- #
+    checks = current.get("zoo_bit_identity")
+    if checks is not None:
+        broken = [c["model"] for c in checks if not c.get("bit_identical")]
+        if broken:
+            failures.append(f"bit-identity broken for: {', '.join(broken)}")
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="JSON report of the current run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--latency", default="5ms",
+        help="qps_improvement key to compare (default: 5ms)",
+    )
+    parser.add_argument(
+        "--max-qps-regression", type=float, default=0.20,
+        help="allowed relative drop of the qps-improvement ratio (default 20%%)",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = check(current, baseline, args.latency, args.max_qps_regression)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        raise SystemExit(1)
+    print(
+        f"bench regression check passed against {Path(args.baseline).name}: "
+        f"qps improvement {current['qps_improvement'][args.latency]:.2f}x "
+        f"(baseline {baseline['qps_improvement'][args.latency]:.2f}x), "
+        f"best round reduction {current['best_round_reduction']:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()
