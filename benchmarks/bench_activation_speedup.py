@@ -68,4 +68,6 @@ def test_activation_speedup_executed_protocols(benchmark):
             ]
         ),
     )
-    assert relu_bytes > 10 * x2act_bytes
+    # the packed sub-byte wire format + daBit B2A cut the old >10x gap to
+    # ~6x — the comparison flow is still the dominant nonlinear cost
+    assert relu_bytes > 4 * x2act_bytes

@@ -78,10 +78,12 @@ def test_relu_communication_per_element(benchmark, payload):
             [{"elements": x.size, "total bytes": total_bytes, "bytes/element": per_element}]
         ),
     )
-    # The executed simulation uses the 64-bit CrypTen-style ring, so the
-    # per-element volume is of the same order as (though not identical to)
-    # the paper's 32-bit OT-flow volume of ~324 bytes/element.
-    assert 100 < per_element < 5000
+    # The executed simulation uses the 64-bit CrypTen-style ring with the
+    # packed sub-byte wire format: ~62.5 bytes/element for the comparison
+    # (2-bit OT tables + 1-bit tree openings), ~0.25 for the daBit B2A and
+    # 32 for the ring-width multiplexer — ~95 in total, well below the
+    # paper's unpacked 32-bit OT-flow volume of ~324 bytes/element.
+    assert 50 < per_element < 500
 
 
 def test_plan_offline_online_split():

@@ -21,6 +21,7 @@ import json
 import numpy as np
 
 from repro.crypto import make_context
+from repro.crypto.protocols.comparison import drelu_trace
 from repro.crypto.secure_model import SecureInferenceEngine
 from repro.models import build_model, export_layer_weights, get_backbone
 from repro.nn.tensor import Tensor
@@ -85,6 +86,10 @@ def main() -> None:
           f"({100 * result.framing_overhead_bytes / max(result.wire_bytes_on_wire, 1):.2f}% of wire traffic)")
     print(f"rounds: {result.online_rounds} (predicted {plan.online_rounds}, "
           f"sequential would be {plan.legacy_online_rounds})")
+    rounds_per_drelu = drelu_trace((1,), engine.ctx.ring).scheduled_rounds
+    print(f"packed wire format: {result.bytes_saved_pct:.1f}% payload saved "
+          f"(unpacked equivalent {result.unpacked_payload_bytes} bytes); "
+          f"{rounds_per_drelu} rounds per DReLU (log-depth comparison tree)")
 
     if not bit_identical or not result.matches_manifest:
         raise SystemExit("two-process execution diverged from the reference")
@@ -107,9 +112,12 @@ def main() -> None:
             "matches_manifest": result.matches_manifest,
             "predicted_online_bytes": plan.online_bytes,
             "payload_bytes_on_wire": result.payload_bytes_on_wire,
+            "unpacked_payload_bytes": result.unpacked_payload_bytes,
+            "bytes_saved_pct": result.bytes_saved_pct,
             "wire_bytes_on_wire": result.wire_bytes_on_wire,
             "framing_overhead_bytes": result.framing_overhead_bytes,
             "online_rounds": result.online_rounds,
+            "rounds_per_drelu": rounds_per_drelu,
             "paths": {
                 "socket_session": {
                     "queries_per_second": args.batch / result.wall_seconds,

@@ -42,7 +42,9 @@ from repro.crypto.events import (
     OPEN_RING,
     TRANSFER,
     CommEvent,
+    bytes_saved_pct as _bytes_saved_pct,
     group_direction_bytes,
+    payload_num_bytes,
 )
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.crypto.transport import Transport
@@ -50,12 +52,19 @@ from repro.crypto.transport import Transport
 
 @dataclass
 class Message:
-    """A single message: sender, receiver, payload size and a tag for audits."""
+    """A single message: sender, receiver, payload size and a tag for audits.
+
+    ``num_bytes`` is the on-wire payload size (sub-byte payloads packed at
+    their true width); ``unpacked_bytes`` is the frame-format-v1 equivalent
+    (every uint8 element a full byte) kept for the ``bytes_saved`` stats —
+    zero means "same as num_bytes" (ring payloads, hand-built messages).
+    """
 
     sender: int
     receiver: int
     num_bytes: int
     tag: str = ""
+    unpacked_bytes: int = 0
 
 
 @dataclass
@@ -67,6 +76,17 @@ class CommunicationLog:
     @property
     def total_bytes(self) -> int:
         return sum(m.num_bytes for m in self.messages)
+
+    @property
+    def total_unpacked_bytes(self) -> int:
+        """What the same conversation would cost at frame format v1 (no
+        sub-byte packing) — the denominator of :attr:`bytes_saved_pct`."""
+        return sum(max(m.num_bytes, m.unpacked_bytes) for m in self.messages)
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of payload bytes the packed wire format saves (0-100)."""
+        return _bytes_saved_pct(self.total_bytes, self.total_unpacked_bytes)
 
     @property
     def total_megabytes(self) -> float:
@@ -115,36 +135,51 @@ class Channel:
         self.element_bytes = element_bytes
         self.log = CommunicationLog()
 
-    def send(self, sender: int, receiver: int, payload: np.ndarray, tag: str = "") -> np.ndarray:
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        payload: np.ndarray,
+        tag: str = "",
+        element_bits: int = 8,
+    ) -> np.ndarray:
         """Transfer ``payload`` from ``sender`` to ``receiver``.
 
         The payload is returned unchanged (the simulation is in-process).
         Ring elements (stored as uint64 regardless of the configured ring
-        width) are counted as ``element_bytes`` each; any other dtype is
-        counted at its native width (uint8 bit payloads count one byte each).
+        width) are counted as ``element_bytes`` each; uint8 payloads with a
+        declared sub-byte ``element_bits`` are counted packed (``ceil(size *
+        bits / 8)``); any other dtype is counted at its native width.
         """
         if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
             raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
         payload = np.asarray(payload)
         self.log.messages.append(
-            Message(sender, receiver, self._payload_bytes(payload), tag)
+            Message(
+                sender,
+                receiver,
+                self._payload_bytes(payload, element_bits),
+                tag,
+                unpacked_bytes=self._payload_bytes(payload, 8),
+            )
         )
         return payload
 
-    def _payload_bytes(self, payload: np.ndarray) -> int:
+    def _payload_bytes(self, payload: np.ndarray, element_bits: int = 8) -> int:
         """The accounting rule shared by the simulated and networked channels."""
-        payload = np.asarray(payload)
-        if payload.dtype in (np.uint64, np.int64):
-            return int(payload.size) * self.element_bytes
-        return int(payload.nbytes)
+        return payload_num_bytes(payload, self.element_bytes, element_bits)
 
     def exchange(
-        self, payload0: np.ndarray, payload1: np.ndarray, tag: str = ""
+        self,
+        payload0: np.ndarray,
+        payload1: np.ndarray,
+        tag: str = "",
+        element_bits: int = 8,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Simultaneously send ``payload0`` (from S0 to S1) and ``payload1``
         (from S1 to S0); returns what each party receives: (recv_by_0, recv_by_1)."""
-        received_by_1 = self.send(0, 1, payload0, tag=tag)
-        received_by_0 = self.send(1, 0, payload1, tag=tag)
+        received_by_1 = self.send(0, 1, payload0, tag=tag, element_bits=element_bits)
+        received_by_0 = self.send(1, 0, payload1, tag=tag, element_bits=element_bits)
         return received_by_0, received_by_1
 
     # ------------------------------------------------------------------ #
@@ -163,20 +198,33 @@ class Channel:
         return self.ring.add(share_from_0, share_from_1)
 
     def open_bits(
-        self, bits_from_0: np.ndarray, bits_from_1: np.ndarray, tag: str = ""
+        self,
+        bits_from_0: np.ndarray,
+        bits_from_1: np.ndarray,
+        tag: str = "",
+        element_bits: int = 1,
     ) -> np.ndarray:
-        """Open an XOR-shared bit tensor: both parties learn the XOR."""
+        """Open an XOR-shared bit tensor: both parties learn the XOR.
+
+        Bit openings ride the packed 1-bit wire width by default (eight
+        opened bits per byte of accounted payload).
+        """
         bits_from_0 = np.asarray(bits_from_0, dtype=np.uint8)
         bits_from_1 = np.asarray(bits_from_1, dtype=np.uint8)
-        self.exchange(bits_from_0, bits_from_1, tag=tag)
+        self.exchange(bits_from_0, bits_from_1, tag=tag, element_bits=element_bits)
         return bits_from_0 ^ bits_from_1
 
     def transfer(
-        self, sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+        self,
+        sender: int,
+        receiver: int,
+        payload: np.ndarray,
+        tag: str = "",
+        element_bits: int = 8,
     ) -> np.ndarray:
         """One-directional transfer; returns the payload as the receiver sees
         it (in the simulation that is the payload itself)."""
-        return self.send(sender, receiver, payload, tag=tag)
+        return self.send(sender, receiver, payload, tag=tag, element_bits=element_bits)
 
     def run_round(self, events: List[CommEvent]) -> List[object]:
         """Perform one coalesced communication round.
@@ -205,10 +253,11 @@ class Channel:
     def _log_round(self, events: List[CommEvent]) -> None:
         """One log entry per direction with the round's summed payload."""
         from_0, from_1 = group_direction_bytes(events, self.element_bytes)
+        raw_0, raw_1 = group_direction_bytes(events, self.element_bytes, packed=False)
         if from_0:
-            self.log.messages.append(Message(0, 1, from_0, "round"))
+            self.log.messages.append(Message(0, 1, from_0, "round", unpacked_bytes=raw_0))
         if from_1:
-            self.log.messages.append(Message(1, 0, from_1, "round"))
+            self.log.messages.append(Message(1, 0, from_1, "round", unpacked_bytes=raw_1))
 
     def reset(self) -> None:
         self.log.clear()
@@ -253,19 +302,25 @@ class PartyChannel(Channel):
         self.party = party
 
     # -- helpers ------------------------------------------------------------ #
-    def _log(self, sender: int, payload: np.ndarray, tag: str) -> None:
+    def _log(self, sender: int, payload: np.ndarray, tag: str, element_bits: int = 8) -> None:
         self.log.messages.append(
-            Message(sender, 1 - sender, self._payload_bytes(payload), tag)
+            Message(
+                sender,
+                1 - sender,
+                self._payload_bytes(payload, element_bits),
+                tag,
+                unpacked_bytes=self._payload_bytes(payload, 8),
+            )
         )
 
-    def _swap(self, mine: np.ndarray) -> np.ndarray:
+    def _swap(self, mine: np.ndarray, element_bits: int = 8) -> np.ndarray:
         """Ship my array, receive the peer's (party 0 sends first)."""
         if self.party == 0:
-            self.transport.send_array(mine, self.ring)
+            self.transport.send_array(mine, self.ring, element_bits)
             theirs, _ = self.transport.recv_array()
         else:
             theirs, _ = self.transport.recv_array()
-            self.transport.send_array(mine, self.ring)
+            self.transport.send_array(mine, self.ring, element_bits)
         return theirs
 
     # -- protocol-facing semantics ------------------------------------------ #
@@ -280,40 +335,58 @@ class PartyChannel(Channel):
         return self.ring.add(mine, theirs)
 
     def open_bits(
-        self, bits_from_0: np.ndarray, bits_from_1: np.ndarray, tag: str = ""
+        self,
+        bits_from_0: np.ndarray,
+        bits_from_1: np.ndarray,
+        tag: str = "",
+        element_bits: int = 1,
     ) -> np.ndarray:
         mine = np.asarray(
             bits_from_0 if self.party == 0 else bits_from_1, dtype=np.uint8
         )
-        theirs = self._swap(mine).astype(np.uint8)
+        theirs = self._swap(mine, element_bits).astype(np.uint8)
         s0, s1 = (mine, theirs) if self.party == 0 else (theirs, mine)
-        self._log(0, s0, tag)
-        self._log(1, s1, tag)
+        self._log(0, s0, tag, element_bits)
+        self._log(1, s1, tag, element_bits)
         return mine ^ theirs
 
     def transfer(
-        self, sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+        self,
+        sender: int,
+        receiver: int,
+        payload: np.ndarray,
+        tag: str = "",
+        element_bits: int = 8,
     ) -> np.ndarray:
         if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
             raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
         if self.party == sender:
             payload = np.asarray(payload)
-            self.transport.send_array(payload, self.ring)
-            self._log(sender, payload, tag)
+            self.transport.send_array(payload, self.ring, element_bits)
+            self._log(sender, payload, tag, element_bits)
             return payload
         received, _ = self.transport.recv_array()
-        self._log(sender, received, tag)
+        self._log(sender, received, tag, element_bits)
         return received
 
     def send(
-        self, sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+        self,
+        sender: int,
+        receiver: int,
+        payload: np.ndarray,
+        tag: str = "",
+        element_bits: int = 8,
     ) -> np.ndarray:
         """Raw sends alias to :meth:`transfer` so legacy accounting-only call
         sites (e.g. :class:`repro.crypto.ot.OTFlow`) stay wire-faithful."""
-        return self.transfer(sender, receiver, payload, tag=tag)
+        return self.transfer(sender, receiver, payload, tag=tag, element_bits=element_bits)
 
     def exchange(
-        self, payload0: np.ndarray, payload1: np.ndarray, tag: str = ""
+        self,
+        payload0: np.ndarray,
+        payload1: np.ndarray,
+        tag: str = "",
+        element_bits: int = 8,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Bidirectional exchange; returns (received_by_0, received_by_1).
 
@@ -322,10 +395,10 @@ class PartyChannel(Channel):
         party's process).
         """
         mine = np.asarray(payload0 if self.party == 0 else payload1)
-        theirs = self._swap(mine)
+        theirs = self._swap(mine, element_bits)
         s0, s1 = (mine, theirs) if self.party == 0 else (theirs, mine)
-        self._log(0, s0, tag)
-        self._log(1, s1, tag)
+        self._log(0, s0, tag, element_bits)
+        self._log(1, s1, tag, element_bits)
         # received_by_0 is what S1 sent and vice versa.
         return (theirs, payload1) if self.party == 0 else (payload0, theirs)
 
@@ -340,7 +413,7 @@ class PartyChannel(Channel):
         channel's: one entry per direction with the round's summed payload
         bytes.
         """
-        outgoing: List[np.ndarray] = []
+        outgoing: "List[Tuple[np.ndarray, int]]" = []
         expected = 0
         for event in events:
             if event.kind in (OPEN_RING, OPEN_BITS):
@@ -349,11 +422,11 @@ class PartyChannel(Channel):
                 )
                 if event.kind == OPEN_BITS:
                     mine = mine.astype(np.uint8)
-                outgoing.append(mine)
+                outgoing.append((mine, event.element_bits))
                 expected += 1
             elif event.kind == TRANSFER:
                 if event.sender == self.party:
-                    outgoing.append(np.asarray(event.payload0))
+                    outgoing.append((np.asarray(event.payload0), event.element_bits))
                 else:
                     expected += 1
             else:
@@ -377,7 +450,7 @@ class PartyChannel(Channel):
             )
 
         results: List[object] = []
-        mine_iter = iter(outgoing)
+        mine_iter = iter(array for array, _ in outgoing)
         theirs_iter = iter(received)
         for event in events:
             if event.kind == OPEN_RING:

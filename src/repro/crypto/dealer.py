@@ -62,6 +62,22 @@ class BitTriple:
     c1: np.ndarray
 
 
+@dataclass
+class DaBit:
+    """A doubly-shared random bit (Rotaru-Wood style daBit).
+
+    The same uniformly random bit ``r`` is held both XOR-shared (``r0 ^ r1 =
+    r``) and additively shared over the ring (``arith`` reconstructs to the
+    0/1 integer ``r``).  One daBit turns B2A conversion into a single 1-bit
+    opening: open ``c = b ^ r``, then ``[b] = c + (1 - 2c) * [r]`` locally —
+    no Beaver triple, no ring-width opening.
+    """
+
+    r0: np.ndarray
+    r1: np.ndarray
+    arith: SharePair
+
+
 class TrustedDealer:
     """Generates correlated randomness for the online protocols."""
 
@@ -70,6 +86,7 @@ class TrustedDealer:
         self.rng = np.random.default_rng(seed)
         self.triples_generated = 0
         self.bit_triples_generated = 0
+        self.dabits_generated = 0
 
     # -- arithmetic triples ------------------------------------------------ #
     def triple(
@@ -122,6 +139,14 @@ class TrustedDealer:
         self.bit_triples_generated += int(np.prod(shape))
         return BitTriple(a0=a0, a1=a ^ a0, b0=b0, b1=b ^ b0, c0=c0, c1=c ^ c0)
 
+    def dabit(self, shape: Tuple[int, ...]) -> DaBit:
+        """A doubly-shared random bit for the one-round B2A conversion."""
+        r = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        r0 = self.rng.integers(0, 2, size=shape, dtype=np.uint8)
+        arith = share_ring_elements(r.astype(np.uint64), self.ring, self.rng)
+        self.dabits_generated += int(np.prod(shape)) if shape else 1
+        return DaBit(r0=r0, r1=r ^ r0, arith=arith)
+
     # -- shared randomness --------------------------------------------------- #
     def random_shared_bit(self, shape: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
         """XOR shares of uniformly random bits."""
@@ -153,6 +178,8 @@ class TrustedDealer:
                 pool._push(request.kind, request.shape, self.square_pair(request.shape))
             elif request.kind == "bit":
                 pool._push(request.kind, request.shape, self.bit_triple(request.shape))
+            elif request.kind == "dabit":
+                pool._push(request.kind, request.shape, self.dabit(request.shape))
             else:
                 raise ValueError(f"unknown randomness request kind {request.kind!r}")
         return pool
@@ -182,6 +209,7 @@ class RandomnessPool:
         # they stay 0 because the pool never generates.
         self.triples_generated = 0
         self.bit_triples_generated = 0
+        self.dabits_generated = 0
 
     # -- filling (offline) -------------------------------------------------- #
     def _push(self, kind: str, shape: Tuple[int, ...], item) -> None:
@@ -223,6 +251,11 @@ class RandomnessPool:
                     for name in ("a", "b", "c"):
                         field = f"{name}{other}"
                         setattr(item, field, np.zeros_like(getattr(item, field)))
+                elif kind == "dabit":
+                    setattr(item, f"r{other}", np.zeros_like(getattr(item, f"r{other}")))
+                    setattr(
+                        item.arith, f"share{other}", np.zeros_like(item.arith.share0)
+                    )
         return self
 
     # -- per-op partitioning (round-coalescing scheduler) --------------------- #
@@ -270,6 +303,9 @@ class RandomnessPool:
 
     def bit_triple(self, shape: Tuple[int, ...]) -> BitTriple:
         return self._pop("bit", shape)
+
+    def dabit(self, shape: Tuple[int, ...]) -> DaBit:
+        return self._pop("dabit", shape)
 
     @property
     def remaining(self) -> int:

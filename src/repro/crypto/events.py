@@ -34,6 +34,10 @@ OPEN_BITS = "open_bits"
 TRANSFER = "transfer"
 
 
+#: uint8 element widths the packed wire codec supports (bits per element)
+PACKABLE_BITS = (1, 2)
+
+
 @dataclass
 class CommEvent:
     """One pending channel interaction of a protocol phase.
@@ -41,6 +45,14 @@ class CommEvent:
     ``payload0`` / ``payload1`` hold the two parties' contributions for the
     bidirectional ``open_*`` kinds; a ``transfer`` stores its single payload
     in ``payload0`` together with ``sender``/``receiver``.
+
+    ``element_bits`` declares the true information width of a uint8 payload:
+    1 for bit planes (GMW AND openings, daBit openings), 2 for the packed
+    gt/eq OT digits, 8 for generic byte payloads.  The channel accounting
+    and the wire codec both pack sub-byte payloads at this width
+    (``ceil(size * element_bits / 8)`` bytes per array), so the logged bytes
+    equal what actually crosses the socket.  Ring payloads ignore it — they
+    are always packed at the ring element width.
     """
 
     kind: str
@@ -49,6 +61,7 @@ class CommEvent:
     sender: int = 0
     receiver: int = 1
     tag: str = ""
+    element_bits: int = 8
 
 
 def open_ring_event(
@@ -59,24 +72,43 @@ def open_ring_event(
 
 
 def open_bits_event(
-    bits_from_0: np.ndarray, bits_from_1: np.ndarray, tag: str = ""
+    bits_from_0: np.ndarray,
+    bits_from_1: np.ndarray,
+    tag: str = "",
+    element_bits: int = 1,
 ) -> CommEvent:
-    """Open an XOR-shared bit tensor (one bidirectional exchange)."""
+    """Open an XOR-shared bit tensor (one bidirectional exchange).
+
+    Bit openings default to the packed 1-bit wire width — eight opened bits
+    per byte on the wire and in the accounting.
+    """
     return CommEvent(
         OPEN_BITS,
         np.asarray(bits_from_0, dtype=np.uint8),
         np.asarray(bits_from_1, dtype=np.uint8),
         tag=tag,
+        element_bits=element_bits,
     )
 
 
 def transfer_event(
-    sender: int, receiver: int, payload: np.ndarray, tag: str = ""
+    sender: int,
+    receiver: int,
+    payload: np.ndarray,
+    tag: str = "",
+    element_bits: int = 8,
 ) -> CommEvent:
     """One-directional transfer from ``sender`` to ``receiver``."""
     if sender not in (0, 1) or receiver not in (0, 1) or sender == receiver:
         raise ValueError(f"invalid sender/receiver pair ({sender}, {receiver})")
-    return CommEvent(TRANSFER, np.asarray(payload), sender=sender, receiver=receiver, tag=tag)
+    return CommEvent(
+        TRANSFER,
+        np.asarray(payload),
+        sender=sender,
+        receiver=receiver,
+        tag=tag,
+        element_bits=element_bits,
+    )
 
 
 RoundGroup = Tuple[CommEvent, ...]
@@ -96,30 +128,56 @@ def event_payload_arrays(event: CommEvent) -> List[Tuple[int, np.ndarray]]:
     return [(0, event.payload0), (1, event.payload1)]
 
 
-def payload_num_bytes(array: np.ndarray, element_bytes: int) -> int:
-    """The channel accounting rule: ring elements at the ring width,
-    everything else at native width (uint8 bit payloads count one byte)."""
+def packed_num_bytes(num_elements: int, element_bits: int) -> int:
+    """Wire bytes of ``num_elements`` packed sub-byte values: ``ceil`` per
+    array — the single rule shared by the codec, the channel accounting and
+    the trace helpers (they must agree or payload==manifest drifts)."""
+    return (int(num_elements) * int(element_bits) + 7) // 8
+
+
+def bytes_saved_pct(packed_bytes: int, unpacked_bytes: int) -> float:
+    """Percent of payload the packed wire format saves (0-100) — the one
+    formula behind every ``bytes_saved_pct`` stat in the stack."""
+    if not unpacked_bytes:
+        return 0.0
+    return 100.0 * (1.0 - packed_bytes / unpacked_bytes)
+
+
+def payload_num_bytes(array: np.ndarray, element_bytes: int, element_bits: int = 8) -> int:
+    """The channel accounting rule: ring elements at the ring width, uint8
+    payloads packed at their declared ``element_bits`` (1-bit planes cost a
+    byte per eight elements), everything else at native width."""
     array = np.asarray(array)
     if array.dtype in (np.uint64, np.int64):
         return int(array.size) * element_bytes
+    if element_bits in PACKABLE_BITS and array.dtype == np.uint8:
+        return packed_num_bytes(array.size, element_bits)
     return int(array.nbytes)
 
 
-def event_direction_bytes(event: CommEvent, element_bytes: int) -> Tuple[int, int]:
-    """Payload bytes the event contributes per direction ``(from_0, from_1)``."""
+def event_direction_bytes(
+    event: CommEvent, element_bytes: int, packed: bool = True
+) -> Tuple[int, int]:
+    """Payload bytes the event contributes per direction ``(from_0, from_1)``.
+
+    ``packed=False`` gives the frame-format-v1 equivalent (every uint8
+    element a full byte) — the counterfactual the ``bytes_saved`` stats
+    compare against.
+    """
+    element_bits = event.element_bits if packed else 8
     totals = [0, 0]
     for sender, array in event_payload_arrays(event):
-        totals[sender] += payload_num_bytes(array, element_bytes)
+        totals[sender] += payload_num_bytes(array, element_bytes, element_bits)
     return totals[0], totals[1]
 
 
 def group_direction_bytes(
-    events: Iterable[CommEvent], element_bytes: int
+    events: Iterable[CommEvent], element_bytes: int, packed: bool = True
 ) -> Tuple[int, int]:
     """Summed per-direction payload bytes of one (coalesced) round."""
     total0 = total1 = 0
     for event in events:
-        b0, b1 = event_direction_bytes(event, element_bytes)
+        b0, b1 = event_direction_bytes(event, element_bytes, packed=packed)
         total0 += b0
         total1 += b1
     return total0, total1
@@ -131,9 +189,17 @@ def perform_event(channel, event: CommEvent):
     if event.kind == OPEN_RING:
         return channel.open_ring(event.payload0, event.payload1, tag=event.tag)
     if event.kind == OPEN_BITS:
-        return channel.open_bits(event.payload0, event.payload1, tag=event.tag)
+        return channel.open_bits(
+            event.payload0, event.payload1, tag=event.tag, element_bits=event.element_bits
+        )
     if event.kind == TRANSFER:
-        return channel.transfer(event.sender, event.receiver, event.payload0, tag=event.tag)
+        return channel.transfer(
+            event.sender,
+            event.receiver,
+            event.payload0,
+            tag=event.tag,
+            element_bits=event.element_bits,
+        )
     raise ValueError(f"unknown comm event kind {event.kind!r}")
 
 

@@ -20,10 +20,13 @@ Two pieces live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
+from repro.crypto.events import packed_num_bytes
+from repro.crypto.ring import FixedPointRing
 
 
 def one_of_four_ot(
@@ -77,41 +80,85 @@ class OTFlowCost:
 class OTFlow:
     """Accounting replica of the paper's 4-step 2PC-OT comparison flow.
 
-    The element counts per step follow Section III-C.1: with 32-bit values
-    split into U = 16 two-bit parts,
+    The element counts per step follow Section III-C.1: with w-bit values
+    split into U = w/2 two-bit parts,
 
-    - step 1 (S0 -> S1): one 32-bit mask base ``S``;
-    - step 2 (S1 -> S0): an R list of 16 values per element;
-    - step 3 (S0 -> S1): an encrypted 4 x 16 comparison matrix per element;
-    - step 4 (S1 -> S0): one masked result per element.
+    - step 1 (S0 -> S1): one w-bit mask base ``S``;
+    - step 2 (S1 -> S0): an R list of U values per element;
+    - step 4 (S1 -> S0): one masked result per element;
+    - step 3 (S0 -> S1): an encrypted 4 x U comparison matrix per element —
+      w-bit words in the paper's accounting (Eq. 8), or 2-bit packed entries
+      with ``packed=True``, matching what the executable runtime actually
+      ships for its stacked digit OT (see
+      :func:`repro.crypto.protocols.comparison.millionaire_trace`).
+
+    The word width is **derived from the ring**: pass ``ring=`` (or nothing
+    — ``execute`` falls back to the context's ring) instead of hardcoding
+    ``32``.  ``word_bits=`` remains available for exercising the paper's
+    literal 32-bit formulas against a differently configured runtime.
     """
 
-    def __init__(self, word_bits: int = 32, digit_bits: int = 2) -> None:
-        self.word_bits = word_bits
+    def __init__(
+        self,
+        word_bits: Optional[int] = None,
+        digit_bits: int = 2,
+        ring: Optional[FixedPointRing] = None,
+        packed: bool = False,
+    ) -> None:
+        if word_bits is None and ring is not None:
+            word_bits = ring.ring_bits
+        self.word_bits = word_bits  # None: derive from ctx.ring at execute()
         self.digit_bits = digit_bits
-        self.num_digits = word_bits // digit_bits
         self.digit_values = 1 << digit_bits
+        self.packed = packed
+
+    def _resolve_width(self, ctx: TwoPartyContext) -> int:
+        word_bits = self.word_bits if self.word_bits is not None else ctx.ring.ring_bits
+        # the placeholder buffers below are sized in uint32 units, so only
+        # the two widths the rings support keep the channel log equal to the
+        # reported OTFlowCost — reject anything else instead of drifting
+        if word_bits not in (32, 64) or word_bits % self.digit_bits:
+            raise ValueError(
+                f"word width {word_bits} bits is unsupported (32 or 64, "
+                f"divisible by digit_bits={self.digit_bits})"
+            )
+        return word_bits
 
     def execute(self, ctx: TwoPartyContext, num_elements: int) -> OTFlowCost:
         """Send placeholder payloads with the exact Fig. 4 sizes."""
-        word_bytes = self.word_bits // 8
+        word_bits = self._resolve_width(ctx)
+        num_digits = word_bits // self.digit_bits
+        word_bytes = word_bits // 8
+        word_dtype = np.uint64 if word_bytes == 8 else np.uint32
+        # uint64 placeholders would be ring-accounted; keep the byte counts
+        # literal by sizing uint32 buffers to the exact step volume instead.
+        def words(count: int) -> np.ndarray:
+            if word_dtype is np.uint32:
+                return np.zeros(count, dtype=np.uint32)
+            return np.zeros(2 * count, dtype=np.uint32)
+
         # Step 1: shared mask base S (one word, independent of element count).
-        ctx.channel.send(0, 1, np.zeros(1, dtype=np.uint32), tag="otflow/step1")
+        ctx.channel.send(0, 1, words(1), tag="otflow/step1")
         comm1 = word_bytes
         # Step 2: R list, num_digits words per element.
-        ctx.channel.send(
-            1, 0, np.zeros(num_elements * self.num_digits, dtype=np.uint32), tag="otflow/step2"
-        )
-        comm2 = word_bytes * self.num_digits * num_elements
-        # Step 3: encrypted comparison matrix, 4 x num_digits words per element.
-        ctx.channel.send(
-            0,
-            1,
-            np.zeros(num_elements * self.num_digits * self.digit_values, dtype=np.uint32),
-            tag="otflow/step3",
-        )
-        comm3 = word_bytes * self.num_digits * self.digit_values * num_elements
+        ctx.channel.send(1, 0, words(num_elements * num_digits), tag="otflow/step2")
+        comm2 = word_bytes * num_digits * num_elements
+        # Step 3: encrypted comparison matrix, 4 x num_digits entries per
+        # element — w-bit words unpacked, 2-bit packed entries otherwise.
+        matrix_entries = num_elements * num_digits * self.digit_values
+        if self.packed:
+            ctx.channel.send(
+                0,
+                1,
+                np.zeros(matrix_entries, dtype=np.uint8),
+                tag="otflow/step3",
+                element_bits=self.digit_bits,
+            )
+            comm3 = packed_num_bytes(matrix_entries, self.digit_bits)
+        else:
+            ctx.channel.send(0, 1, words(matrix_entries), tag="otflow/step3")
+            comm3 = word_bytes * matrix_entries
         # Step 4: masked result, one word per element.
-        ctx.channel.send(1, 0, np.zeros(num_elements, dtype=np.uint32), tag="otflow/step4")
+        ctx.channel.send(1, 0, words(num_elements), tag="otflow/step4")
         comm4 = word_bytes * num_elements
         return OTFlowCost(comm1, comm2, comm3, comm4)

@@ -14,10 +14,10 @@ runtime layers execute:
 3. **round-coalescing scheduling** (:func:`schedule_rounds`) — zip the round
    groups of the independent ops of each level into shared
    :class:`ScheduledRound`\\ s, so messages of independent openings ride one
-   framed wire message per direction.  Intra-op parallelism (the per-digit
-   OTs and paired prefix ANDs inside a comparison, the E/F openings of a
-   Beaver multiply) is already expressed by the ops' round groups; this pass
-   adds the cross-op dimension.
+   framed wire message per direction.  Intra-op parallelism (the stacked
+   digit OT and the per-level stacked AND of the log-depth comparison tree,
+   the E/F openings of a Beaver multiply) is already expressed by the ops'
+   round groups; this pass adds the cross-op dimension.
 
 The scheduled plan preserves the base plan's byte accounting exactly — only
 the round structure changes — and

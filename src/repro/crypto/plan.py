@@ -187,6 +187,11 @@ class PreprocessingManifest:
         return self.elements("bit")
 
     @property
+    def dabit_elements(self) -> int:
+        """Doubly-shared random bits consumed by the one-round B2A."""
+        return self.elements("dabit")
+
+    @property
     def material_bytes(self) -> int:
         """Total bytes of randomness material the dealer ships offline."""
         return sum(r.material_bytes(self.ring) for r in self.requests)
@@ -211,6 +216,7 @@ class PreprocessingManifest:
             "triple_elements": self.triple_elements,
             "square_pair_elements": self.square_pair_elements,
             "bit_triple_elements": self.bit_triple_elements,
+            "dabit_elements": self.dabit_elements,
             "material_bytes": self.material_bytes,
             "online_bytes": self.online_bytes,
             "online_rounds": self.online_rounds,
@@ -297,6 +303,7 @@ class InferencePlan:
                 "triples": op.randomness_elements("triple"),
                 "squares": op.randomness_elements("square"),
                 "bit_triples": op.randomness_elements("bit"),
+                "dabits": op.randomness_elements("dabit"),
             }
             for op in self.ops
         ]

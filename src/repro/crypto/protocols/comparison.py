@@ -7,37 +7,51 @@ per digit transfers masked greater-than / equality indicator bits, which are
 then combined with a GMW-style prefix circuit (AND gates from dealer bit
 triples) into a single XOR-shared comparison bit.
 
+Three structural optimizations make this module the fast path it is:
+
+1. **log-depth prefix tree** — the per-digit (gt, eq) pairs are folded with
+   the associative comparison combine ``(hi) ∘ (lo) = (gt_hi ^ (eq_hi &
+   gt_lo), eq_hi & eq_lo)`` in a Kogge-Stone-style balanced tree, so a
+   64-bit comparison over 32 digits needs ``ceil(log2(32)) = 5`` AND rounds
+   instead of the 32 sequential prefix steps of the naive chain;
+2. **stacked-digit kernels** — digit extraction, the OT table construction
+   and every tree level's AND gates operate on one ``(digits,) + shape``
+   stacked array: one dealer request, one numpy kernel and one wire event
+   per level instead of one per digit;
+3. **sub-byte payloads** — the OT tables ship as packed 2-bit elements and
+   every AND/daBit opening as packed 1-bit planes (see
+   :mod:`repro.crypto.transport`), cutting the boolean wire volume 4-8x.
+
 Every interactive routine is a phase generator (``*_phases``) whose yielded
-round groups encode the protocol's intrinsic parallelism:
-
-- the per-digit OTs are mutually independent — all of them ride in **one**
-  round group instead of one round each;
-- at every prefix step the greater-than AND and the equality AND both read
-  the *previous* ``eq_prefix``, so their two openings share a group;
-- the B2A conversion and the multiplexer keep the Beaver-multiply grouping
-  of :func:`~repro.crypto.protocols.arithmetic.multiply_phases`.
-
-The plain functions drive the generators sequentially (the reference
-semantics, byte-identical to the pre-generator code).
+round groups encode the protocol's intrinsic parallelism: all digit OTs ride
+one round, each tree level's AND gates ride one round.  The plain functions
+drive the generators sequentially (the reference semantics).
 
 On top of the raw comparison this module builds:
 
 - :func:`drelu` -- XOR-shared derivative of ReLU, i.e. the bit (x > 0),
   computed from the shares' MSBs and a carry comparison;
-- :func:`bit_to_arithmetic` -- B2A conversion of an XOR-shared bit;
+- :func:`bit_to_arithmetic` -- B2A conversion of an XOR-shared bit via a
+  dealer daBit: one packed 1-bit opening, no ring-width traffic;
 - :func:`select` -- multiplexing a shared value by a shared bit.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.events import open_bits_event, run_phases, transfer_event
 from repro.crypto.protocols.arithmetic import multiply_phases, multiply_trace
-from repro.crypto.protocols.registry import OpTrace, TraceEvent, open_trace_event, send_trace_event
+from repro.crypto.protocols.registry import (
+    OpTrace,
+    TraceEvent,
+    open_bits_trace_event,
+    packed_payload_bytes,
+    send_trace_event,
+)
 from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
 
@@ -45,12 +59,12 @@ XorSharedBit = Tuple[np.ndarray, np.ndarray]
 
 
 def _and_prepare(ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: str):
-    """Local-compute half of a GMW AND gate.
+    """Local-compute half of a GMW AND gate (elementwise over any shape).
 
     Pops the bit triple and masks the inputs; returns the pending opening
     event plus the local-finish closure that consumes the opened planes.
     Splitting the gate this way lets callers batch several independent AND
-    gates into one round group.
+    gates into one round group — and, with stacked inputs, into one event.
     """
     x0, x1 = x
     y0, y1 = y
@@ -59,7 +73,7 @@ def _and_prepare(ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: st
     d1 = x1 ^ triple.a1
     e0 = y0 ^ triple.b0
     e1 = y1 ^ triple.b1
-    # Open d = x ^ a and e = y ^ b (two bits per element, each direction).
+    # Open d = x ^ a and e = y ^ b: one stacked 1-bit plane per direction.
     event = open_bits_event(
         np.stack([d0, e0]).astype(np.uint8),
         np.stack([d1, e1]).astype(np.uint8),
@@ -104,6 +118,25 @@ def secure_not(x: XorSharedBit) -> XorSharedBit:
     return (x[0] ^ np.uint8(1)).astype(np.uint8), x[1].astype(np.uint8)
 
 
+def _tree_level_widths(num_digits: int):
+    """The AND-gate counts of the prefix tree, level by root-ward level.
+
+    Yields ``(pair_count, combine_count, and_count)`` per tree level:
+    ``combine_count`` adjacent (hi, lo) pairs are combined, each costing two
+    AND gates (``eq_hi & gt_lo`` and ``eq_hi & eq_lo``) — except the root
+    combine, whose equality output is never consumed, so it costs one.  The
+    generator and the trace iterate this exact sequence, which is what keeps
+    randomness requests and wire events in lockstep.
+    """
+    remaining = num_digits
+    while remaining > 1:
+        combines = remaining // 2
+        final = remaining == 2
+        and_count = 2 * combines - (1 if final else 0)
+        yield remaining, combines, and_count
+        remaining = combines + (remaining - 2 * combines)
+
+
 def millionaire_gt_phases(
     ctx: TwoPartyContext,
     value_s0: np.ndarray,
@@ -122,6 +155,11 @@ def millionaire_gt_phases(
 
     Returns:
         XOR shares of the bit ``value_s0 > value_s1``.
+
+    One stacked 1-of-``2^digit_bits`` OT covers every digit in a single
+    2-bit-packed transfer; the per-digit (gt, eq) indicator pairs are then
+    folded MSB-first with the associative comparison combine in a balanced
+    tree — ``ceil(log2(num_digits))`` AND rounds, each one stacked gate.
     """
     if value_s0.shape != value_s1.shape:
         raise ValueError("compared values must have the same shape")
@@ -141,68 +179,72 @@ def millionaire_gt_phases(
     # without perturbing the online protocol).
     rng = ctx.rng
 
-    # Per-digit OT: S0 prepares masked (gt, eq) indicator bits for every
-    # candidate digit value, S1 selects with its own digit.  The digits are
-    # mutually independent, so every OT payload rides in one round group.
-    pads: List[Tuple[np.ndarray, np.ndarray]] = []
-    choices: List[np.ndarray] = []
-    ot_events = []
-    candidates = np.arange(radix, dtype=np.uint8).reshape((radix,) + (1,) * len(shape))
-    for i in range(num_digits):
-        a_digit = ((value_s0 >> np.uint64(i * digit_bits)) & digit_mask).astype(np.uint8)
-        b_digit = ((value_s1 >> np.uint64(i * digit_bits)) & digit_mask).astype(np.uint8)
-        pad_gt = rng.integers(0, 2, size=shape, dtype=np.uint8)
-        pad_eq = rng.integers(0, 2, size=shape, dtype=np.uint8)
-        gt_table = (a_digit[None, ...] > candidates).astype(np.uint8) ^ pad_gt[None, ...]
-        eq_table = (a_digit[None, ...] == candidates).astype(np.uint8) ^ pad_eq[None, ...]
-        # Pack gt/eq into one 2-bit payload per candidate for a single OT.
-        # The sender pushes all four masked messages onto the wire (what the
-        # real OT extension transmits too); the receiver selects from what
-        # actually arrived.
-        payload = (gt_table << 1) | eq_table
-        pads.append((pad_gt, pad_eq))
-        choices.append(b_digit)
-        ot_events.append(
-            transfer_event(0, 1, payload.astype(np.uint8), tag=f"{tag}/ot-digit{i}")
-        )
-    received = yield tuple(ot_events)
-
-    gt_shares: List[XorSharedBit] = []
-    eq_shares: List[XorSharedBit] = []
-    for i in range(num_digits):
-        chosen = np.take_along_axis(
-            received[i], choices[i].astype(np.intp)[None, ...], axis=0
-        )[0]
-        pad_gt, pad_eq = pads[i]
-        gt_shares.append((pad_gt, (chosen >> 1) & np.uint8(1)))
-        eq_shares.append((pad_eq, chosen & np.uint8(1)))
-
-    # Prefix combination from the most significant digit downwards:
-    #   result  = XOR_i ( eq_prefix_i AND gt_i )
-    #   eq_prefix updates with AND of eq_i.
-    # The terms are mutually exclusive so XOR == OR.  Both AND gates of one
-    # step read the same (previous) eq_prefix, so their openings share a
-    # round group.
-    result: XorSharedBit = (
-        np.zeros(shape, dtype=np.uint8),
-        np.zeros(shape, dtype=np.uint8),
+    # Stacked digit extraction: axis 0 runs over the digits, LSB first.
+    shifts = (np.arange(num_digits, dtype=np.uint64) * np.uint64(digit_bits)).reshape(
+        (num_digits,) + (1,) * len(shape)
     )
-    eq_prefix: XorSharedBit = (
-        np.ones(shape, dtype=np.uint8),
-        np.zeros(shape, dtype=np.uint8),
+    a_digits = ((value_s0[None, ...] >> shifts) & digit_mask).astype(np.uint8)
+    b_digits = ((value_s1[None, ...] >> shifts) & digit_mask).astype(np.uint8)
+
+    # One stacked OT: S0 prepares masked (gt, eq) indicator bits for every
+    # candidate value of every digit; S1 selects with its own digits.  The
+    # sender pushes all masked messages onto the wire (what the real OT
+    # extension transmits too); the receiver selects from what actually
+    # arrived.  Each table entry is a 2-bit value (gt << 1 | eq), so the
+    # whole payload ships 2-bit packed.
+    pad_gt = rng.integers(0, 2, size=(num_digits,) + shape, dtype=np.uint8)
+    pad_eq = rng.integers(0, 2, size=(num_digits,) + shape, dtype=np.uint8)
+    candidates = np.arange(radix, dtype=np.uint8).reshape(
+        (radix, 1) + (1,) * len(shape)
     )
-    for i in reversed(range(num_digits)):
-        gt_event, gt_finish = _and_prepare(ctx, eq_prefix, gt_shares[i], tag=f"{tag}/and-gt{i}")
-        if i:  # the last equality update is never used
-            eq_event, eq_finish = _and_prepare(ctx, eq_prefix, eq_shares[i], tag=f"{tag}/and-eq{i}")
-            opened_gt, opened_eq = yield (gt_event, eq_event)
-            term = gt_finish(opened_gt)
-            eq_prefix = eq_finish(opened_eq)
+    gt_table = (a_digits[None, ...] > candidates).astype(np.uint8) ^ pad_gt[None, ...]
+    eq_table = (a_digits[None, ...] == candidates).astype(np.uint8) ^ pad_eq[None, ...]
+    payload = ((gt_table << 1) | eq_table).astype(np.uint8)
+    (received,) = yield (
+        transfer_event(0, 1, payload, tag=f"{tag}/ot-digits", element_bits=2),
+    )
+    chosen = np.take_along_axis(received, b_digits[None, ...].astype(np.intp), axis=0)[0]
+
+    # XOR-shared stacked indicator bits, reordered MSB-first for the tree.
+    order = slice(None, None, -1)
+    gt0 = pad_gt[order].copy()
+    gt1 = ((chosen >> 1) & np.uint8(1))[order].copy()
+    eq0 = pad_eq[order].copy()
+    eq1 = (chosen & np.uint8(1))[order].copy()
+
+    # Balanced prefix combine:  (hi) ∘ (lo) = (gt_hi ^ (eq_hi & gt_lo),
+    # eq_hi & eq_lo).  The operator is associative, so the tree computes the
+    # same MSB-first fold as the sequential chain in log depth.  Each level
+    # stacks all its AND gates — eq_hi against [gt_lo; eq_lo] — into ONE
+    # dealer request and ONE packed 1-bit opening; the root level drops the
+    # unused equality gate.
+    level = 0
+    for remaining, combines, and_count in _tree_level_widths(num_digits):
+        hi = slice(0, 2 * combines, 2)
+        lo = slice(1, 2 * combines, 2)
+        final = remaining == 2
+        if final:
+            x_stack = (eq0[hi], eq1[hi])
+            y_stack = (gt0[lo], gt1[lo])
         else:
-            (opened_gt,) = yield (gt_event,)
-            term = gt_finish(opened_gt)
-        result = secure_xor(result, term)
-    return result
+            x_stack = (
+                np.concatenate([eq0[hi], eq0[hi]]),
+                np.concatenate([eq1[hi], eq1[hi]]),
+            )
+            y_stack = (
+                np.concatenate([gt0[lo], eq0[lo]]),
+                np.concatenate([gt1[lo], eq1[lo]]),
+            )
+        event, finish = _and_prepare(ctx, x_stack, y_stack, tag=f"{tag}/tree{level}")
+        (opened,) = yield (event,)
+        z0, z1 = finish(opened)
+        gt0 = np.concatenate([gt0[hi] ^ z0[:combines], gt0[2 * combines :]])
+        gt1 = np.concatenate([gt1[hi] ^ z1[:combines], gt1[2 * combines :]])
+        if not final:
+            eq0 = np.concatenate([z0[combines:], eq0[2 * combines :]])
+            eq1 = np.concatenate([z1[combines:], eq1[2 * combines :]])
+        level += 1
+    return gt0[0], gt1[0]
 
 
 def millionaire_gt(
@@ -251,19 +293,25 @@ def drelu(ctx: TwoPartyContext, x: SharePair, tag: str = "drelu") -> XorSharedBi
 def bit_to_arithmetic_phases(ctx: TwoPartyContext, bit: XorSharedBit, tag: str = "b2a"):
     """Convert an XOR-shared bit into additive shares of the same bit value.
 
-    b = b0 ^ b1 = b0 + b1 - 2*b0*b1; the cross term is computed with one
-    Beaver multiplication over the ring (integer-valued, no truncation).
+    daBit conversion: the dealer supplies a random bit ``r`` both XOR-shared
+    and arithmetically shared.  The parties open ``c = b ^ r`` (one packed
+    1-bit exchange — the only interaction) and compute ``[b] = c + (1 - 2c)
+    * [r]`` locally, S0 adding the public constant by convention.  This
+    replaces the Beaver-multiply B2A and its two ring-width openings.
     """
     ring = ctx.ring
     b0, b1 = bit
-    zeros = np.zeros(b0.shape, dtype=np.uint64)
-    lifted0 = SharePair(b0.astype(np.uint64), zeros.copy(), ring)
-    lifted1 = SharePair(zeros.copy(), b1.astype(np.uint64), ring)
-    cross = yield from multiply_phases(
-        ctx, lifted0, lifted1, truncate=False, tag=f"{tag}/cross"
+    dab = ctx.dealer.dabit(b0.shape)
+    (c,) = yield (
+        open_bits_event(b0 ^ dab.r0, b1 ^ dab.r1, tag=f"{tag}/open-c"),
     )
-    s0 = ring.sub(ring.add(lifted0.share0, lifted1.share0), ring.scalar_mul(cross.share0, 2))
-    s1 = ring.sub(ring.add(lifted0.share1, lifted1.share1), ring.scalar_mul(cross.share1, 2))
+    c_ring = c.astype(np.uint64)
+    # coeff = 1 - 2c in the ring: +1 where c == 0, -1 where c == 1.
+    coeff = ring.sub(
+        np.ones(c.shape, dtype=np.uint64), ring.scalar_mul(c_ring, 2)
+    )
+    s0 = ring.add(c_ring, ring.mul(coeff, dab.arith.share0))
+    s1 = ring.mul(coeff, dab.arith.share1)
     return SharePair(s0, s1, ring)
 
 
@@ -290,37 +338,38 @@ def select(
 # Trace functions (plan-compiler accounting; mirror the phase generators)
 # --------------------------------------------------------------------------- #
 def _and_trace_event(shape: Tuple[int, ...]) -> TraceEvent:
-    """One GMW AND gate opening: two uint8 planes per element per direction."""
+    """One stacked GMW AND opening: two 1-bit planes per element per
+    direction, packed eight bits per byte."""
     n = int(np.prod(shape)) if shape else 1
-    return open_trace_event(2 * n)
+    return open_bits_trace_event(2 * n, element_bits=1)
 
 
 def secure_and_trace(shape: Tuple[int, ...]) -> OpTrace:
-    """One GMW AND gate: a bit triple, then both parties open (d, e) packed
-    as two uint8 planes per direction."""
+    """One GMW AND gate: a bit triple, then both parties open (d, e) as one
+    packed 1-bit plane pair per direction."""
     return OpTrace().request("bit", shape).group([_and_trace_event(shape)])
 
 
 def millionaire_trace(
     shape: Tuple[int, ...], ring: FixedPointRing, digit_bits: int = 2
 ) -> OpTrace:
-    """Trace of :func:`millionaire_gt`: one 1-of-4 OT per digit (all four
-    masked uint8 messages cross the wire) — every digit in one round group —
-    then the prefix circuit's AND gates, the greater-than and equality AND of
-    each step sharing a group (the least significant step has no equality
-    update)."""
+    """Trace of :func:`millionaire_gt`: one stacked 1-of-4 OT (all masked
+    2-bit table entries cross the wire, packed, in a single round) followed
+    by ``ceil(log2(num_digits))`` tree levels, each one stacked AND gate in
+    a round group of its own.  Requests and groups iterate the exact
+    ``_tree_level_widths`` sequence the generator walks.
+    """
     n = int(np.prod(shape)) if shape else 1
     num_digits = ring.ring_bits // digit_bits
     radix = 1 << digit_bits
     trace = OpTrace()
-    trace.group([send_trace_event(0, radix * n) for _ in range(num_digits)])
-    for i in reversed(range(num_digits)):
-        trace.request("bit", shape)  # eq_prefix AND gt_i
-        events = [_and_trace_event(shape)]
-        if i:
-            trace.request("bit", shape)  # eq_prefix AND eq_i
-            events.append(_and_trace_event(shape))
-        trace.group(events)
+    trace.group(
+        [send_trace_event(0, packed_payload_bytes(radix * num_digits * n, digit_bits))]
+    )
+    for _remaining, _combines, and_count in _tree_level_widths(num_digits):
+        level_shape = (and_count,) + tuple(shape)
+        trace.request("bit", level_shape)
+        trace.group([_and_trace_event(level_shape)])
     return trace
 
 
@@ -330,10 +379,13 @@ def drelu_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
 
 
 def bit_to_arithmetic_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
-    """B2A is one untruncated Beaver multiplication for the cross term."""
-    return multiply_trace(shape, ring)
+    """B2A is one daBit and one packed 1-bit opening."""
+    n = int(np.prod(shape)) if shape else 1
+    trace = OpTrace().request("dabit", shape)
+    trace.group([open_bits_trace_event(n, element_bits=1)])
+    return trace
 
 
 def select_trace(shape: Tuple[int, ...], ring: FixedPointRing) -> OpTrace:
-    """Multiplexing = B2A conversion plus one Beaver multiplication."""
+    """Multiplexing = daBit B2A conversion plus one Beaver multiplication."""
     return bit_to_arithmetic_trace(shape, ring).extend(multiply_trace(shape, ring))

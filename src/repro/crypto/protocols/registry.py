@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.crypto.events import run_phases
+from repro.crypto.events import packed_num_bytes, run_phases
 from repro.crypto.ring import FixedPointRing
 from repro.models.specs import LayerKind, LayerSpec
 
@@ -56,12 +56,26 @@ def send_trace_event(sender: int, num_bytes: int) -> TraceEvent:
     return ((int(sender), int(num_bytes)),)
 
 
+def packed_payload_bytes(num_elements: int, element_bits: int) -> int:
+    """Wire bytes of a packed sub-byte payload — the trace-side alias of
+    :func:`repro.crypto.events.packed_num_bytes` (``ceil`` per array), so
+    the trace helpers cannot drift from the channel accounting rule."""
+    return packed_num_bytes(num_elements, element_bits)
+
+
+def open_bits_trace_event(num_elements: int, element_bits: int = 1) -> TraceEvent:
+    """A bidirectional bit opening, packed at ``element_bits`` per element."""
+    return open_trace_event(packed_payload_bytes(num_elements, element_bits))
+
+
 @dataclass(frozen=True)
 class RandomnessRequest:
     """One unit of correlated randomness an online protocol will consume.
 
     ``kind`` is one of ``"triple"`` (elementwise Beaver triple), ``"square"``
-    (Beaver pair for the square protocol) or ``"bit"`` (GMW AND bit triple);
+    (Beaver pair for the square protocol), ``"bit"`` (GMW AND bit triple) or
+    ``"dabit"`` (a doubly-shared random bit: XOR shares plus arithmetic
+    shares of the same bit, consumed by the one-round B2A conversion);
     ``shape`` is the tensor shape of the request.  Elementwise triples have
     identical operand shapes, which is the only triple form the model-zoo
     protocols consume (public-weight convolution and linear layers need no
@@ -79,7 +93,8 @@ class RandomnessRequest:
         """Bytes of randomness material the dealer ships for this request.
 
         A Beaver triple is three shared tensors (two shares each), a square
-        pair two, a bit triple six one-byte bit arrays.
+        pair two, a bit triple six one-byte bit arrays, a daBit one bit byte
+        plus one ring element per party.
         """
         eb = ring.ring_bits // 8
         if self.kind == "triple":
@@ -88,6 +103,8 @@ class RandomnessRequest:
             return 4 * self.num_elements * eb
         if self.kind == "bit":
             return 6 * self.num_elements
+        if self.kind == "dabit":
+            return 2 * self.num_elements * (1 + eb)
         raise ValueError(f"unknown randomness request kind {self.kind!r}")
 
 

@@ -7,7 +7,10 @@ It walks the :class:`~repro.crypto.passes.PlanSchedule` level by level,
 drives the phase generators of all the level's ops in lock-step, and hands
 each round's merged event group to :meth:`repro.crypto.channel.Channel.run_round`
 — so the *scheduler*, not the protocol handlers, decides what hits the wire,
-and every coalesced round is one framed message per direction.
+and every coalesced round is one framed message per direction.  Events carry
+their wire element width (``element_bits``), so the per-op byte attribution
+below and the round frames themselves both account sub-byte payloads at
+packed widths — identical to the manifest's round trace.
 
 Bit-identity with the sequential path
 -------------------------------------

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.crypto.context import TwoPartyContext, make_context
 from repro.crypto.dealer import RandomnessPool
+from repro.crypto.events import bytes_saved_pct as _bytes_saved_pct
 from repro.crypto.passes import ScheduledPlan, optimize_plan
 from repro.crypto.plan import InferencePlan, compile_plan
 from repro.crypto.protocols.registry import get_handler
@@ -62,10 +63,22 @@ class SecureInferenceResult:
     offline_triple_elements: int = 0
     offline_square_pair_elements: int = 0
     offline_bit_triple_elements: int = 0
+    offline_dabit_elements: int = 0
+    #: frame-format-v1 equivalent of ``communication_bytes`` (no sub-byte
+    #: packing) — what the same execution would have shipped before the
+    #: packed wire format
+    communication_unpacked_bytes: int = 0
 
     @property
     def online_bytes_per_query(self) -> float:
         return self.communication_bytes / max(self.batch_size, 1)
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of online payload the packed wire format saves (0-100)."""
+        return _bytes_saved_pct(
+            self.communication_bytes, self.communication_unpacked_bytes
+        )
 
 
 class SecureInferenceEngine:
@@ -172,6 +185,8 @@ class SecureInferenceEngine:
             offline_triple_elements=manifest.triple_elements,
             offline_square_pair_elements=manifest.square_pair_elements,
             offline_bit_triple_elements=manifest.bit_triple_elements,
+            offline_dabit_elements=manifest.dabit_elements,
+            communication_unpacked_bytes=ctx.channel.log.total_unpacked_bytes,
         )
 
     # ------------------------------------------------------------------ #
@@ -219,4 +234,5 @@ class SecureInferenceEngine:
             communication_rounds=ctx.communication_rounds,
             per_layer_bytes=per_layer,
             batch_size=int(inputs.shape[0]),
+            communication_unpacked_bytes=ctx.channel.log.total_unpacked_bytes,
         )

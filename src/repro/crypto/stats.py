@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.crypto.context import TwoPartyContext
+from repro.crypto.events import bytes_saved_pct as _bytes_saved_pct
 
 
 @dataclass(frozen=True)
@@ -24,10 +25,18 @@ class ProtocolStatistics:
     bytes_by_tag: Dict[str, int]
     arithmetic_triples: int
     bit_triples: int
+    dabits: int = 0
+    #: frame-format-v1 equivalent of ``online_bytes`` (no sub-byte packing)
+    online_unpacked_bytes: int = 0
 
     @property
     def online_megabytes(self) -> float:
         return self.online_bytes / 1e6
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of online payload the packed wire format saves (0-100)."""
+        return _bytes_saved_pct(self.online_bytes, self.online_unpacked_bytes)
 
     def dominated_by(self, prefix: str) -> float:
         """Fraction of the online bytes whose tag starts with ``prefix``."""
@@ -45,4 +54,6 @@ def collect_statistics(ctx: TwoPartyContext) -> ProtocolStatistics:
         bytes_by_tag=dict(ctx.channel.log.bytes_by_tag()),
         arithmetic_triples=ctx.dealer.triples_generated,
         bit_triples=ctx.dealer.bit_triples_generated,
+        dabits=getattr(ctx.dealer, "dabits_generated", 0),
+        online_unpacked_bytes=ctx.channel.log.total_unpacked_bytes,
     )

@@ -12,18 +12,22 @@ that concern into a :class:`Transport` abstraction with two implementations:
   framing, so the two party programs can live in two OS processes (or on two
   machines) and exchange shares over the network.
 
-Framing and array codec
------------------------
+Framing and array codec (frame format v2)
+-----------------------------------------
 
 Every frame is ``uint32 length (LE) || header || payload``.  The header
-records dtype code, ndim and the dims; the payload is the raw array buffer
-in little-endian order.  Ring elements (stored as uint64 in memory
-regardless of the configured ring width) are packed at the *ring element
-width* — 8 bytes for the 64-bit executable ring, 4 bytes for the paper's
-32-bit ring — so the measured on-wire payload bytes equal the
+records dtype code, element width and ndim plus the dims; the payload is the
+array buffer in little-endian order.  Ring elements (stored as uint64 in
+memory regardless of the configured ring width) are packed at the *ring
+element width* — 8 bytes for the 64-bit executable ring, 4 bytes for the
+paper's 32-bit ring.  uint8 payloads whose true information width is
+sub-byte are packed at that width: 1-bit planes (GMW AND openings) at eight
+elements per byte, 2-bit digits (the gt/eq OT tables) at four per byte,
+``ceil`` per array.  The measured on-wire payload bytes therefore equal the
 :class:`~repro.crypto.channel.CommunicationLog` accounting and the
-:class:`~repro.crypto.plan.PreprocessingManifest` prediction exactly.  The
-few header/length-prefix bytes are tracked separately as framing overhead.
+:class:`~repro.crypto.plan.PreprocessingManifest` prediction exactly, at
+packed widths.  The few header/length-prefix bytes are tracked separately
+as framing overhead.  See ``docs/wire.md`` for the full format.
 
 Multi-message sessions
 ----------------------
@@ -62,16 +66,27 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.crypto.events import packed_num_bytes
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 
 #: dtype codes of the array codec.  Code 0 is special: ring elements held as
 #: uint64 in memory but packed at the ring's element width on the wire.
+#: Codes 8/9 are the sub-byte codes: uint8 arrays packed at 1 or 2 bits per
+#: element (their header width field holds *bits*, not bytes).
 #: Code 255 marks a control frame (session layer, not an array at all);
 #: code 254 marks a multi-array *round* frame (one coalesced communication
 #: round: several independent arrays in a single framed message).
 _RING_CODE = 0
+_PACKED_CODES = {1: 8, 2: 9}  # element_bits -> dtype code
+_PACKED_BITS = {code: bits for bits, code in _PACKED_CODES.items()}
 _ROUND_CODE = 254
 _CONTROL_CODE = 255
+
+#: codec counters: ``fast_path_encodes`` counts arrays serialized without an
+#: intermediate ``astype`` copy (already canonical little-endian contiguous
+#: buffers go straight to ``tobytes``); ``copied_encodes`` counts the rest.
+#: Tests assert the fast path is actually hit on the hot ring-element path.
+CODEC_STATS = {"fast_path_encodes": 0, "copied_encodes": 0}
 
 #: control payload of the graceful-shutdown handshake.  A peer that receives
 #: it learns the session ended cleanly (recv_control returns None) rather
@@ -106,11 +121,52 @@ def ring_element_width(ring: FixedPointRing) -> int:
     return width
 
 
-def encode_array(array: np.ndarray, ring: FixedPointRing = DEFAULT_RING) -> bytes:
+def pack_sub_byte(flat: np.ndarray, element_bits: int) -> bytes:
+    """Pack a flat uint8 array of 1- or 2-bit values into ``ceil`` bytes."""
+    if element_bits == 1:
+        return np.packbits(flat & np.uint8(1), bitorder="little").tobytes()
+    if element_bits != 2:
+        raise ValueError(f"unsupported packed element width {element_bits} bits")
+    flat = flat & np.uint8(3)
+    pad = (-flat.size) % 4
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
+    quads = flat.reshape(-1, 4)
+    packed = quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4) | (quads[:, 3] << 6)
+    return packed.astype(np.uint8).tobytes()
+
+
+def unpack_sub_byte(payload: bytes, num_elements: int, element_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_sub_byte`; returns a flat uint8 array."""
+    if num_elements == 0:
+        return np.zeros(0, dtype=np.uint8)
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    if element_bits == 1:
+        return np.unpackbits(raw, count=num_elements, bitorder="little")
+    if element_bits != 2:
+        raise ValueError(f"unsupported packed element width {element_bits} bits")
+    index = np.arange(num_elements)
+    return ((raw[index >> 2] >> ((index & 3) << 1)) & 3).astype(np.uint8)
+
+
+def _native_payload(array: np.ndarray, canonical: np.dtype) -> bytes:
+    """Array buffer in canonical little-endian order, avoiding the
+    intermediate ``astype`` copy when the buffer already is canonical."""
+    if array.dtype == canonical:
+        CODEC_STATS["fast_path_encodes"] += 1
+        return array.tobytes()
+    CODEC_STATS["copied_encodes"] += 1
+    return np.ascontiguousarray(array).astype(canonical, copy=False).tobytes()
+
+
+def encode_array(
+    array: np.ndarray, ring: FixedPointRing = DEFAULT_RING, element_bits: int = 8
+) -> bytes:
     """Serialize an ndarray into ``header || payload`` bytes.
 
     uint64/int64 arrays are treated as ring elements and packed at the ring
-    element width; other dtypes are packed at their native width in
+    element width; uint8 arrays with a declared sub-byte ``element_bits`` (1
+    or 2) are bit-packed; other dtypes are packed at their native width in
     little-endian order.  The payload byte count therefore matches
     :meth:`repro.crypto.channel.Channel.send` accounting exactly.
     """
@@ -123,17 +179,26 @@ def encode_array(array: np.ndarray, ring: FixedPointRing = DEFAULT_RING) -> byte
     dims = struct.pack(f"<{array.ndim}Q", *array.shape)
     if array.dtype in (np.dtype(np.uint64), np.dtype(np.int64)):
         width = ring_element_width(ring)
-        packed = array.astype(np.uint64, copy=False)
-        if width != 8:
-            packed = ring.wrap(packed)
-        payload = packed.astype(_RING_PACK_DTYPES[width], copy=False).tobytes()
+        if width == 8 and array.dtype == np.dtype("<u8"):
+            CODEC_STATS["fast_path_encodes"] += 1
+            payload = array.tobytes()
+        else:
+            CODEC_STATS["copied_encodes"] += 1
+            packed = array.astype(np.uint64, copy=False)
+            if width != 8:
+                packed = ring.wrap(packed)
+            payload = packed.astype(_RING_PACK_DTYPES[width], copy=False).tobytes()
         header = _HEADER_HEAD.pack(_RING_CODE, width, array.ndim)
+    elif element_bits in _PACKED_CODES and array.dtype == np.dtype(np.uint8):
+        # sub-byte code: the header's width field carries *bits* per element
+        payload = pack_sub_byte(array.reshape(-1), element_bits)
+        header = _HEADER_HEAD.pack(_PACKED_CODES[element_bits], element_bits, array.ndim)
     else:
         canonical = array.dtype.newbyteorder("<")
         code = _CODE_BY_DTYPE.get(canonical)
         if code is None:
             raise ValueError(f"unsupported wire dtype {array.dtype}")
-        payload = array.astype(canonical, copy=False).tobytes()
+        payload = _native_payload(array, canonical)
         header = _HEADER_HEAD.pack(code, canonical.itemsize, array.ndim)
     return header + dims + payload
 
@@ -143,7 +208,8 @@ def decode_array(frame: bytes) -> Tuple[np.ndarray, int]:
 
     Returns ``(array, payload_bytes)`` — the payload byte count excludes the
     header, so it can be checked against the channel accounting.  Ring
-    element payloads come back as uint64 (the in-memory convention).
+    element payloads come back as uint64, packed sub-byte payloads as uint8
+    (the in-memory conventions).
     """
     code, width, ndim = _HEADER_HEAD.unpack_from(frame, 0)
     if code == _CONTROL_CODE:
@@ -160,6 +226,15 @@ def decode_array(frame: bytes) -> Tuple[np.ndarray, int]:
             raise ValueError(f"invalid ring element width {width}")
         array = np.frombuffer(payload, dtype=_RING_PACK_DTYPES[width])
         array = array.astype(np.uint64).reshape(shape)
+    elif code in _PACKED_BITS:
+        if width != _PACKED_BITS[code]:
+            raise ValueError(
+                f"packed frame width field {width} does not match code {code}"
+            )
+        num_elements = 1
+        for dim in shape:
+            num_elements *= dim
+        array = unpack_sub_byte(payload, num_elements, width).reshape(shape)
     else:
         dtype = _DTYPE_CODES.get(code)
         if dtype is None:
@@ -247,9 +322,14 @@ class Transport:
         pass
 
     # -- array layer --------------------------------------------------------- #
-    def send_array(self, array: np.ndarray, ring: FixedPointRing = DEFAULT_RING) -> int:
+    def send_array(
+        self,
+        array: np.ndarray,
+        ring: FixedPointRing = DEFAULT_RING,
+        element_bits: int = 8,
+    ) -> int:
         """Ship one ndarray; returns the payload byte count put on the wire."""
-        frame = encode_array(array, ring)
+        frame = encode_array(array, ring, element_bits)
         payload_bytes = _payload_length(frame)
         self._send_frame(frame)
         self.stats.frames_sent += 1
@@ -272,18 +352,21 @@ class Transport:
     def send_arrays(self, arrays, ring: FixedPointRing = DEFAULT_RING) -> int:
         """Ship one coalesced round frame carrying several ndarrays.
 
-        The frame is ``[_ROUND_CODE][u32 count]`` followed by one
-        ``u32 length || header || payload`` record per array (the same codec
-        as single-array frames).  Array payload bytes count toward the
-        payload stats exactly as if each array had been sent alone — the
-        manifest check stays exact — while the per-array framing the round
-        *saves* shows up as reduced overhead.  Returns the summed payload
-        byte count.
+        ``arrays`` holds plain ndarrays or ``(array, element_bits)`` pairs —
+        the pair form declares a packed sub-byte width for a uint8 payload.
+        The frame is ``[_ROUND_CODE][u32 count]`` followed by one prefix-free
+        ``header || dims || payload`` record per array (the same codec as
+        single-array frames; each header determines its own payload length).
+        Array payload bytes count toward the payload stats exactly as if
+        each array had been sent alone — the manifest check stays exact —
+        while the per-array framing the round *saves* shows up as reduced
+        overhead.  Returns the summed payload byte count.
         """
         records = []
         payload_bytes = 0
-        for array in arrays:
-            encoded = encode_array(array, ring)
+        for item in arrays:
+            array, element_bits = item if isinstance(item, tuple) else (item, 8)
+            encoded = encode_array(array, ring, element_bits)
             payload_bytes += _payload_length(encoded)
             records.append(encoded)
         # records need no per-array length prefix: each header (dtype code,
@@ -376,16 +459,21 @@ def _payload_length(frame: bytes) -> int:
 def _encoded_record_length(buffer: bytes, offset: int) -> int:
     """Length of the ``header || dims || payload`` record at ``offset``.
 
-    The header fully determines the payload size (element width times the
-    product of the dims), which is what lets round frames concatenate
-    records without per-array length prefixes.
+    The header fully determines the payload size — element width times the
+    product of the dims, or ``ceil(bits * elements / 8)`` for the sub-byte
+    codes — which is what makes the records prefix-free: round frames
+    concatenate them without per-array length prefixes.
     """
-    _, width, ndim = _HEADER_HEAD.unpack_from(buffer, offset)
+    code, width, ndim = _HEADER_HEAD.unpack_from(buffer, offset)
     dims = struct.unpack_from(f"<{ndim}Q", buffer, offset + _HEADER_HEAD.size)
     num_elements = 1
     for dim in dims:
         num_elements *= dim
-    return _HEADER_HEAD.size + 8 * ndim + width * num_elements
+    if code in _PACKED_BITS:
+        payload_bytes = packed_num_bytes(num_elements, width)  # width is bits here
+    else:
+        payload_bytes = width * num_elements
+    return _HEADER_HEAD.size + 8 * ndim + payload_bytes
 
 
 class LoopbackTransport(Transport):

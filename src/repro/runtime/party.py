@@ -57,6 +57,7 @@ import numpy as np
 from repro.crypto.channel import PartyChannel
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.dealer import RandomnessPool, TrustedDealer
+from repro.crypto.events import bytes_saved_pct as _bytes_saved_pct
 from repro.crypto.passes import ScheduledPlan, optimize_plan
 from repro.crypto.plan import InferencePlan, compile_plan
 from repro.crypto.protocols.registry import get_handler
@@ -94,6 +95,9 @@ class PartyExecution:
     communication_bytes: int
     communication_rounds: int
     per_layer_bytes: Dict[str, int] = field(default_factory=dict)
+    #: frame-format-v1 equivalent of ``communication_bytes`` (no sub-byte
+    #: packing) — the denominator of the ``bytes_saved`` serving stats
+    unpacked_bytes: int = 0
 
 
 @dataclass
@@ -113,6 +117,13 @@ class PartyReport:
     offline_seconds: float
     online_seconds: float
     pool_served: int
+    #: unpacked (frame format v1) equivalent of ``communication_bytes``
+    unpacked_payload_bytes: int = 0
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of payload the packed wire format saved this session."""
+        return _bytes_saved_pct(self.communication_bytes, self.unpacked_payload_bytes)
 
 
 def predicted_direction_bytes(plan, sender: int) -> int:
@@ -240,6 +251,7 @@ def execute_plan_as_party(
         communication_bytes=ctx.communication_bytes,
         communication_rounds=ctx.communication_rounds,
         per_layer_bytes=per_layer,
+        unpacked_bytes=ctx.channel.log.total_unpacked_bytes,
     )
 
 
@@ -289,6 +301,7 @@ def run_party_session(
             offline_seconds=offline_seconds,
             online_seconds=online_seconds,
             pool_served=pool.served,
+            unpacked_payload_bytes=execution.unpacked_bytes,
         )
     finally:
         transport.close()

@@ -146,6 +146,9 @@ class JobReport:
     #: OS pid of the serving process — every job of a shard must report the
     #: same two pids, the falsifiable form of "zero per-request spawns"
     pid: int = 0
+    #: frame-format-v1 equivalent of ``communication_bytes`` — lets the
+    #: serving dashboards compute the packed wire format's bytes_saved_pct
+    unpacked_payload_bytes: int = 0
 
 
 @dataclass
@@ -440,6 +443,7 @@ class PartyServer:
             pool_buffered=buffered,
             seed=seed,
             pid=os.getpid(),
+            unpacked_payload_bytes=execution.unpacked_bytes,
         )
 
     # -- lifecycle ------------------------------------------------------------ #

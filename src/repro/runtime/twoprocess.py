@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.crypto.events import bytes_saved_pct as _bytes_saved_pct
 from repro.crypto.passes import optimize_plan
 from repro.crypto.plan import compile_plan
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
@@ -63,6 +64,18 @@ class TwoProcessResult:
     @property
     def framing_overhead_bytes(self) -> int:
         return self.wire_bytes_on_wire - self.payload_bytes_on_wire
+
+    @property
+    def unpacked_payload_bytes(self) -> int:
+        """Frame-format-v1 equivalent of the payload (no sub-byte packing)."""
+        return self.reports[0].unpacked_payload_bytes
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of payload the packed wire format saved this session."""
+        return _bytes_saved_pct(
+            self.payload_bytes_on_wire, self.unpacked_payload_bytes
+        )
 
     @property
     def matches_manifest(self) -> bool:

@@ -38,6 +38,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.crypto.events import bytes_saved_pct as _bytes_saved_pct
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.crypto.sharing import share
 from repro.models.specs import ModelSpec
@@ -78,6 +79,14 @@ class PoolBatchResult:
     #: pids of the two party processes that served the job — constant across
     #: a shard's lifetime (the measurable form of "no per-request spawns")
     worker_pids: Tuple[int, int] = (0, 0)
+    #: frame-format-v1 equivalent of ``payload_bytes_on_wire`` (no sub-byte
+    #: packing) — what this job would have shipped before the packed codec
+    unpacked_payload_bytes: int = 0
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of payload the packed wire format saved for this job."""
+        return _bytes_saved_pct(self.payload_bytes_on_wire, self.unpacked_payload_bytes)
 
 
 @dataclass
@@ -90,12 +99,19 @@ class ShardStats:
     pool_hits: int = 0
     pool_misses: int = 0
     busy_seconds: float = 0.0
+    payload_bytes: int = 0
+    unpacked_payload_bytes: int = 0
     job_latencies: Deque[float] = field(default_factory=lambda: deque(maxlen=10_000))
 
     @property
     def pool_hit_rate(self) -> float:
         total = self.pool_hits + self.pool_misses
         return self.pool_hits / total if total else 0.0
+
+    @property
+    def bytes_saved_pct(self) -> float:
+        """Percent of payload the packed wire format saved, shard lifetime."""
+        return _bytes_saved_pct(self.payload_bytes, self.unpacked_payload_bytes)
 
     def snapshot(self) -> Dict[str, object]:
         latencies = list(self.job_latencies)
@@ -107,6 +123,9 @@ class ShardStats:
             "pool_misses": self.pool_misses,
             "pool_hit_rate": self.pool_hit_rate,
             "busy_seconds": self.busy_seconds,
+            "payload_bytes": self.payload_bytes,
+            "unpacked_payload_bytes": self.unpacked_payload_bytes,
+            "bytes_saved_pct": self.bytes_saved_pct,
             "p50_job_ms": 1e3 * float(np.percentile(latencies, 50)) if latencies else 0.0,
             "p95_job_ms": 1e3 * float(np.percentile(latencies, 95)) if latencies else 0.0,
         }
@@ -294,6 +313,10 @@ class WorkerShard:
             self.ring.add(reports[0].logit_share, reports[1].logit_share)
         )
         wall = time.perf_counter() - start
+        payload_bytes = sum(reports[p].payload_bytes_sent for p in (0, 1))
+        # both parties log the same full conversation, so one party's
+        # unpacked total is the job's (equality enforced by _cross_check)
+        unpacked_bytes = reports[0].unpacked_payload_bytes
         with self._lock:
             self.stats.jobs_executed += 1
             self.stats.queries_served += batch_size
@@ -301,6 +324,8 @@ class WorkerShard:
             self.stats.job_latencies.append(wall)
             self.stats.pool_hits += sum(reports[p].pool_hit for p in (0, 1))
             self.stats.pool_misses += sum(not reports[p].pool_hit for p in (0, 1))
+            self.stats.payload_bytes += payload_bytes
+            self.stats.unpacked_payload_bytes += unpacked_bytes
         return PoolBatchResult(
             logits=logits,
             model=model,
@@ -309,12 +334,11 @@ class WorkerShard:
             shard=self.index,
             wall_seconds=wall,
             online_seconds=max(reports[p].online_seconds for p in (0, 1)),
-            payload_bytes_on_wire=sum(
-                reports[p].payload_bytes_sent for p in (0, 1)
-            ),
+            payload_bytes_on_wire=payload_bytes,
             pool_hits=sum(reports[p].pool_hit for p in (0, 1)),
             pool_misses=sum(not reports[p].pool_hit for p in (0, 1)),
             worker_pids=(reports[0].pid, reports[1].pid),
+            unpacked_payload_bytes=unpacked_bytes,
         )
 
     def _cross_check(self, reports: Dict[int, JobReport]) -> None:
@@ -334,6 +358,11 @@ class WorkerShard:
         if r0.communication_bytes != r1.communication_bytes:
             raise ShardFailure(
                 f"shard {self.index}: parties logged different online bytes"
+            )
+        if r0.unpacked_payload_bytes != r1.unpacked_payload_bytes:
+            raise ShardFailure(
+                f"shard {self.index}: parties logged different unpacked byte "
+                "equivalents — the packed accounting diverged"
             )
 
     def stats_snapshot(self) -> Dict[str, object]:
@@ -665,6 +694,10 @@ class ShardedServingPool:
         per_shard = {s.index: s.stats_snapshot() for s in shards}
         pool_hits = sum(snap["pool_hits"] for snap in per_shard.values())
         pool_misses = sum(snap["pool_misses"] for snap in per_shard.values())
+        payload_bytes = sum(snap["payload_bytes"] for snap in per_shard.values())
+        unpacked_bytes = sum(
+            snap["unpacked_payload_bytes"] for snap in per_shard.values()
+        )
         frontend = self.frontend.stats_snapshot() if hasattr(self, "frontend") else {}
         return {
             "num_shards": self.num_shards,
@@ -679,6 +712,9 @@ class ShardedServingPool:
             "pool_hit_rate": pool_hits / (pool_hits + pool_misses)
             if (pool_hits + pool_misses)
             else 0.0,
+            "payload_bytes": payload_bytes,
+            "unpacked_payload_bytes": unpacked_bytes,
+            "bytes_saved_pct": _bytes_saved_pct(payload_bytes, unpacked_bytes),
             "frontend": frontend,
             "per_shard": per_shard,
         }

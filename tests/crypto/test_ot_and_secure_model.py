@@ -52,14 +52,56 @@ class TestOTFlowAccounting:
         cost = OTFlow().execute(ctx, 10)
         assert ctx.communication_bytes == cost.total_bytes
 
+    def test_word_width_derives_from_the_ring(self, ctx):
+        """No more hardcoded uint32: the flow sizes itself off the ring."""
+        from repro.crypto.ring import DEFAULT_RING, PAPER_RING
+
+        implicit = OTFlow().execute(ctx, 5)            # ctx ring: 64-bit
+        explicit = OTFlow(ring=DEFAULT_RING).execute(ctx, 5)
+        assert implicit.total_bytes == explicit.total_bytes
+        paper = OTFlow(ring=PAPER_RING).execute(ctx, 5)
+        # 64-bit flow: twice the digits at twice the word width
+        assert implicit.comm3_bytes == 4 * paper.comm3_bytes
+
+    def test_packed_flow_matches_executed_millionaire_trace(self, ctx):
+        """Satellite acceptance: the packed Eq. 8 matrix volume equals the
+        stacked digit OT of the executed comparison trace, byte for byte."""
+        from repro.crypto.protocols.comparison import millionaire_trace
+
+        shape = (37,)
+        ctx.reset_communication()
+        cost = OTFlow(ring=ctx.ring, packed=True).execute(ctx, int(np.prod(shape)))
+        assert ctx.communication_bytes == cost.total_bytes  # log stays exact
+        trace = millionaire_trace(shape, ctx.ring)
+        (ot_event,) = trace.groups[0]
+        ((sender, ot_bytes),) = ot_event
+        assert sender == 0
+        assert cost.comm3_bytes == ot_bytes
+
     def test_flow_volume_matches_latency_model_bytes(self, ctx):
-        """The analytical ReLU communication volume equals the executed flow's."""
+        """The analytical ReLU communication volume equals the executed flow's
+        at the device word width the model assumes."""
         fi, ic = 6, 3
-        cost = OTFlow().execute(ctx, fi * fi * ic)
+        cost = OTFlow(word_bits=DEFAULT_LATENCY_MODEL.device.word_bits).execute(
+            ctx, fi * fi * ic
+        )
         model_bytes = DEFAULT_LATENCY_MODEL.relu(fi, ic).communication_bytes
         # The latency model counts the same three data payloads plus the base
         # word; allow the per-element result word granularity to differ.
         assert cost.total_bytes == pytest.approx(model_bytes, rel=0.05)
+
+    def test_packed_latency_model_matches_packed_flow(self, ctx):
+        """Eq. 8 at packed widths: analytic model == executed packed flow."""
+        from repro.hardware.latency import LatencyModel
+
+        fi, ic = 4, 2
+        packed_model = LatencyModel(packed_wire=True)
+        cost = OTFlow(
+            word_bits=packed_model.device.word_bits, packed=True
+        ).execute(ctx, fi * fi * ic)
+        assert packed_model.relu(fi, ic).communication_bytes == pytest.approx(
+            cost.total_bytes, rel=0.05
+        )
 
 
 class TestSecureInferenceEngine:

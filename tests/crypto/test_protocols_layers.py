@@ -68,7 +68,9 @@ class TestSecureActivations:
         ctx.reset_communication()
         secure_relu(ctx, x)
         relu_bytes = ctx.communication_bytes
-        assert relu_bytes > 10 * x2act_bytes
+        # still several times more expensive, though the packed sub-byte wire
+        # format and the daBit B2A cut the old >10x gap to ~6x
+        assert relu_bytes > 4 * x2act_bytes
 
 
 class TestSecurePooling:

@@ -359,7 +359,10 @@ class TestCommunicationLogEdgeCases:
         bits1 = np.array([1, 1, 0, 1], dtype=np.uint8)
         opened = ctx.channel.open_bits(bits0, bits1, tag="and")
         np.testing.assert_array_equal(opened, bits0 ^ bits1)
-        assert ctx.channel.total_bytes == 8
+        # 4 bits per direction ride one packed byte each (frame format v2)
+        assert ctx.channel.total_bytes == 2
+        assert ctx.channel.log.total_unpacked_bytes == 8
+        assert ctx.channel.log.bytes_saved_pct == 75.0
 
 
 class TestSessionFraming:

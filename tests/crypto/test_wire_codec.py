@@ -1,0 +1,163 @@
+"""Round-trip tests for frame format v2: packed sub-byte payloads, ring
+widths, the no-copy encode fast path, and the packed accounting rule.
+
+Satellite coverage of the wire-compression work: every supported element
+width (1/2/8/32/64 bits) x ring width (32/64 bits), including odd lengths
+where the packed bits do not fill the last byte, plus a hypothesis property
+test that ``decode(encode(x))`` is exact for every supported dtype code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.events import packed_num_bytes, payload_num_bytes
+from repro.crypto.ring import DEFAULT_RING, PAPER_RING
+from repro.crypto.transport import (
+    CODEC_STATS,
+    decode_array,
+    encode_array,
+    pack_sub_byte,
+    unpack_sub_byte,
+)
+
+RINGS = {"ring64": DEFAULT_RING, "ring32": PAPER_RING}
+
+
+class TestPackedRoundTrip:
+    @pytest.mark.parametrize("ring", RINGS.values(), ids=RINGS.keys())
+    @pytest.mark.parametrize("element_bits", [1, 2])
+    @pytest.mark.parametrize(
+        # odd lengths on purpose: the last byte is partially filled
+        "length", [0, 1, 3, 7, 8, 9, 31, 64, 101],
+    )
+    def test_sub_byte_round_trip(self, ring, element_bits, length):
+        rng = np.random.default_rng(length + element_bits)
+        values = rng.integers(0, 1 << element_bits, size=length, dtype=np.uint8)
+        frame = encode_array(values, ring, element_bits)
+        decoded, payload_bytes = decode_array(frame)
+        assert decoded.dtype == np.uint8
+        np.testing.assert_array_equal(decoded, values)
+        assert payload_bytes == packed_num_bytes(length, element_bits)
+        # the accounting rule agrees with the codec, byte for byte
+        assert payload_bytes == payload_num_bytes(
+            values, ring.ring_bits // 8, element_bits
+        )
+
+    @pytest.mark.parametrize("element_bits", [1, 2])
+    def test_multidimensional_shapes_survive(self, element_bits):
+        values = np.arange(24, dtype=np.uint8).reshape(2, 3, 4) % (1 << element_bits)
+        decoded, _ = decode_array(encode_array(values, DEFAULT_RING, element_bits))
+        assert decoded.shape == (2, 3, 4)
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_one_bit_payload_is_eighth_of_bytes(self):
+        bits = np.ones(80, dtype=np.uint8)
+        _, payload_bytes = decode_array(encode_array(bits, DEFAULT_RING, 1))
+        assert payload_bytes == 10
+
+    def test_two_bit_payload_is_quarter_of_bytes(self):
+        digits = np.full(80, 3, dtype=np.uint8)
+        _, payload_bytes = decode_array(encode_array(digits, DEFAULT_RING, 2))
+        assert payload_bytes == 20
+
+    def test_pack_helpers_are_inverse(self):
+        rng = np.random.default_rng(0)
+        for element_bits in (1, 2):
+            flat = rng.integers(0, 1 << element_bits, size=37, dtype=np.uint8)
+            packed = pack_sub_byte(flat, element_bits)
+            assert len(packed) == packed_num_bytes(37, element_bits)
+            np.testing.assert_array_equal(
+                unpack_sub_byte(packed, 37, element_bits), flat
+            )
+
+    def test_default_element_bits_keeps_uint8_at_native_width(self):
+        """element_bits=8 (the default) must not repack generic byte data."""
+        payload = np.arange(10, dtype=np.uint8)
+        decoded, payload_bytes = decode_array(encode_array(payload, DEFAULT_RING))
+        np.testing.assert_array_equal(decoded, payload)
+        assert payload_bytes == 10
+
+
+class TestWholeByteWidths:
+    @pytest.mark.parametrize("ring", RINGS.values(), ids=RINGS.keys())
+    def test_ring_elements_pack_at_ring_width(self, ring):
+        values = ring.wrap(np.arange(9, dtype=np.uint64) * 977)
+        decoded, payload_bytes = decode_array(encode_array(values, ring))
+        assert payload_bytes == 9 * ring.ring_bits // 8
+        np.testing.assert_array_equal(decoded, values)
+
+    @pytest.mark.parametrize("ring", RINGS.values(), ids=RINGS.keys())
+    def test_uint32_native_width(self, ring):
+        values = np.arange(7, dtype=np.uint32)
+        decoded, payload_bytes = decode_array(encode_array(values, ring))
+        assert payload_bytes == 28
+        np.testing.assert_array_equal(decoded, values)
+
+
+class TestEncodeFastPath:
+    def test_contiguous_ring_array_skips_the_astype_copy(self):
+        """Micro-assertion: the hot path (contiguous uint64 on the 64-bit
+        ring) serializes without an intermediate astype copy."""
+        before = CODEC_STATS["fast_path_encodes"]
+        encode_array(np.arange(16, dtype=np.uint64), DEFAULT_RING)
+        assert CODEC_STATS["fast_path_encodes"] == before + 1
+
+    def test_native_little_endian_floats_hit_the_fast_path(self):
+        before = CODEC_STATS["fast_path_encodes"]
+        encode_array(np.linspace(0, 1, 5, dtype="<f8"), DEFAULT_RING)
+        assert CODEC_STATS["fast_path_encodes"] == before + 1
+
+    def test_narrow_ring_still_rewraps(self):
+        """The 32-bit ring genuinely repacks (wrap + downcast) — copied path."""
+        before = CODEC_STATS["copied_encodes"]
+        encode_array(np.arange(4, dtype=np.uint64), PAPER_RING)
+        assert CODEC_STATS["copied_encodes"] == before + 1
+
+    def test_non_contiguous_arrays_still_encode_correctly(self):
+        values = np.arange(20, dtype=np.uint64)[::2]
+        decoded, _ = decode_array(encode_array(values, DEFAULT_RING))
+        np.testing.assert_array_equal(decoded, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    length=st.integers(0, 65),
+    code=st.sampled_from(["bits1", "bits2", "uint8", "uint32", "int64", "ring64", "ring32", "f32", "f64"]),
+)
+def test_property_decode_encode_is_exact(seed, length, code):
+    """decode(encode(x)) is exact for every supported dtype code."""
+    rng = np.random.default_rng(seed)
+    ring = DEFAULT_RING
+    element_bits = 8
+    if code == "bits1":
+        values = rng.integers(0, 2, size=length, dtype=np.uint8)
+        element_bits = 1
+    elif code == "bits2":
+        values = rng.integers(0, 4, size=length, dtype=np.uint8)
+        element_bits = 2
+    elif code == "uint8":
+        values = rng.integers(0, 256, size=length, dtype=np.uint8)
+    elif code == "uint32":
+        values = rng.integers(0, 2**32, size=length, dtype=np.uint32)
+    elif code == "int64":
+        values = rng.integers(-(2**40), 2**40, size=length, dtype=np.int64)
+    elif code == "ring64":
+        values = DEFAULT_RING.random((length,), rng)
+    elif code == "ring32":
+        ring = PAPER_RING
+        values = PAPER_RING.random((length,), rng)
+    elif code == "f32":
+        values = rng.normal(size=length).astype(np.float32)
+    else:
+        values = rng.normal(size=length)
+    decoded, _ = decode_array(encode_array(values, ring, element_bits))
+    if code == "int64":
+        # ring convention: signed 64-bit comes back as its uint64 image
+        np.testing.assert_array_equal(decoded, values.astype(np.uint64))
+    else:
+        np.testing.assert_array_equal(decoded, values)

@@ -1,17 +1,29 @@
-"""Compare a bench_round_coalescing JSON report against a committed baseline.
+"""Compare a benchmark JSON report against a committed baseline.
 
-CI runs the round-coalescing benchmark on every push; this script fails the
-job when the run regresses against ``benchmarks/baselines/*.json``:
+CI runs the serving benchmarks on every push; this script fails the job when
+a run regresses against ``benchmarks/baselines/*.json``.  Two report kinds
+are understood (dispatched on the report's ``kind`` field):
+
+``round_coalescing`` (schema ``serving-bench/v1``):
 
 - the **qps improvement ratio** (coalesced / sequential throughput at the
   reference link latency and shard count) must not fall more than
   ``--max-qps-regression`` below the baseline's ratio.  The *ratio* is
   compared — not absolute qps — because CI machines differ wildly in speed
   while the coalescing speedup is a property of the frame schedule;
-- the **round reduction** of every zoo model must not fall below the
-  baseline's (rounds are deterministic compile-time quantities, so any drop
-  is a real scheduling regression, checked exactly);
+- per zoo model, the **round reduction** must not fall below the baseline's,
+  and the **scheduled online rounds** and **payload bytes** must not exceed
+  it — all three are deterministic compile-time quantities, so any drift is
+  a real scheduling or codec regression, checked exactly;
 - the zoo-wide **bit-identity** phase must have passed.
+
+``wire_compression`` (schema ``wire-bench/v1``):
+
+- per zoo model, **scheduled online rounds** and **packed payload bytes**
+  must not exceed the baseline and the **nonlinear-layer compression ratio**
+  must not fall below it (deterministic, exact);
+- every zoo verification entry must be bit-identical with payload ==
+  manifest.
 
 Run with:
   python tools/check_bench_regression.py current.json \\
@@ -31,14 +43,29 @@ def load(path: str) -> dict:
         return json.load(handle)
 
 
-def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: float) -> list:
-    failures = []
+def _check_deterministic_rounds_and_bytes(
+    current_models: dict, baseline_models: dict, failures: list
+) -> None:
+    """Shared exact gate: rounds and payload bytes must not increase."""
+    for model, entry in baseline_models.items():
+        current_entry = current_models.get(model)
+        if current_entry is None:
+            failures.append(f"model {model!r} missing from current report")
+            continue
+        for metric in ("scheduled_online_rounds", "online_bytes"):
+            if metric not in entry:
+                continue
+            if current_entry.get(metric, float("inf")) > entry[metric]:
+                failures.append(
+                    f"{model}: {metric} regressed "
+                    f"{current_entry.get(metric)} > baseline {entry[metric]}"
+                )
 
-    if current.get("schema") != baseline.get("schema"):
-        failures.append(
-            f"schema mismatch: current {current.get('schema')!r} vs "
-            f"baseline {baseline.get('schema')!r}"
-        )
+
+def check_round_coalescing(
+    current: dict, baseline: dict, latency_key: str, max_qps_regression: float
+) -> list:
+    failures = []
 
     shards = baseline.get("config", {}).get("shards")
     if current.get("config", {}).get("shards") != shards:
@@ -64,7 +91,7 @@ def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: f
                 f"(floor {floor:.3f}x at {max_qps_regression:.0%} tolerance)"
             )
 
-    # -- deterministic round reductions --------------------------------------- #
+    # -- deterministic round reductions, rounds and payload bytes ------------- #
     for model, entry in baseline.get("rounds", {}).items():
         current_entry = current.get("rounds", {}).get(model)
         if current_entry is None:
@@ -76,6 +103,9 @@ def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: f
                 f"{current_entry['round_reduction']:.3f} < baseline "
                 f"{entry['round_reduction']:.3f}"
             )
+    _check_deterministic_rounds_and_bytes(
+        current.get("rounds", {}), baseline.get("rounds", {}), failures
+    )
 
     # -- bit identity ---------------------------------------------------------- #
     checks = current.get("zoo_bit_identity")
@@ -84,6 +114,65 @@ def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: f
         if broken:
             failures.append(f"bit-identity broken for: {', '.join(broken)}")
     return failures
+
+
+def check_wire_compression(current: dict, baseline: dict) -> list:
+    failures = []
+    _check_deterministic_rounds_and_bytes(
+        current.get("models", {}), baseline.get("models", {}), failures
+    )
+    for model, entry in baseline.get("models", {}).items():
+        current_entry = current.get("models", {}).get(model)
+        if current_entry is None:
+            continue  # already reported by the shared gate
+        floor = entry.get("nonlinear_compression", 0.0)
+        current_ratio = current_entry.get("nonlinear_compression", 0.0)
+        if current_ratio < floor - 1e-9:
+            failures.append(
+                f"{model}: nonlinear compression regressed "
+                f"{current_ratio:.2f}x < baseline {floor:.2f}x"
+            )
+    for entry in current.get("zoo_verification", []):
+        if not entry.get("bit_identical"):
+            failures.append(f"{entry.get('model')}: bit-identity broken")
+        if not entry.get("payload_matches_manifest"):
+            failures.append(
+                f"{entry.get('model')}: payload does not equal the packed manifest"
+            )
+    return failures
+
+
+def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: float) -> list:
+    failures = []
+    if current.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}"
+        )
+        return failures
+    kind = baseline.get("kind", "round_coalescing")
+    if kind == "wire_compression":
+        failures.extend(check_wire_compression(current, baseline))
+    else:
+        failures.extend(
+            check_round_coalescing(current, baseline, latency_key, max_qps_regression)
+        )
+    return failures
+
+
+def _summary(current: dict, baseline: dict, latency_key: str) -> str:
+    if baseline.get("kind") == "wire_compression":
+        return (
+            f"vgg scheduled rounds {current.get('vgg_scheduled_rounds')} "
+            f"(baseline {baseline.get('vgg_scheduled_rounds')}), worst "
+            f"nonlinear compression "
+            f"{current.get('worst_nonlinear_compression', 0.0):.2f}x"
+        )
+    return (
+        f"qps improvement {current['qps_improvement'][latency_key]:.2f}x "
+        f"(baseline {baseline['qps_improvement'][latency_key]:.2f}x), "
+        f"best round reduction {current['best_round_reduction']:.1%}"
+    )
 
 
 def main() -> None:
@@ -109,9 +198,7 @@ def main() -> None:
         raise SystemExit(1)
     print(
         f"bench regression check passed against {Path(args.baseline).name}: "
-        f"qps improvement {current['qps_improvement'][args.latency]:.2f}x "
-        f"(baseline {baseline['qps_improvement'][args.latency]:.2f}x), "
-        f"best round reduction {current['best_round_reduction']:.1%}"
+        + _summary(current, baseline, args.latency)
     )
 
 
