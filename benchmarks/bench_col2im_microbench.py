@@ -22,7 +22,13 @@ import numpy as np
 
 from benchmarks.conftest import emit
 from repro.evaluation.report import render_table
-from repro.nn.functional import _col2im
+from repro.nn.functional import (
+    _col2im,
+    conv2d,
+    conv_workspace_stats,
+    reset_conv_workspace,
+)
+from repro.nn.tensor import Tensor
 
 
 def _col2im_loop_reference(
@@ -144,3 +150,47 @@ def test_conv_backward_speedup():
         )
     emit("conv backward grad_x path", render_table(rows))
     assert max(ratios) > 1.05, f"expected a speedup, got ratios {ratios}"
+
+
+def test_inference_conv_workspace_zero_extra_allocations():
+    """Steady-state inference convs reuse one padded buffer, never realloc.
+
+    PR "fused local-compute lowering" satellite: ``conv2d`` used to rebuild
+    the padded im2col source with ``np.pad`` on *every* call.  On the
+    inference path (nothing requires grad) the pad now lands in a thread-
+    local workspace; after the first call on a shape, repeat calls must be
+    allocation-free — ``misses`` counts buffer allocations, and it may only
+    move when the shape changes.
+    """
+    rng = np.random.default_rng(2)
+    x = Tensor(rng.normal(size=(8, 64, 32, 32)))
+    weight = Tensor(rng.normal(size=(64, 64, 3, 3)) * 0.1)
+    reset_conv_workspace()
+    out_first = conv2d(x, weight, stride=1, padding=1)
+    warm = conv_workspace_stats()
+    assert warm["misses"] == 1, f"first call must allocate once, got {warm}"
+
+    repeats = 10
+    for _ in range(repeats):
+        out_last = conv2d(x, weight, stride=1, padding=1)
+    steady = conv_workspace_stats()
+    extra_allocations = steady["misses"] - warm["misses"]
+    assert extra_allocations == 0, (
+        f"steady-state inference conv must not reallocate its pad buffer: "
+        f"{extra_allocations} extra allocations over {repeats} calls"
+    )
+    assert steady["hits"] == warm["hits"] + repeats
+    # reuse must not perturb the numerics: warm buffer == cold buffer bits
+    np.testing.assert_array_equal(out_first.data, out_last.data)
+    emit(
+        "inference conv pad-workspace reuse",
+        render_table(
+            [
+                {
+                    "calls": repeats + 1,
+                    "allocations": steady["misses"],
+                    "workspace hits": steady["hits"],
+                }
+            ]
+        ),
+    )

@@ -81,7 +81,10 @@ def main() -> None:
         print(f"  party {party}: sent {report.payload_bytes_sent} payload bytes "
               f"(predicted {predicted}), {report.frames_sent} frames, "
               f"online {1e3 * report.online_seconds:.1f} ms, "
-              f"offline {1e3 * report.offline_seconds:.1f} ms")
+              f"offline {1e3 * report.offline_seconds:.1f} ms, "
+              f"local compute {report.cpu_time_ns / 1e6:.1f} ms cpu")
+    print(f"fused local compute: {result.fused_kernel_calls} kernel calls, "
+          f"{result.cpu_time_ns / 1e6:.1f} ms cpu (max over parties)")
     print(f"framing overhead: {result.framing_overhead_bytes} bytes "
           f"({100 * result.framing_overhead_bytes / max(result.wire_bytes_on_wire, 1):.2f}% of wire traffic)")
     print(f"rounds: {result.online_rounds} (predicted {plan.online_rounds}, "
@@ -118,6 +121,8 @@ def main() -> None:
             "framing_overhead_bytes": result.framing_overhead_bytes,
             "online_rounds": result.online_rounds,
             "rounds_per_drelu": rounds_per_drelu,
+            "cpu_time_ns": result.cpu_time_ns,
+            "fused_kernel_calls": result.fused_kernel_calls,
             "paths": {
                 "socket_session": {
                     "queries_per_second": args.batch / result.wall_seconds,
@@ -136,6 +141,7 @@ def main() -> None:
                     "offline_seconds": result.reports[party].offline_seconds,
                     "payload_bytes_sent": result.reports[party].payload_bytes_sent,
                     "frames_sent": result.reports[party].frames_sent,
+                    "cpu_time_ns": result.reports[party].cpu_time_ns,
                 }
                 for party in (0, 1)
             ],
@@ -146,6 +152,8 @@ def main() -> None:
                     "frames_sent": result.reports[party].frames_sent,
                     "online_seconds": result.reports[party].online_seconds,
                     "offline_seconds": result.reports[party].offline_seconds,
+                    "cpu_time_ns": result.reports[party].cpu_time_ns,
+                    "fused_kernel_calls": result.reports[party].fused_kernel_calls,
                 }
                 for party in (0, 1)
             },

@@ -39,12 +39,24 @@ from repro.crypto.plan import (
     PreprocessingManifest,
     compile_plan,
 )
+from repro.crypto.kernels import (
+    KERNELS,
+    KernelContext,
+    WorkspaceArena,
+    active_kernels,
+    arena_for,
+    clear_arenas,
+    register_kernel,
+)
 from repro.crypto.passes import (
+    KernelBinding,
+    LoweredPlan,
     PlanSchedule,
     ScheduledPlan,
     ScheduledRound,
     dead_op_elimination,
     levelize,
+    lower_plan,
     optimize_plan,
     schedule_rounds,
 )
@@ -88,8 +100,18 @@ __all__ = [
     "PlanSchedule",
     "ScheduledPlan",
     "ScheduledRound",
+    "KernelBinding",
+    "LoweredPlan",
+    "KERNELS",
+    "KernelContext",
+    "WorkspaceArena",
+    "active_kernels",
+    "arena_for",
+    "clear_arenas",
+    "register_kernel",
     "dead_op_elimination",
     "levelize",
+    "lower_plan",
     "optimize_plan",
     "schedule_rounds",
     "run_scheduled_plan",

@@ -26,6 +26,10 @@ class TwoPartyContext:
     channel: Channel = field(default=None)  # type: ignore[assignment]
     dealer: TrustedDealer = field(default=None)  # type: ignore[assignment]
     rng: np.random.Generator = field(default=None)  # type: ignore[assignment]
+    #: fused-kernel state (a :class:`repro.crypto.kernels.KernelContext`)
+    #: installed by the scheduler while executing a lowered plan; None keeps
+    #: every protocol on its reference numpy path
+    kernels: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.channel is None:

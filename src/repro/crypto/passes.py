@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from dataclasses import replace as dc_replace
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.crypto.kernels import kernels_for_kind
 from repro.crypto.plan import (
     InferencePlan,
     PlanOp,
@@ -47,6 +48,9 @@ from repro.crypto.protocols.registry import group_direction_totals, trace_rounds
 
 #: serialization format tag of :meth:`ScheduledPlan.to_dict`
 SCHEDULED_PLAN_FORMAT = "scheduled-plan/v1"
+
+#: serialization format tag of :meth:`LoweredPlan.to_dict`
+LOWERED_PLAN_FORMAT = "lowered-plan/v1"
 
 
 # --------------------------------------------------------------------------- #
@@ -329,14 +333,104 @@ class ScheduledPlan:
         )
 
 
+# --------------------------------------------------------------------------- #
+# Lowering: binding the schedule to fused local-compute kernels
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelBinding:
+    """The fused kernels one plan op's local compute may dispatch to."""
+
+    op_index: int
+    kernels: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LoweredPlan(ScheduledPlan):
+    """A scheduled plan whose local compute is bound to fused kernels.
+
+    Lowering changes nothing about the wire protocol — the op graph, the
+    round schedule and the manifest are the parent's verbatim, so every
+    round/byte prediction and :func:`~repro.runtime.party.verify_against_plan`
+    check carries over.  What it adds is the :attr:`bindings` table: per op,
+    the fused kernels from :mod:`repro.crypto.kernels` the executor may
+    invoke in place of the reference numpy call chains.  The scheduler
+    recognizes the type and activates a
+    :class:`~repro.crypto.kernels.KernelContext` (workspace arena + fused
+    dispatch) for the execution; results are bit-identical either way.
+    """
+
+    bindings: Tuple[KernelBinding, ...] = ()
+
+    @property
+    def fused_op_count(self) -> int:
+        """Ops with at least one fused kernel bound."""
+        return sum(1 for binding in self.bindings if binding.kernels)
+
+    def to_dict(self) -> Dict:
+        data = ScheduledPlan.to_dict(self)
+        data["format"] = LOWERED_PLAN_FORMAT
+        data["bindings"] = [
+            {"op_index": b.op_index, "kernels": list(b.kernels)}
+            for b in self.bindings
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LoweredPlan":
+        if data.get("format") != LOWERED_PLAN_FORMAT:
+            raise ValueError(
+                f"unsupported lowered-plan format {data.get('format')!r}; "
+                f"expected {LOWERED_PLAN_FORMAT!r}"
+            )
+        base = ScheduledPlan.from_dict({**data, "format": SCHEDULED_PLAN_FORMAT})
+        return cls(
+            plan=base.plan,
+            schedule=base.schedule,
+            applied_passes=base.applied_passes,
+            bindings=tuple(
+                KernelBinding(
+                    op_index=int(entry["op_index"]),
+                    kernels=tuple(entry.get("kernels", ())),
+                )
+                for entry in data.get("bindings", ())
+            ),
+        )
+
+
+def lower_plan(splan: ScheduledPlan) -> LoweredPlan:
+    """Bind a scheduled plan's ops to their fused local-compute kernels.
+
+    Runs after round-coalescing (it consumes the finished schedule) and is
+    pure metadata: each op's :class:`~repro.crypto.plan.LayerKind` selects
+    the fused kernels (see
+    :data:`~repro.crypto.kernels.KERNELS_BY_LAYER_KIND`) its protocol
+    handler may dispatch to; ops with no fusible compute get an empty
+    binding and execute their reference path unchanged.
+    """
+    bindings = tuple(
+        KernelBinding(op_index=op.index, kernels=kernels_for_kind(op.kind.name))
+        for op in splan.ops
+    )
+    return LoweredPlan(
+        plan=splan.plan,
+        schedule=splan.schedule,
+        applied_passes=splan.applied_passes + ("lower-kernels",),
+        bindings=bindings,
+    )
+
+
 def optimize_plan(
-    plan: InferencePlan, passes: Optional[Tuple[str, ...]] = None
+    plan: InferencePlan,
+    passes: Optional[Tuple[str, ...]] = None,
+    lower: bool = False,
 ) -> ScheduledPlan:
     """Run the pass pipeline and return the scheduled plan.
 
     ``passes`` names the plan-rewriting passes (see :data:`PLAN_PASSES`) in
     application order; levelization and round scheduling always run last —
-    they are what turns the op graph into an executable schedule.
+    they are what turns the op graph into an executable schedule.  With
+    ``lower=True`` the schedule is additionally bound to fused local-compute
+    kernels (:func:`lower_plan`), returning a :class:`LoweredPlan`.
     """
     names = DEFAULT_PASSES if passes is None else tuple(passes)
     for name in names:
@@ -349,8 +443,9 @@ def optimize_plan(
         plan = plan_pass(plan)
     levels = levelize(plan)
     schedule = schedule_rounds(plan, levels)
-    return ScheduledPlan(
+    splan = ScheduledPlan(
         plan=plan,
         schedule=schedule,
         applied_passes=names + ("levelize", "schedule-rounds"),
     )
+    return lower_plan(splan) if lower else splan

@@ -28,9 +28,25 @@ import numpy as np
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.events import open_ring_event, run_phases
+from repro.crypto.kernels import KERNELS, active_kernels
 from repro.crypto.protocols.registry import OpTrace, element_bytes, open_trace_event
 from repro.crypto.ring import FixedPointRing
 from repro.crypto.sharing import SharePair
+
+
+def _cached_encode(ring: FixedPointRing, kc, public: np.ndarray) -> np.ndarray:
+    """Encode a public constant, memoized by value for small tensors.
+
+    The activation protocols rebuild their scalar constants (per-layer
+    polynomial coefficients) as fresh arrays every call, so the memo keys on
+    the *bytes* of the array — identical values across jobs share one
+    encoding regardless of object identity.
+    """
+    public = np.asarray(public, dtype=np.float64)
+    if kc is not None and public.size <= 256:
+        key = ("pub-enc", public.tobytes(), public.shape)
+        return kc.arena.cached(key, (), lambda: ring.encode(public))
+    return ring.encode(public)
 
 
 def multiply_phases(
@@ -66,6 +82,19 @@ def multiply_phases(
         open_ring_event(e0, e1, tag=f"{tag}/open-e"),
         open_ring_event(f0, f1, tag=f"{tag}/open-f"),
     )
+
+    kc = active_kernels(ctx)
+    if kc is not None and product is None and ring.ring_bits == 64:
+        # Elementwise case: one fused in-place recombination kernel replaces
+        # the eight ring-call intermediates of the reference chain below.
+        r0, r1 = KERNELS["beaver-recombine"](
+            x.share0, x.share1, y.share0, y.share1, e, f,
+            triple.z.share0, triple.z.share1,
+        )
+        if truncate:
+            r0, r1 = KERNELS["truncate-pair"](ring, r0, r1)
+        kc.count()
+        return SharePair(r0, r1, ring)
 
     with np.errstate(over="ignore"):
         # R_Si = -i * E⊗F + X_Si⊗F + E⊗Y_Si + Z_Si      (Eq. 2)
@@ -116,6 +145,15 @@ def square_phases(
     e0 = ring.sub(x.share0, pair.a.share0)
     e1 = ring.sub(x.share1, pair.a.share1)
     (e,) = yield (open_ring_event(e0, e1, tag=f"{tag}/open-e"),)
+    kc = active_kernels(ctx)
+    if kc is not None and ring.ring_bits == 64:
+        r0, r1 = KERNELS["square-recombine"](
+            e, pair.a.share0, pair.a.share1, pair.z.share0, pair.z.share1
+        )
+        if truncate:
+            r0, r1 = KERNELS["truncate-pair"](ring, r0, r1)
+        kc.count()
+        return SharePair(r0, r1, ring)
     with np.errstate(over="ignore"):
         # R_Si = Z_Si + 2 E ⊙ A_Si + E ⊙ E (the E⊙E term is public; add once)
         two_e = ring.scalar_mul(e, 2)
@@ -150,6 +188,12 @@ def multiply_public(
 ) -> SharePair:
     """Multiply a shared tensor by a public real-valued tensor (no interaction)."""
     ring = ctx.ring
+    kc = active_kernels(ctx)
+    if kc is not None and ring.ring_bits == 64:
+        encoded = _cached_encode(ring, kc, public)
+        s0, s1 = KERNELS["scale-encoded"](ring, x.share0, x.share1, encoded)
+        kc.count()
+        return SharePair(s0, s1, ring)
     encoded = ring.encode(np.asarray(public, dtype=np.float64))
     with np.errstate(over="ignore"):
         s0 = ring.truncate_local(ring.mul(x.share0, encoded), party=0)
@@ -160,5 +204,12 @@ def multiply_public(
 def add_public(ctx: TwoPartyContext, x: SharePair, public: np.ndarray) -> SharePair:
     """Add a public real-valued tensor to a shared tensor (S0 adds by convention)."""
     ring = ctx.ring
+    kc = active_kernels(ctx)
+    if kc is not None and ring.ring_bits == 64:
+        encoded = _cached_encode(ring, kc, public)
+        with np.errstate(over="ignore"):
+            s0 = np.add(x.share0, encoded)
+        kc.count()
+        return SharePair(s0, x.share1.copy(), ring)
     encoded = ring.encode(np.asarray(public, dtype=np.float64))
     return SharePair(ring.add(x.share0, np.broadcast_to(encoded, x.shape).copy()), x.share1.copy(), ring)

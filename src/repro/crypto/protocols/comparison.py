@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.events import open_bits_event, run_phases, transfer_event
+from repro.crypto.kernels import KERNELS, active_kernels
 from repro.crypto.protocols.arithmetic import multiply_phases, multiply_trace
 from repro.crypto.protocols.registry import (
     OpTrace,
@@ -83,6 +84,13 @@ def _and_prepare(ctx: TwoPartyContext, x: XorSharedBit, y: XorSharedBit, tag: st
     def finish(opened: np.ndarray) -> XorSharedBit:
         d = opened[0]
         e = opened[1]
+        kc = active_kernels(ctx)
+        if kc is not None:
+            z0, z1 = KERNELS["and-finish"](
+                d, e, triple.a0, triple.a1, triple.b0, triple.b1, triple.c0, triple.c1
+            )
+            kc.count()
+            return z0.astype(np.uint8, copy=False), z1.astype(np.uint8, copy=False)
         z0 = triple.c0 ^ (d & triple.b0) ^ (e & triple.a0) ^ (d & e)
         z1 = triple.c1 ^ (d & triple.b1) ^ (e & triple.a1)
         return z0.astype(np.uint8), z1.astype(np.uint8)
@@ -306,6 +314,14 @@ def bit_to_arithmetic_phases(ctx: TwoPartyContext, bit: XorSharedBit, tag: str =
         open_bits_event(b0 ^ dab.r0, b1 ^ dab.r1, tag=f"{tag}/open-c"),
     )
     c_ring = c.astype(np.uint64)
+    kc = active_kernels(ctx)
+    if kc is not None and ring.ring_bits == 64:
+        ones, fresh = kc.arena.get(("b2a-ones", c.shape), c.shape)
+        if fresh:
+            ones.fill(1)
+        s0, s1 = KERNELS["b2a-finish"](ones, c_ring, dab.arith.share0, dab.arith.share1)
+        kc.count()
+        return SharePair(s0, s1, ring)
     # coeff = 1 - 2c in the ring: +1 where c == 0, -1 where c == 1.
     coeff = ring.sub(
         np.ones(c.shape, dtype=np.uint64), ring.scalar_mul(c_ring, 2)

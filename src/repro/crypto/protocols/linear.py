@@ -15,6 +15,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.crypto.context import TwoPartyContext
+from repro.crypto.kernels import KERNELS, active_kernels
 from repro.crypto.protocols.arithmetic import add_public, multiply
 from repro.crypto.protocols.registry import no_trace, register_protocol
 from repro.crypto.ring import FixedPointRing
@@ -119,6 +120,30 @@ def secure_conv2d_public_weight(
     fixed-point truncation is performed on the result.
     """
     ring = ctx.ring
+    kc = active_kernels(ctx)
+    if kc is not None and ring.ring_bits == 64:
+        arena = kc.arena
+        w_enc = arena.cached(("w-enc", id(weight)), (weight,), lambda: ring.encode(weight))
+        out0, out1 = KERNELS["stacked-conv2d"](
+            x.share0,
+            x.share1,
+            w_enc,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+            arena=arena,
+            threads=kc.thread_workers,
+        )
+        out0, out1 = KERNELS["truncate-pair"](ring, out0, out1)
+        if bias is not None:
+            b_enc = arena.cached(
+                ("b-enc-conv", id(bias)),
+                (bias,),
+                lambda: ring.encode(np.asarray(bias, dtype=np.float64).reshape(1, -1, 1, 1)),
+            )
+            out0, out1 = KERNELS["add-encoded"](out0, out1, b_enc)
+        kc.count()
+        return SharePair(out0, out1, ring)
     w_enc = ring.encode(weight)
     out0 = ring_conv2d(ring, x.share0, w_enc, stride=stride, padding=padding, groups=groups)
     out1 = ring_conv2d(ring, x.share1, w_enc, stride=stride, padding=padding, groups=groups)
@@ -156,6 +181,25 @@ def secure_linear_public_weight(
 ) -> SharePair:
     """Fully-connected layer with a public weight matrix."""
     ring = ctx.ring
+    kc = active_kernels(ctx)
+    if kc is not None and ring.ring_bits == 64:
+        arena = kc.arena
+        w_enc = arena.cached(
+            ("w-enc-t", id(weight)), (weight,), lambda: ring.encode(weight).T
+        )
+        out0, out1 = KERNELS["stacked-matmul"](
+            x.share0, x.share1, w_enc, arena=arena, threads=kc.thread_workers
+        )
+        out0, out1 = KERNELS["truncate-pair"](ring, out0, out1)
+        if bias is not None:
+            b_enc = arena.cached(
+                ("b-enc-lin", id(bias)),
+                (bias,),
+                lambda: ring.encode(np.asarray(bias, dtype=np.float64).reshape(1, -1)),
+            )
+            out0, out1 = KERNELS["add-encoded"](out0, out1, b_enc)
+        kc.count()
+        return SharePair(out0, out1, ring)
     w_enc = ring.encode(weight).T
     out0 = ring_matmul(ring, x.share0, w_enc)
     out1 = ring_matmul(ring, x.share1, w_enc)
@@ -211,7 +255,19 @@ def _run_conv(
     weight = params["weight"]
     bias = params.get("bias")
     if "bn_scale" in params:
-        weight, bias = fold_batchnorm(weight, bias, params["bn_scale"], params["bn_shift"])
+        bn_scale, bn_shift = params["bn_scale"], params["bn_shift"]
+        kc = active_kernels(ctx)
+        if kc is not None:
+            # Cache the fold per layer: the fused arrays then keep a stable
+            # identity across jobs, so the encoded-weight cache downstream
+            # hits instead of re-encoding every query.
+            weight, bias = kc.arena.cached(
+                ("bn-fold", layer.name),
+                (weight, bias, bn_scale, bn_shift),
+                lambda: fold_batchnorm(weight, bias, bn_scale, bn_shift),
+            )
+        else:
+            weight, bias = fold_batchnorm(weight, bias, bn_scale, bn_shift)
     return secure_conv2d_public_weight(
         ctx,
         x,

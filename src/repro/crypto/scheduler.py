@@ -29,15 +29,25 @@ the round-coalescing benchmark asserts zoo-wide.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.crypto.context import TwoPartyContext
 from repro.crypto.dealer import RandomnessPool
 from repro.crypto.events import as_group, group_direction_bytes
-from repro.crypto.passes import ScheduledPlan
+from repro.crypto.kernels import KernelContext, arena_for, default_thread_workers
+from repro.crypto.passes import LoweredPlan, ScheduledPlan
 from repro.crypto.plan import PLAN_INPUT
 from repro.crypto.protocols.registry import get_handler
 from repro.crypto.sharing import SharePair
+
+
+def arena_key(splan: ScheduledPlan) -> Tuple:
+    """The workspace-arena key of one plan: same model, batch and ring
+    parameters share scratch buffers and encoded-constant caches across
+    jobs (see :func:`repro.crypto.kernels.arena_for`)."""
+    ring = splan.ring
+    return (splan.model_name, splan.batch_size, ring.ring_bits, ring.frac_bits)
 
 
 def run_scheduled_plan(
@@ -46,6 +56,7 @@ def run_scheduled_plan(
     weights: Dict[str, Dict],
     shared: SharePair,
     cache: Optional[Dict[str, SharePair]] = None,
+    profile: Optional[Dict[str, object]] = None,
 ) -> Tuple[SharePair, Dict[str, int]]:
     """Execute the online phase of a scheduled plan.
 
@@ -58,14 +69,50 @@ def run_scheduled_plan(
         shared: the share pair of the client query batch.
         cache: optional op-output cache (populated as ops complete; ADD ops
             read their residual input from it).
+        profile: optional dict the executor fills with local-compute
+            counters — ``per_op_cpu_ns`` (generator time per op, wire waits
+            excluded), ``cpu_time_ns`` (their sum) and
+            ``fused_kernel_calls``.
 
     Returns:
         ``(output_shares, per_op_bytes)`` — the final op's output and the
         exact per-op online byte attribution (independent of how rounds were
         merged across ops).
+
+    For a :class:`~repro.crypto.passes.LoweredPlan` the executor installs a
+    :class:`~repro.crypto.kernels.KernelContext` on ``ctx`` for the duration
+    of the run (unless the caller already installed one): the protocol
+    handlers then dispatch their local compute to the plan's fused kernels,
+    sharing one per-``(plan, batch)`` workspace arena across jobs.
     """
     plan = splan.plan
+    per_op_cpu: Dict[str, int] = {op.name: 0 for op in plan.ops}
+    kernel_ctx = getattr(ctx, "kernels", None)
+    installed_kernels = False
+    if kernel_ctx is None and isinstance(splan, LoweredPlan):
+        kernel_ctx = KernelContext(
+            arena=arena_for(arena_key(splan)),
+            thread_workers=default_thread_workers(),
+        )
+        ctx.kernels = kernel_ctx
+        installed_kernels = True
+    fused_calls_before = kernel_ctx.fused_calls if kernel_ctx is not None else 0
+
+    def fill_profile() -> None:
+        if profile is None:
+            return
+        profile["per_op_cpu_ns"] = per_op_cpu
+        profile["cpu_time_ns"] = sum(per_op_cpu.values())
+        profile["fused_kernel_calls"] = (
+            kernel_ctx.fused_calls - fused_calls_before
+            if kernel_ctx is not None
+            else 0
+        )
+
     if not plan.ops:
+        if installed_kernels:
+            ctx.kernels = None
+        fill_profile()
         return shared, {}
     cache = {} if cache is None else cache
     values: Dict[str, SharePair] = {PLAN_INPUT: shared}
@@ -79,6 +126,7 @@ def run_scheduled_plan(
         # chain plans (one op per level) matches the sequential stream
         op_pools = [outer_dealer] * len(plan.ops)
 
+    clock = time.perf_counter_ns
     rounds_executed = 0
     try:
         for level in splan.schedule.levels:
@@ -95,14 +143,17 @@ def run_scheduled_plan(
                 for op_index in sorted(live):
                     gen, feed = live[op_index]
                     ctx.dealer = op_pools[op_index]
+                    started = clock()
                     try:
                         group = as_group(gen.send(feed))
                     except StopIteration as stop:
                         op = plan.ops[op_index]
+                        per_op_cpu[op.name] += clock() - started
                         values[op.name] = stop.value
                         cache[op.name] = stop.value
                         del live[op_index]
                         continue
+                    per_op_cpu[plan.ops[op_index].name] += clock() - started
                     round_entries.append((op_index, group))
                 if round_entries:
                     flat = [event for _, group in round_entries for event in group]
@@ -122,6 +173,9 @@ def run_scheduled_plan(
                         per_op_bytes[plan.ops[op_index].name] += from_0 + from_1
     finally:
         ctx.dealer = outer_dealer
+        if installed_kernels:
+            ctx.kernels = None
+        fill_profile()
 
     if rounds_executed != splan.schedule.num_rounds:
         raise RuntimeError(

@@ -29,6 +29,7 @@ transfers are not part of the online communication.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -68,6 +69,13 @@ class SecureInferenceResult:
     #: packing) — what the same execution would have shipped before the
     #: packed wire format
     communication_unpacked_bytes: int = 0
+    #: local-compute time of the online phase (protocol handler time, wire
+    #: waits excluded), summed over ops
+    cpu_time_ns: int = 0
+    #: per-op local-compute attribution of ``cpu_time_ns``
+    per_op_cpu_ns: Dict[str, int] = field(default_factory=dict)
+    #: fused-kernel invocations (0 on the reference, un-lowered path)
+    fused_kernel_calls: int = 0
 
     @property
     def online_bytes_per_query(self) -> float:
@@ -90,16 +98,28 @@ class SecureInferenceEngine:
     # ------------------------------------------------------------------ #
     # Offline phase
     # ------------------------------------------------------------------ #
-    def compile(self, spec: ModelSpec, batch_size: int = 1, optimize: bool = False):
+    def compile(
+        self,
+        spec: ModelSpec,
+        batch_size: int = 1,
+        optimize: bool = False,
+        lower: bool = False,
+    ):
         """Lower ``spec`` into a plan for this engine's ring and batch size.
 
         With ``optimize=True`` the optimizer pass pipeline
         (:func:`repro.crypto.passes.optimize_plan`) runs on the compiled
         graph and a :class:`~repro.crypto.passes.ScheduledPlan` is returned;
         executing it coalesces independent openings into shared rounds.
+        ``lower=True`` (implies ``optimize``) additionally binds the schedule
+        to the fused local-compute kernels, returning a
+        :class:`~repro.crypto.passes.LoweredPlan` — same wire behavior,
+        bit-identical logits, fewer numpy passes per op.
         """
         plan = compile_plan(spec, batch_size=batch_size, ring=self.ctx.ring)
-        return optimize_plan(plan) if optimize else plan
+        if optimize or lower:
+            return optimize_plan(plan, lower=lower)
+        return plan
 
     def preprocess(self, plan) -> RandomnessPool:
         """Generate the plan's correlated randomness from the live dealer."""
@@ -152,24 +172,34 @@ class SecureInferenceEngine:
         ctx = self.ctx
         dealer = ctx.dealer
         ctx.dealer = pool  # online phase: serve randomness, never generate
+        profile: Dict[str, object] = {}
         try:
             ctx.reset_communication()
             shared = share(inputs, ctx.ring, ctx.rng)
             cache: Dict[str, SharePair] = {}
             if isinstance(plan, ScheduledPlan):
                 shared, per_layer = run_scheduled_plan(
-                    ctx, plan, weights, shared, cache
+                    ctx, plan, weights, shared, cache, profile=profile
                 )
             else:
                 per_layer = {}
+                per_op_cpu: Dict[str, int] = {}
+                clock = time.perf_counter_ns
                 for op in plan.ops:
                     before = ctx.communication_bytes
                     handler = get_handler(op.kind)
+                    started = clock()
                     shared = handler.execute(
                         ctx, op.layer, weights.get(op.name, {}), shared, cache
                     )
+                    per_op_cpu[op.name] = clock() - started
                     cache[op.name] = shared
                     per_layer[op.name] = ctx.communication_bytes - before
+                profile = {
+                    "per_op_cpu_ns": per_op_cpu,
+                    "cpu_time_ns": sum(per_op_cpu.values()),
+                    "fused_kernel_calls": 0,
+                }
             logits = reconstruct(shared)
         finally:
             ctx.dealer = dealer
@@ -187,6 +217,9 @@ class SecureInferenceEngine:
             offline_bit_triple_elements=manifest.bit_triple_elements,
             offline_dabit_elements=manifest.dabit_elements,
             communication_unpacked_bytes=ctx.channel.log.total_unpacked_bytes,
+            cpu_time_ns=int(profile.get("cpu_time_ns", 0)),
+            per_op_cpu_ns=dict(profile.get("per_op_cpu_ns", {})),
+            fused_kernel_calls=int(profile.get("fused_kernel_calls", 0)),
         )
 
     # ------------------------------------------------------------------ #

@@ -8,7 +8,8 @@ fast enough for the search and training experiments in the benchmark suite.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+import threading
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +27,67 @@ def _pair(value: IntPair) -> Tuple[int, int]:
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     """Spatial output size of a convolution/pooling window."""
     return (size + 2 * padding - kernel) // stride + 1
+
+
+# --------------------------------------------------------------------------- #
+# Inference-path conv workspace
+# --------------------------------------------------------------------------- #
+class _ConvWorkspace:
+    """Reusable padded-input buffer for inference-mode convolutions.
+
+    The im2col lowering is a stride-tricks *view*, so the only per-call
+    allocation on the forward path is the padded copy of the input.  Serving
+    runs the same shapes over and over; keeping one buffer per thread turns
+    that into an allocate-once, overwrite-forever workspace.  Training-path
+    calls never use it — their backward closures capture views of the padded
+    buffer, which must therefore stay private to each call.
+    """
+
+    def __init__(self) -> None:
+        self._pad: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+
+    def padded(
+        self, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> Tuple[np.ndarray, bool]:
+        """The pad buffer for ``shape``/``dtype`` and whether it is fresh."""
+        buf = self._pad
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._pad = buf
+            self.misses += 1
+            return buf, True
+        self.hits += 1
+        return buf, False
+
+
+_CONV_LOCAL = threading.local()
+
+
+def _conv_workspace() -> _ConvWorkspace:
+    ws = getattr(_CONV_LOCAL, "workspace", None)
+    if ws is None:
+        ws = _ConvWorkspace()
+        _CONV_LOCAL.workspace = ws
+    return ws
+
+
+def conv_workspace_stats() -> Dict[str, int]:
+    """Allocation counters of this thread's conv workspace.
+
+    ``misses`` counts buffer (re)allocations, ``hits`` counts calls served
+    from the existing buffer — a steady-state serving loop over one shape
+    must show zero incremental misses (asserted by
+    ``benchmarks/bench_col2im_microbench.py``).
+    """
+    ws = _conv_workspace()
+    return {"hits": ws.hits, "misses": ws.misses}
+
+
+def reset_conv_workspace() -> None:
+    """Drop this thread's conv workspace buffer and zero its counters."""
+    _CONV_LOCAL.workspace = _ConvWorkspace()
 
 
 # --------------------------------------------------------------------------- #
@@ -114,8 +176,26 @@ def conv2d(
             f"weight expects {icg} input channels per group but input has {ic // groups}"
         )
 
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = any(p.requires_grad for p in parents)
+
     ph, pw = padding
-    x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    if requires:
+        # training path: the backward closure keeps views of this buffer
+        # alive until the backward pass, so it must be private to the call
+        x_pad = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    elif ph or pw:
+        # inference path: pad into the thread's reusable workspace — the
+        # border stays zero across reuses (only the interior is rewritten),
+        # so a warm buffer needs no zero-fill at all
+        x_pad, fresh = _conv_workspace().padded(
+            (n, ic, h + 2 * ph, w + 2 * pw), x.data.dtype
+        )
+        if fresh:
+            x_pad.fill(0)
+        x_pad[:, :, ph : ph + h, pw : pw + w] = x.data
+    else:
+        x_pad = x.data
     cols = _im2col_indices(x_pad, (kh, kw), stride)  # (N, IC, KH, KW, OH, OW)
     oh, ow = cols.shape[4], cols.shape[5]
 
@@ -126,8 +206,8 @@ def conv2d(
     out = out.reshape(n, oc, oh, ow)
     if bias is not None:
         out = out + bias.data.reshape(1, oc, 1, 1)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not requires:
+        return Tensor(out)
 
     def backward(grad: np.ndarray) -> None:
         grad_g = grad.reshape(n, groups, oc // groups, oh, ow)
@@ -158,9 +238,6 @@ def conv2d(
                 grad_x = grad_x_pad
             x._accumulate(grad_x)
 
-    requires = any(p.requires_grad for p in parents)
-    if not requires:
-        return Tensor(out)
     return Tensor(out, requires_grad=True, parents=parents, backward=backward)
 
 

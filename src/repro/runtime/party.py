@@ -84,6 +84,9 @@ class PartyJob:
     input_share: np.ndarray
     ring: FixedPointRing = DEFAULT_RING
     optimize: bool = True
+    #: bind the optimized schedule to fused local-compute kernels
+    #: (:func:`repro.crypto.passes.lower_plan`); logits stay bit-identical
+    lower: bool = True
 
 
 @dataclass
@@ -98,6 +101,12 @@ class PartyExecution:
     #: frame-format-v1 equivalent of ``communication_bytes`` (no sub-byte
     #: packing) — the denominator of the ``bytes_saved`` serving stats
     unpacked_bytes: int = 0
+    #: local-compute time of the online phase (wire waits excluded)
+    cpu_time_ns: int = 0
+    #: per-op attribution of ``cpu_time_ns``
+    per_op_cpu_ns: Dict[str, int] = field(default_factory=dict)
+    #: fused-kernel invocations (0 on the un-lowered path)
+    fused_kernel_calls: int = 0
 
 
 @dataclass
@@ -119,6 +128,10 @@ class PartyReport:
     pool_served: int
     #: unpacked (frame format v1) equivalent of ``communication_bytes``
     unpacked_payload_bytes: int = 0
+    #: local-compute time of the online phase (wire waits excluded)
+    cpu_time_ns: int = 0
+    #: fused-kernel invocations of the session (0 on the un-lowered path)
+    fused_kernel_calls: int = 0
 
     @property
     def bytes_saved_pct(self) -> float:
@@ -226,21 +239,33 @@ def execute_plan_as_party(
 
     dealer = ctx.dealer
     ctx.dealer = pool
+    profile: Dict[str, object] = {}
     try:
         ctx.reset_communication()
         cache: Dict[str, SharePair] = {}
         if isinstance(plan, ScheduledPlan):
-            shared, per_layer = run_scheduled_plan(ctx, plan, weights, shared, cache)
+            shared, per_layer = run_scheduled_plan(
+                ctx, plan, weights, shared, cache, profile=profile
+            )
         else:
             per_layer = {}
+            per_op_cpu: Dict[str, int] = {}
+            clock = time.perf_counter_ns
             for op in plan.ops:
                 before = ctx.communication_bytes
                 handler = get_handler(op.kind)
+                started = clock()
                 shared = handler.execute(
                     ctx, op.layer, weights.get(op.name, {}), shared, cache
                 )
+                per_op_cpu[op.name] = clock() - started
                 cache[op.name] = shared
                 per_layer[op.name] = ctx.communication_bytes - before
+            profile = {
+                "per_op_cpu_ns": per_op_cpu,
+                "cpu_time_ns": sum(per_op_cpu.values()),
+                "fused_kernel_calls": 0,
+            }
         logit_share = shared.share0 if party == 0 else shared.share1
     finally:
         ctx.dealer = dealer
@@ -252,6 +277,9 @@ def execute_plan_as_party(
         communication_rounds=ctx.communication_rounds,
         per_layer_bytes=per_layer,
         unpacked_bytes=ctx.channel.log.total_unpacked_bytes,
+        cpu_time_ns=int(profile.get("cpu_time_ns", 0)),
+        per_op_cpu_ns=dict(profile.get("per_op_cpu_ns", {})),
+        fused_kernel_calls=int(profile.get("fused_kernel_calls", 0)),
     )
 
 
@@ -274,7 +302,7 @@ def run_party_session(
         offline_start = time.perf_counter()
         plan = compile_plan(job.spec, batch_size=job.batch_size, ring=job.ring)
         if job.optimize:
-            plan = optimize_plan(plan)
+            plan = optimize_plan(plan, lower=getattr(job, "lower", True))
         dealer = TrustedDealer(ring=job.ring, seed=job.seed)
         pool = dealer.preprocess(plan).restrict_to_party(party)
         offline_seconds = time.perf_counter() - offline_start
@@ -302,6 +330,8 @@ def run_party_session(
             online_seconds=online_seconds,
             pool_served=pool.served,
             unpacked_payload_bytes=execution.unpacked_bytes,
+            cpu_time_ns=execution.cpu_time_ns,
+            fused_kernel_calls=execution.fused_kernel_calls,
         )
     finally:
         transport.close()

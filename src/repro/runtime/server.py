@@ -98,6 +98,10 @@ class ServerConfig:
     ring: FixedPointRing = DEFAULT_RING
     verify: bool = True
     coalesce_rounds: bool = True
+    #: bind coalesced plans to fused local-compute kernels (same wire
+    #: behavior, bit-identical logits, fewer numpy passes per op); only
+    #: meaningful with ``coalesce_rounds``
+    lower_local_compute: bool = True
 
 
 @dataclass
@@ -149,6 +153,10 @@ class JobReport:
     #: frame-format-v1 equivalent of ``communication_bytes`` — lets the
     #: serving dashboards compute the packed wire format's bytes_saved_pct
     unpacked_payload_bytes: int = 0
+    #: local-compute time of the job's online phase (wire waits excluded)
+    cpu_time_ns: int = 0
+    #: fused-kernel invocations of the job (0 without kernel lowering)
+    fused_kernel_calls: int = 0
 
 
 @dataclass
@@ -191,6 +199,10 @@ class ServerStats:
     payload_bytes_received: int
     #: summed online-phase seconds across all jobs (this party's view)
     online_seconds: float = 0.0
+    #: summed local-compute nanoseconds across all jobs (this party's view)
+    cpu_time_ns: int = 0
+    #: summed fused-kernel invocations across all jobs
+    fused_kernel_calls: int = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -254,7 +266,9 @@ class PartyServer:
             )
         plan = compile_plan(spec, batch_size=batch_size, ring=self.ring)
         if self.config.coalesce_rounds:
-            plan = optimize_plan(plan)
+            plan = optimize_plan(
+                plan, lower=getattr(self.config, "lower_local_compute", True)
+            )
         with self._lock:
             entry = self._entries.setdefault(key, _PlanEntry(plan=plan))
             if entry.plan is plan:
@@ -428,6 +442,8 @@ class PartyServer:
         with self._lock:
             self.stats.jobs_executed += 1
             self.stats.online_seconds += online_seconds
+            self.stats.cpu_time_ns += execution.cpu_time_ns
+            self.stats.fused_kernel_calls += execution.fused_kernel_calls
             buffered = len(entry.pools)
         self.notify_provisioner()
         return JobReport(
@@ -444,6 +460,8 @@ class PartyServer:
             seed=seed,
             pid=os.getpid(),
             unpacked_payload_bytes=execution.unpacked_bytes,
+            cpu_time_ns=execution.cpu_time_ns,
+            fused_kernel_calls=execution.fused_kernel_calls,
         )
 
     # -- lifecycle ------------------------------------------------------------ #

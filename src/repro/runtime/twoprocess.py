@@ -78,6 +78,17 @@ class TwoProcessResult:
         )
 
     @property
+    def cpu_time_ns(self) -> int:
+        """Local-compute time of the online phase (slower party; the two
+        parties run concurrently, so their max is the session's)."""
+        return max(self.reports[p].cpu_time_ns for p in (0, 1))
+
+    @property
+    def fused_kernel_calls(self) -> int:
+        """Fused-kernel invocations per party (identical on both sides)."""
+        return self.reports[0].fused_kernel_calls
+
+    @property
     def matches_manifest(self) -> bool:
         return self.payload_bytes_on_wire == self.plan.online_bytes
 
@@ -118,6 +129,7 @@ def run_two_process_inference(
     port: Optional[int] = None,
     timeout: float = 300.0,
     optimize: bool = True,
+    lower: bool = True,
 ) -> TwoProcessResult:
     """Run one private inference with the two parties in separate OS processes.
 
@@ -133,7 +145,9 @@ def run_two_process_inference(
     and announces the kernel-assigned number over its control pipe before
     party 1 is spawned — end-to-end race-free, so parallel CI jobs cannot
     collide.  ``optimize`` selects the round-coalescing schedule (default)
-    or the sequential reference execution.
+    or the sequential reference execution; ``lower`` additionally binds the
+    schedule to the fused local-compute kernels (bit-identical logits, less
+    CPU per op) and only applies when ``optimize`` is on.
     """
     ring = ring or DEFAULT_RING
     inputs = np.asarray(inputs, dtype=np.float64)
@@ -169,6 +183,7 @@ def run_two_process_inference(
                     input_share=input_share,
                     ring=ring,
                     optimize=optimize,
+                    lower=lower,
                 )
             )
             pipes.append(parent_conn)
@@ -215,7 +230,7 @@ def run_two_process_inference(
 
     plan = compile_plan(spec, batch_size=batch_size, ring=ring)
     if optimize:
-        plan = optimize_plan(plan)
+        plan = optimize_plan(plan, lower=lower)
     _check_cross_party_consistency(plan, reports[0], reports[1])
 
     # Client: reconstruct the logits from the two result shares.

@@ -63,9 +63,11 @@ class PlanPoolCache:
         ring: Optional[FixedPointRing] = None,
         seed: int = 0,
         optimize: bool = True,
+        lower: bool = True,
     ) -> None:
         self.ring = ring or DEFAULT_RING
         self.optimize = optimize
+        self.lower = lower
         self.dealer = TrustedDealer(ring=self.ring, seed=seed)
         self.stats = CacheStats()
         self._plans: Dict[Tuple[str, int], object] = {}
@@ -77,7 +79,10 @@ class PlanPoolCache:
 
         With ``optimize`` (the default) the optimizer pass pipeline runs
         once at compile time and a round-coalescing
-        :class:`~repro.crypto.passes.ScheduledPlan` is cached.
+        :class:`~repro.crypto.passes.ScheduledPlan` is cached; with
+        ``lower`` on top (also the default) the schedule is bound to the
+        fused local-compute kernels and a
+        :class:`~repro.crypto.passes.LoweredPlan` is cached instead.
         """
         key = (spec.name, batch_size)
         with self._lock:
@@ -85,7 +90,7 @@ class PlanPoolCache:
             if plan is None:
                 plan = compile_plan(spec, batch_size=batch_size, ring=self.ring)
                 if self.optimize:
-                    plan = optimize_plan(plan)
+                    plan = optimize_plan(plan, lower=self.lower)
                 self._plans[key] = plan
                 self.stats.plans_compiled += 1
             return plan

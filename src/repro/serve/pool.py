@@ -82,6 +82,11 @@ class PoolBatchResult:
     #: frame-format-v1 equivalent of ``payload_bytes_on_wire`` (no sub-byte
     #: packing) — what this job would have shipped before the packed codec
     unpacked_payload_bytes: int = 0
+    #: local-compute time of the job's online phase (max over the two
+    #: parties, mirroring ``online_seconds`` — they run concurrently)
+    cpu_time_ns: int = 0
+    #: fused-kernel invocations on the lowered plan (0 when lowering is off)
+    fused_kernel_calls: int = 0
 
     @property
     def bytes_saved_pct(self) -> float:
@@ -101,6 +106,8 @@ class ShardStats:
     busy_seconds: float = 0.0
     payload_bytes: int = 0
     unpacked_payload_bytes: int = 0
+    cpu_time_ns: int = 0
+    fused_kernel_calls: int = 0
     job_latencies: Deque[float] = field(default_factory=lambda: deque(maxlen=10_000))
 
     @property
@@ -126,6 +133,8 @@ class ShardStats:
             "payload_bytes": self.payload_bytes,
             "unpacked_payload_bytes": self.unpacked_payload_bytes,
             "bytes_saved_pct": self.bytes_saved_pct,
+            "cpu_time_ns": self.cpu_time_ns,
+            "fused_kernel_calls": self.fused_kernel_calls,
             "p50_job_ms": 1e3 * float(np.percentile(latencies, 50)) if latencies else 0.0,
             "p95_job_ms": 1e3 * float(np.percentile(latencies, 95)) if latencies else 0.0,
         }
@@ -154,6 +163,7 @@ class WorkerShard:
         high_water: int = 3,
         verify: bool = True,
         coalesce_rounds: bool = True,
+        lower_local_compute: bool = True,
     ) -> None:
         self.index = index
         self.models = models
@@ -181,6 +191,7 @@ class WorkerShard:
             ring=ring,
             verify=verify,
             coalesce_rounds=coalesce_rounds,
+            lower_local_compute=lower_local_compute,
         )
         # Party 0 binds an ephemeral port itself and announces the
         # kernel-assigned number before party 1 boots — race-free even when
@@ -317,6 +328,10 @@ class WorkerShard:
         # both parties log the same full conversation, so one party's
         # unpacked total is the job's (equality enforced by _cross_check)
         unpacked_bytes = reports[0].unpacked_payload_bytes
+        # parties compute concurrently, so the job's compute latency is the
+        # slower party's; their fused-call counts match by construction
+        cpu_ns = max(reports[p].cpu_time_ns for p in (0, 1))
+        fused_calls = reports[0].fused_kernel_calls
         with self._lock:
             self.stats.jobs_executed += 1
             self.stats.queries_served += batch_size
@@ -326,6 +341,8 @@ class WorkerShard:
             self.stats.pool_misses += sum(not reports[p].pool_hit for p in (0, 1))
             self.stats.payload_bytes += payload_bytes
             self.stats.unpacked_payload_bytes += unpacked_bytes
+            self.stats.cpu_time_ns += cpu_ns
+            self.stats.fused_kernel_calls += fused_calls
         return PoolBatchResult(
             logits=logits,
             model=model,
@@ -339,6 +356,8 @@ class WorkerShard:
             pool_misses=sum(not reports[p].pool_hit for p in (0, 1)),
             worker_pids=(reports[0].pid, reports[1].pid),
             unpacked_payload_bytes=unpacked_bytes,
+            cpu_time_ns=cpu_ns,
+            fused_kernel_calls=fused_calls,
         )
 
     def _cross_check(self, reports: Dict[int, JobReport]) -> None:
@@ -481,6 +500,7 @@ class ShardedServingPool:
         job_timeout: float = 300.0,
         verify: bool = True,
         coalesce_rounds: bool = True,
+        lower_local_compute: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -493,6 +513,7 @@ class ShardedServingPool:
         self.link_latency = link_latency
         self.verify = verify
         self.coalesce_rounds = coalesce_rounds
+        self.lower_local_compute = lower_local_compute
         self.low_water = low_water
         self.high_water = high_water
         self.provision_pools = provision_pools
@@ -547,6 +568,7 @@ class ShardedServingPool:
             high_water=self.high_water,
             verify=self.verify,
             coalesce_rounds=self.coalesce_rounds,
+            lower_local_compute=self.lower_local_compute,
         )
         self.processes_spawned += 2
         self.shards_booted += 1
@@ -715,6 +737,10 @@ class ShardedServingPool:
             "payload_bytes": payload_bytes,
             "unpacked_payload_bytes": unpacked_bytes,
             "bytes_saved_pct": _bytes_saved_pct(payload_bytes, unpacked_bytes),
+            "cpu_time_ns": sum(snap["cpu_time_ns"] for snap in per_shard.values()),
+            "fused_kernel_calls": sum(
+                snap["fused_kernel_calls"] for snap in per_shard.values()
+            ),
             "frontend": frontend,
             "per_shard": per_shard,
         }

@@ -10,7 +10,10 @@ Key invariants:
   coalesced execution's log exactly, and scheduled execution is
   bit-identical to the sequential reference across the zoo;
 - a compiled+optimized plan round-trips through to-dict/from-dict with
-  bit-identical execution (plan serialization satellite).
+  bit-identical execution (plan serialization satellite);
+- the kernel-lowering stage is a pure annotation: it preserves the plan,
+  schedule and manifest, and the lowered execution is bit-identical to the
+  sequential reference across the zoo while taking the fused path.
 """
 
 from __future__ import annotations
@@ -24,9 +27,11 @@ import pytest
 from repro.crypto import make_context
 from repro.crypto.dealer import TrustedDealer
 from repro.crypto.passes import (
+    LoweredPlan,
     ScheduledPlan,
     dead_op_elimination,
     levelize,
+    lower_plan,
     optimize_plan,
     schedule_rounds,
 )
@@ -289,6 +294,61 @@ class TestZooScheduledEquivalence:
         assert result.communication_rounds == splan.online_rounds
         assert reference.communication_rounds == plan.legacy_online_rounds
         assert result.communication_rounds <= reference.communication_rounds
+
+
+class TestKernelLowering:
+    def test_lowering_runs_last_and_preserves_the_schedule(self):
+        """Lowering is a pure annotation stage after round scheduling: the
+        plan, schedule and manifest are untouched, only bindings appear."""
+        plan = compile_plan(vgg_tiny(input_size=8), batch_size=2)
+        splan = optimize_plan(plan)
+        lplan = optimize_plan(plan, lower=True)
+        assert isinstance(lplan, LoweredPlan)
+        assert lplan.applied_passes[-3:] == (
+            "levelize",
+            "schedule-rounds",
+            "lower-kernels",
+        )
+        assert lplan.plan == splan.plan
+        assert lplan.schedule == splan.schedule
+        assert lplan.manifest == splan.manifest
+        # one binding per op; the fused count covers the non-empty ones
+        assert len(lplan.bindings) == len(lplan.plan.ops)
+        assert lplan.fused_op_count == sum(
+            1 for binding in lplan.bindings if binding.kernels
+        )
+        assert 0 < lplan.fused_op_count <= len(lplan.bindings)
+
+    def test_lower_plan_annotates_an_existing_scheduled_plan(self):
+        splan = optimize_plan(compile_plan(resnet_tiny(input_size=8)))
+        lplan = lower_plan(splan)
+        assert isinstance(lplan, LoweredPlan)
+        assert lplan.applied_passes == splan.applied_passes + ("lower-kernels",)
+        # bindings line up with the op table by index
+        assert tuple(b.op_index for b in lplan.bindings) == tuple(
+            op.index for op in splan.ops
+        )
+        assert any(binding.kernels for binding in lplan.bindings)
+
+    @pytest.mark.parametrize("spec", _zoo_variants(), ids=lambda s: s.name)
+    def test_lowered_execution_is_bit_identical_to_sequential(self, spec):
+        """Acceptance: zoo-wide bit-identity of the fused-kernel path."""
+        weights = _trained_weights(spec)
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, spec.in_channels, spec.input_size, spec.input_size))
+
+        sequential = SecureInferenceEngine(make_context(seed=11))
+        plan = sequential.compile(spec, batch_size=2)
+        reference = sequential.execute(plan, weights, x, pool=sequential.preprocess(plan))
+
+        lowered = SecureInferenceEngine(make_context(seed=11))
+        lplan = lowered.compile(spec, batch_size=2, optimize=True, lower=True)
+        result = lowered.execute(lplan, weights, x, pool=lowered.preprocess(lplan))
+
+        np.testing.assert_array_equal(result.logits, reference.logits)
+        assert result.communication_bytes == reference.communication_bytes
+        assert result.fused_kernel_calls > 0
+        assert result.cpu_time_ns > 0
 
 
 class TestPlanSerialization:

@@ -25,6 +25,18 @@ are understood (dispatched on the report's ``kind`` field):
 - every zoo verification entry must be bit-identical with payload ==
   manifest.
 
+``local_compute`` (schema ``serving-bench/v1``):
+
+- per zoo model, the **linear-class cpu speedup** (reference / fused
+  local-compute time of the matmul/im2col-dominated ops) must not fall more
+  than ``--max-cpu-regression`` below the baseline's ratio, and never below
+  the 1.5x acceptance floor.  Ratios are compared — not absolute
+  nanoseconds — because CI machines differ wildly in speed while the fused
+  lowering's speedup is a property of the kernel structure;
+- the lowered runs must actually take the fused path
+  (``fused_kernel_calls > 0``);
+- the four-mode zoo **bit-identity** phase must have passed.
+
 Run with:
   python tools/check_bench_regression.py current.json \\
       benchmarks/baselines/round_coalescing_2shards.json
@@ -142,7 +154,52 @@ def check_wire_compression(current: dict, baseline: dict) -> list:
     return failures
 
 
-def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: float) -> list:
+#: hard floor on the per-model linear-class cpu speedup of the fused
+#: lowering — the PR-6 acceptance criterion, never relaxed by tolerance
+LINEAR_SPEEDUP_FLOOR = 1.5
+
+
+def check_local_compute(
+    current: dict, baseline: dict, max_cpu_regression: float
+) -> list:
+    failures = []
+    for model, entry in baseline.get("cpu", {}).items():
+        current_entry = current.get("cpu", {}).get(model)
+        if current_entry is None:
+            failures.append(f"model {model!r} missing from current cpu report")
+            continue
+        baseline_ratio = entry.get("linear", {}).get("speedup", 0.0)
+        current_ratio = current_entry.get("linear", {}).get("speedup", 0.0)
+        floor = max(
+            baseline_ratio * (1.0 - max_cpu_regression), LINEAR_SPEEDUP_FLOOR
+        )
+        if current_ratio < floor:
+            failures.append(
+                f"{model}: linear-class cpu speedup regressed "
+                f"{current_ratio:.2f}x vs baseline {baseline_ratio:.2f}x "
+                f"(floor {floor:.2f}x at {max_cpu_regression:.0%} tolerance, "
+                f"hard floor {LINEAR_SPEEDUP_FLOOR}x)"
+            )
+        if current_entry.get("fused_fused_kernel_calls", 0) <= 0:
+            failures.append(
+                f"{model}: lowered run executed zero fused kernels — the "
+                "lowering pass is not engaged"
+            )
+    checks = current.get("zoo_bit_identity")
+    if checks is not None:
+        broken = [c["model"] for c in checks if not c.get("bit_identical")]
+        if broken:
+            failures.append(f"bit-identity broken for: {', '.join(broken)}")
+    return failures
+
+
+def check(
+    current: dict,
+    baseline: dict,
+    latency_key: str,
+    max_qps_regression: float,
+    max_cpu_regression: float = 0.35,
+) -> list:
     failures = []
     if current.get("schema") != baseline.get("schema"):
         failures.append(
@@ -153,6 +210,10 @@ def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: f
     kind = baseline.get("kind", "round_coalescing")
     if kind == "wire_compression":
         failures.extend(check_wire_compression(current, baseline))
+    elif kind == "local_compute":
+        failures.extend(
+            check_local_compute(current, baseline, max_cpu_regression)
+        )
     else:
         failures.extend(
             check_round_coalescing(current, baseline, latency_key, max_qps_regression)
@@ -161,6 +222,12 @@ def check(current: dict, baseline: dict, latency_key: str, max_qps_regression: f
 
 
 def _summary(current: dict, baseline: dict, latency_key: str) -> str:
+    if baseline.get("kind") == "local_compute":
+        return (
+            f"min linear-class cpu speedup "
+            f"{current.get('min_linear_speedup', 0.0):.2f}x "
+            f"(baseline {baseline.get('min_linear_speedup', 0.0):.2f}x)"
+        )
     if baseline.get("kind") == "wire_compression":
         return (
             f"vgg scheduled rounds {current.get('vgg_scheduled_rounds')} "
@@ -187,11 +254,23 @@ def main() -> None:
         "--max-qps-regression", type=float, default=0.20,
         help="allowed relative drop of the qps-improvement ratio (default 20%%)",
     )
+    parser.add_argument(
+        "--max-cpu-regression", type=float, default=0.35,
+        help="allowed relative drop of the linear-class cpu-speedup ratio "
+        "for local_compute reports (default 35%%; the 1.5x acceptance "
+        "floor always applies)",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
-    failures = check(current, baseline, args.latency, args.max_qps_regression)
+    failures = check(
+        current,
+        baseline,
+        args.latency,
+        args.max_qps_regression,
+        args.max_cpu_regression,
+    )
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
