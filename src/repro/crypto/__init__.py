@@ -46,6 +46,7 @@ from repro.crypto.kernels import (
     active_kernels,
     arena_for,
     clear_arenas,
+    clear_executors,
     register_kernel,
 )
 from repro.crypto.passes import (
@@ -108,6 +109,7 @@ __all__ = [
     "active_kernels",
     "arena_for",
     "clear_arenas",
+    "clear_executors",
     "register_kernel",
     "dead_op_elimination",
     "levelize",

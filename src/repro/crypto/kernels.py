@@ -37,9 +37,10 @@ or when no :class:`KernelContext` is active on the
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -95,12 +96,19 @@ class WorkspaceArena:
     - :meth:`cached` — a constant memo (encoded weights, folded batch norms)
       keyed by a name *and* the identity of its source arrays: the builder
       re-runs whenever the caller passes different source objects, so a
-      cache hit can never serve stale math.
+      cache hit can never serve stale math.  A stale entry is *replaced* in
+      place (same key, new refs), and the memo is additionally LRU-bounded
+      so callers whose keys churn (e.g. value-keyed constants) cannot grow a
+      long-lived arena without bound.
 
     An arena belongs to one ``(plan, batch)`` key on one thread (see
     :func:`arena_for`); the scheduler activates it for the duration of a
     job, and a warm server reuses it across jobs.
     """
+
+    #: LRU capacity of the constant memo — generous next to a real plan's
+    #: working set (a few entries per layer), small next to unbounded growth
+    CACHE_MAX_ENTRIES = 1024
 
     def __init__(self, key: object = None) -> None:
         self.key = key
@@ -130,9 +138,17 @@ class WorkspaceArena:
             if len(cached_refs) == len(refs) and all(
                 a is b for a, b in zip(cached_refs, refs)
             ):
+                # LRU touch: dicts iterate in insertion order, so re-inserting
+                # keeps eviction pointed at the coldest entry
+                self._cache[name] = self._cache.pop(name)
                 self.hits += 1
                 return value
+            # stale refs: drop the old entry (and the source arrays it pins)
+            # before rebuilding, so a churning key replaces instead of leaks
+            del self._cache[name]
         value = build()
+        while len(self._cache) >= self.CACHE_MAX_ENTRIES:
+            self._cache.pop(next(iter(self._cache)))
         self._cache[name] = (tuple(refs), value)
         self.misses += 1
         return value
@@ -208,21 +224,48 @@ def default_thread_workers() -> int:
         return 0
 
 
-_EXECUTORS: Dict[int, ThreadPoolExecutor] = {}
-_EXECUTORS_LOCK = threading.Lock()
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_EXECUTOR_WORKERS = 0
+_EXECUTOR_LOCK = threading.Lock()
 
 #: minimum uint64 elements of a stacked matmul before the fan-out engages
 FANOUT_MIN_ELEMENTS = 1 << 16
 
 
-def _fanout_executor(workers: int) -> ThreadPoolExecutor:
-    with _EXECUTORS_LOCK:
-        executor = _EXECUTORS.get(workers)
-        if executor is None:
-            executor = _EXECUTORS[workers] = ThreadPoolExecutor(
+def _fanout_submit(workers: int, tasks) -> "list[Future]":
+    """Submit ``tasks`` to the shared fan-out pool, growing it if needed.
+
+    One process-wide executor serves every worker count: a pool only spawns
+    threads on demand, so a pool sized for the largest count ever requested
+    handles smaller fan-outs for free.  Growing swaps the pool and shuts the
+    old one down (``shutdown(wait=False)`` lets its in-flight tasks finish);
+    submission happens under the lock so a concurrent caller can never
+    submit into a pool that was just retired.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is None or _EXECUTOR_WORKERS < workers:
+            old = _EXECUTOR
+            _EXECUTOR = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="kernel-fanout"
             )
-        return executor
+            _EXECUTOR_WORKERS = workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return [_EXECUTOR.submit(task) for task in tasks]
+
+
+def clear_executors() -> None:
+    """Shut down the fan-out thread pool (reconfiguration / test isolation)."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+atexit.register(clear_executors)
 
 
 def _batched_matmul(a: np.ndarray, b: np.ndarray, threads: int) -> np.ndarray:
@@ -249,16 +292,17 @@ def _batched_matmul(a: np.ndarray, b: np.ndarray, threads: int) -> np.ndarray:
         workers = min(threads, batch)
         bounds = [batch * i // workers for i in range(workers + 1)]
 
-        def run(lo: int, hi: int) -> None:
-            with np.errstate(over="ignore"):
-                np.matmul(a, b[lo:hi], out=out[lo:hi])
+        def run(lo: int, hi: int) -> Callable[[], None]:
+            def task() -> None:
+                with np.errstate(over="ignore"):
+                    np.matmul(a, b[lo:hi], out=out[lo:hi])
 
-        executor = _fanout_executor(workers)
-        futures = [
-            executor.submit(run, lo, hi)
-            for lo, hi in zip(bounds, bounds[1:])
-            if hi > lo
-        ]
+            return task
+
+        futures = _fanout_submit(
+            workers,
+            [run(lo, hi) for lo, hi in zip(bounds, bounds[1:]) if hi > lo],
+        )
         for future in futures:
             future.result()
         return out

@@ -113,17 +113,26 @@ def secure_conv2d_public_weight(
     stride: int = 1,
     padding: int = 0,
     groups: int = 1,
+    tag: Optional[str] = None,
 ) -> SharePair:
     """Convolution with a *public* (model-vendor) weight: no triple needed.
 
     Each server convolves its share with the public weight locally; only the
-    fixed-point truncation is performed on the result.
+    fixed-point truncation is performed on the result.  ``tag`` (the layer
+    name, passed by the plan runtime) keys the encoded-weight cache: with a
+    stable tag, a caller that hands over freshly-deserialized weights every
+    job *replaces* the layer's cache entry instead of accumulating one per
+    array identity.
     """
     ring = ctx.ring
     kc = active_kernels(ctx)
     if kc is not None and ring.ring_bits == 64:
         arena = kc.arena
-        w_enc = arena.cached(("w-enc", id(weight)), (weight,), lambda: ring.encode(weight))
+        w_enc = arena.cached(
+            ("w-enc", id(weight) if tag is None else tag),
+            (weight,),
+            lambda: ring.encode(weight),
+        )
         out0, out1 = KERNELS["stacked-conv2d"](
             x.share0,
             x.share1,
@@ -137,7 +146,7 @@ def secure_conv2d_public_weight(
         out0, out1 = KERNELS["truncate-pair"](ring, out0, out1)
         if bias is not None:
             b_enc = arena.cached(
-                ("b-enc-conv", id(bias)),
+                ("b-enc-conv", id(bias) if tag is None else tag),
                 (bias,),
                 lambda: ring.encode(np.asarray(bias, dtype=np.float64).reshape(1, -1, 1, 1)),
             )
@@ -178,14 +187,21 @@ def secure_linear_public_weight(
     x: SharePair,
     weight: np.ndarray,
     bias: Optional[np.ndarray] = None,
+    tag: Optional[str] = None,
 ) -> SharePair:
-    """Fully-connected layer with a public weight matrix."""
+    """Fully-connected layer with a public weight matrix.
+
+    ``tag`` keys the encoded-weight cache by layer name (see
+    :func:`secure_conv2d_public_weight`).
+    """
     ring = ctx.ring
     kc = active_kernels(ctx)
     if kc is not None and ring.ring_bits == 64:
         arena = kc.arena
         w_enc = arena.cached(
-            ("w-enc-t", id(weight)), (weight,), lambda: ring.encode(weight).T
+            ("w-enc-t", id(weight) if tag is None else tag),
+            (weight,),
+            lambda: ring.encode(weight).T,
         )
         out0, out1 = KERNELS["stacked-matmul"](
             x.share0, x.share1, w_enc, arena=arena, threads=kc.thread_workers
@@ -193,7 +209,7 @@ def secure_linear_public_weight(
         out0, out1 = KERNELS["truncate-pair"](ring, out0, out1)
         if bias is not None:
             b_enc = arena.cached(
-                ("b-enc-lin", id(bias)),
+                ("b-enc-lin", id(bias) if tag is None else tag),
                 (bias,),
                 lambda: ring.encode(np.asarray(bias, dtype=np.float64).reshape(1, -1)),
             )
@@ -276,6 +292,7 @@ def _run_conv(
         stride=layer.stride,
         padding=layer.padding,
         groups=layer.groups,
+        tag=layer.name,
     )
 
 
@@ -291,4 +308,6 @@ def _run_linear(
     x: SharePair,
     cache: Dict[str, SharePair],
 ) -> SharePair:
-    return secure_linear_public_weight(ctx, x, params["weight"], params.get("bias"))
+    return secure_linear_public_weight(
+        ctx, x, params["weight"], params.get("bias"), tag=layer.name
+    )

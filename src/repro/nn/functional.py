@@ -45,21 +45,33 @@ class _ConvWorkspace:
 
     def __init__(self) -> None:
         self._pad: Optional[np.ndarray] = None
+        self._key: Optional[Tuple] = None
         self.hits = 0
         self.misses = 0
 
     def padded(
-        self, shape: Tuple[int, ...], dtype: np.dtype
+        self, shape: Tuple[int, ...], dtype: np.dtype, padding: Tuple[int, int]
     ) -> Tuple[np.ndarray, bool]:
-        """The pad buffer for ``shape``/``dtype`` and whether it is fresh."""
+        """The pad buffer for ``shape``/``dtype``/``padding``, and whether it
+        needs a zero-fill.
+
+        The key includes the padding split: two inputs can pad to the same
+        shape with different (ph, pw) (e.g. 30x30/pad1 vs 28x28/pad2), and a
+        warm buffer's zero border is only valid for the split that wrote it.
+        A padding-only change reuses the allocation but reports the buffer as
+        fresh so the caller re-zeros the border.
+        """
+        key = (shape, np.dtype(dtype), padding)
         buf = self._pad
+        if buf is not None and self._key == key:
+            self.hits += 1
+            return buf, False
         if buf is None or buf.shape != shape or buf.dtype != dtype:
             buf = np.empty(shape, dtype=dtype)
             self._pad = buf
             self.misses += 1
-            return buf, True
-        self.hits += 1
-        return buf, False
+        self._key = key
+        return buf, True
 
 
 _CONV_LOCAL = threading.local()
@@ -189,7 +201,7 @@ def conv2d(
         # border stays zero across reuses (only the interior is rewritten),
         # so a warm buffer needs no zero-fill at all
         x_pad, fresh = _conv_workspace().padded(
-            (n, ic, h + 2 * ph, w + 2 * pw), x.data.dtype
+            (n, ic, h + 2 * ph, w + 2 * pw), x.data.dtype, (ph, pw)
         )
         if fresh:
             x_pad.fill(0)

@@ -121,6 +121,28 @@ class TestWorkspaceArena:
         replaced = arena.cached("enc", (source.copy(),), lambda: source * 3)
         assert replaced is not built  # new source object -> rebuilt
 
+    def test_cached_stale_entry_is_replaced_not_accumulated(self):
+        # Fresh source arrays per job (e.g. deserialized per request) must
+        # replace the stale entry for the key, not pin it forever.
+        arena = WorkspaceArena()
+        for _ in range(8):
+            source = np.arange(4.0)
+            arena.cached("w-enc", (source,), lambda: source * 2)
+        assert len(arena._cache) == 1
+
+    def test_cached_is_lru_bounded(self):
+        arena = WorkspaceArena()
+        cap = WorkspaceArena.CACHE_MAX_ENTRIES
+        hot = np.arange(2.0)
+        arena.cached("hot", (hot,), lambda: hot * 2)
+        for i in range(cap + 10):
+            arena.cached(("cold", i), (), lambda: i)
+            arena.cached("hot", (hot,), lambda: hot * 3)  # touch keeps it warm
+        assert len(arena._cache) <= cap
+        before = arena.misses
+        arena.cached("hot", (hot,), lambda: hot * 4)
+        assert arena.misses == before  # hot entry survived the churn
+
     def test_arena_for_is_keyed_and_resettable(self):
         clear_arenas()
         a = arena_for(("model", 2))
@@ -128,6 +150,29 @@ class TestWorkspaceArena:
         assert arena_for(("model", 4)) is not a
         clear_arenas()
         assert arena_for(("model", 2)) is not a
+
+
+class TestFanoutExecutor:
+    def test_single_pool_serves_growing_worker_counts(self):
+        import repro.crypto.kernels as K
+
+        K.clear_executors()
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 1 << 63, size=(1, 8, 16), dtype=np.uint64)
+        b = rng.integers(0, 1 << 63, size=(4, 16, 2048), dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            expected = np.matmul(a, b)
+        np.testing.assert_array_equal(K._batched_matmul(a, b, 2), expected)
+        pool_two = K._EXECUTOR
+        assert pool_two is not None and K._EXECUTOR_WORKERS == 2
+        # a larger fan-out swaps the pool; a smaller one reuses it
+        np.testing.assert_array_equal(K._batched_matmul(a, b, 4), expected)
+        pool_four = K._EXECUTOR
+        assert pool_four is not pool_two and K._EXECUTOR_WORKERS == 4
+        np.testing.assert_array_equal(K._batched_matmul(a, b, 2), expected)
+        assert K._EXECUTOR is pool_four
+        K.clear_executors()
+        assert K._EXECUTOR is None and K._EXECUTOR_WORKERS == 0
 
 
 class TestFusedKernelsBitIdentical:

@@ -61,6 +61,27 @@ class TestConv2d:
         with pytest.raises(ValueError):
             F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((4, 3, 3, 3))), groups=2)
 
+    def test_workspace_reuse_across_padding_splits(self, rng):
+        # Regression: 30x30/pad1 and 28x28/pad2 pad to the same 32x32 buffer.
+        # A warm workspace keyed only on the padded shape would leave the
+        # first call's interior data in the second call's (wider) zero
+        # border, corrupting outputs near the edges.
+        F.reset_conv_workspace()
+        w = rng.normal(size=(4, 3, 3, 3))
+        a = rng.normal(size=(2, 3, 30, 30)) + 1.0  # nonzero everywhere
+        b = rng.normal(size=(2, 3, 28, 28)) + 1.0
+        F.conv2d(Tensor(a), Tensor(w), padding=1)
+        out = F.conv2d(Tensor(b), Tensor(w), padding=2)
+        np.testing.assert_allclose(out.data, reference_conv2d(b, w, None, 1, 2), atol=1e-10)
+        # same split again: served warm, no reallocation
+        before = F.conv_workspace_stats()
+        out2 = F.conv2d(Tensor(b), Tensor(w), padding=2)
+        after = F.conv_workspace_stats()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] == before["hits"] + 1
+        np.testing.assert_allclose(out2.data, out.data)
+        F.reset_conv_workspace()
+
     def test_gradients_match_numeric(self, rng):
         x_np = rng.normal(size=(1, 2, 5, 5))
         w_np = rng.normal(size=(3, 2, 3, 3)) * 0.3
