@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.crypto import make_context
 from repro.crypto.secure_model import SecureInferenceEngine
+from repro.crypto.transport import FaultPlan
 from repro.models import build_model, export_layer_weights, get_backbone
 from repro.nn.tensor import Tensor
 from repro.serve import BatchingFrontend, ServableModel, ShardedServingPool
@@ -159,6 +160,12 @@ def run_benchmark(
     link_latency_ms: float = 5.0,
     seed: int = 0,
     skip_zoo_check: bool = False,
+    shaped_shard_counts: List[int] = (1, 2),
+    shaped_latency_ms: float = 20.0,
+    shaped_jitter_ms: float = 5.0,
+    shaped_bandwidth_mbps: float = 200.0,
+    shaped_queries: int = 24,
+    skip_shaped: bool = False,
 ) -> dict:
     seed_everything(1)
     servable = _trained_servable(model, input_size, polynomial=True)
@@ -254,6 +261,71 @@ def run_benchmark(
             dict(record, path=key) for record in _worker_records(pool)
         )
 
+    # -- shaped-link (WAN-like) regime ---------------------------------------- #
+    # Latency + seeded jitter + a bandwidth cap on every frame, both
+    # directions, via the fault-injection transport's shaping layer.  This is
+    # the round-trip-bound regime where sharding pays hardest, and the one the
+    # committed baseline gates: wall-clock here is dominated by injected
+    # sleeps, so the 1-shard -> N-shard qps ratio is machine-independent.
+    shaped_scaling = None
+    if not skip_shaped:
+        shape = FaultPlan(
+            seed=seed,
+            latency_ms=shaped_latency_ms,
+            jitter_ms=shaped_jitter_ms,
+            bandwidth_bytes_per_s=shaped_bandwidth_mbps * 1e6 / 8.0,
+        )
+        shaped_stream = queries[:shaped_queries]
+        for shards in shaped_shard_counts:
+            pool = ShardedServingPool(
+                models,
+                num_shards=shards,
+                max_batch=max_batch,
+                max_wait=max_wait,
+                provision_pools=max_batch,
+                high_water=max_batch,
+                link_shape=shape,
+                seed=seed,
+            )
+            t0 = time.perf_counter()
+            futures = pool.submit_many(model, shaped_stream)
+            for future in futures:
+                future.result(timeout=600)
+            total = time.perf_counter() - t0
+            snapshot = pool.stats_snapshot()
+            pool.close()
+            key = f"pool-{shards}shard-shaped"
+            paths[key] = {
+                "queries_per_second": len(shaped_stream) / total,
+                "p50_latency_ms": snapshot["frontend"]["p50_latency_ms"],
+                "p95_latency_ms": snapshot["frontend"]["p95_latency_ms"],
+                "total_seconds": total,
+                "mean_batch_size": snapshot["frontend"]["mean_batch_size"],
+                "num_shards": shards,
+                "jobs_executed": snapshot["jobs_executed"],
+                "jobs_retried": snapshot["jobs_retried"],
+            }
+            workers.extend(
+                dict(record, path=key) for record in _worker_records(pool)
+            )
+        shaped_first = f"pool-{shaped_shard_counts[0]}shard-shaped"
+        shaped_last = f"pool-{shaped_shard_counts[-1]}shard-shaped"
+        shaped_scaling = {
+            "from": shaped_first,
+            "to": shaped_last,
+            "qps_speedup": (
+                paths[shaped_last]["queries_per_second"]
+                / paths[shaped_first]["queries_per_second"]
+                if paths[shaped_first]["queries_per_second"]
+                else 0.0
+            ),
+            "link": {
+                "latency_ms": shaped_latency_ms,
+                "jitter_ms": shaped_jitter_ms,
+                "bandwidth_mbps": shaped_bandwidth_mbps,
+            },
+        }
+
     first = f"pool-{shard_counts[0]}shard"
     last = f"pool-{shard_counts[-1]}shard"
     scaling = (
@@ -272,6 +344,8 @@ def run_benchmark(
             "shard_counts": list(shard_counts),
             "link_latency_ms": link_latency_ms,
             "seed": seed,
+            "shaped_shard_counts": list(shaped_shard_counts),
+            "shaped_queries": shaped_queries,
         },
         "paths": paths,
         "workers": workers,
@@ -280,6 +354,7 @@ def run_benchmark(
             "to": last,
             "qps_speedup": scaling,
         },
+        "shaped_scaling": shaped_scaling,
         "zoo_bit_identity": zoo_check,
     }
 
@@ -303,9 +378,36 @@ def main() -> None:
         "--skip-zoo-check", action="store_true",
         help="skip the zoo-wide bit-identity phase (faster CI smoke)",
     )
+    parser.add_argument(
+        "--shaped-shards", default="1,2",
+        help="shard counts swept under the shaped link (e.g. 1,2)",
+    )
+    parser.add_argument(
+        "--shaped-latency-ms", type=float, default=20.0,
+        help="one-way latency of the shaped-link regime",
+    )
+    parser.add_argument(
+        "--shaped-jitter-ms", type=float, default=5.0,
+        help="seeded uniform latency jitter of the shaped link",
+    )
+    parser.add_argument(
+        "--shaped-bandwidth-mbps", type=float, default=200.0,
+        help="bandwidth cap of the shaped link in megabits per second",
+    )
+    parser.add_argument(
+        "--shaped-queries", type=int, default=24,
+        help="queries run through the shaped-link regime",
+    )
+    parser.add_argument(
+        "--skip-shaped", action="store_true",
+        help="skip the shaped-link (WAN-like) regime",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     args = parser.parse_args()
     shard_counts = [int(part) for part in args.shards.split(",") if part]
+    shaped_shard_counts = [
+        int(part) for part in args.shaped_shards.split(",") if part
+    ]
 
     report = run_benchmark(
         model=args.model,
@@ -316,6 +418,12 @@ def main() -> None:
         shard_counts=shard_counts,
         link_latency_ms=args.link_latency_ms,
         skip_zoo_check=args.skip_zoo_check,
+        shaped_shard_counts=shaped_shard_counts,
+        shaped_latency_ms=args.shaped_latency_ms,
+        shaped_jitter_ms=args.shaped_jitter_ms,
+        shaped_bandwidth_mbps=args.shaped_bandwidth_mbps,
+        shaped_queries=args.shaped_queries,
+        skip_shaped=args.skip_shaped,
     )
 
     print(f"== pool scaling: {report['model']}, {report['config']['num_queries']} "
@@ -335,6 +443,13 @@ def main() -> None:
     scaling = report["scaling"]
     print(f"aggregate qps scaling {scaling['from']} -> {scaling['to']}: "
           f"{scaling['qps_speedup']:.2f}x")
+    shaped = report["shaped_scaling"]
+    if shaped is not None:
+        link = shaped["link"]
+        print(f"shaped link ({link['latency_ms']:.0f} ms +/- "
+              f"{link['jitter_ms']:.0f} ms, {link['bandwidth_mbps']:.0f} Mbps) "
+              f"qps scaling {shaped['from']} -> {shaped['to']}: "
+              f"{shaped['qps_speedup']:.2f}x")
 
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:

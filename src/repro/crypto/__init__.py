@@ -13,7 +13,11 @@ from repro.crypto import protocols
 from repro.crypto.channel import Channel, CommunicationLog, PartyChannel
 from repro.crypto.context import TwoPartyContext, make_context
 from repro.crypto.transport import (
+    FaultInjected,
+    FaultPlan,
+    FaultyTransport,
     LoopbackTransport,
+    ShapedTransport,
     TcpTransport,
     Transport,
     TransportEndpoint,
@@ -88,6 +92,10 @@ __all__ = [
     "LoopbackTransport",
     "TcpTransport",
     "WireStats",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultyTransport",
+    "ShapedTransport",
     "TwoPartyContext",
     "make_context",
     "TrustedDealer",

@@ -53,6 +53,22 @@ Invariants the rest of the system relies on:
    of silently misparsing;
 3. both endpoints of a session observe symmetric stats: what one side
    counts as sent, the other counts as received, frame for frame.
+
+Link shaping and fault injection
+--------------------------------
+
+Deployed 2PC serving runs over links that jitter, stall and drop — not
+over a clean loopback.  :class:`ShapedTransport` wraps any transport with
+seeded, deterministic link shaping (constant latency, uniform jitter, a
+bandwidth cap), and :class:`FaultyTransport` extends it with scripted
+faults from a :class:`FaultPlan`: a stall of ``stall_ms`` at communication
+round ``stall_at_round``, and a connection drop at ``drop_at_round``
+(the wrapper closes the underlying connection and raises
+:class:`FaultInjected`, so the peer observes a genuine mid-frame loss).
+Faults are configurable per direction and per round index, replayable from
+the plan's seed, and counted in :attr:`WireStats.faults_injected` /
+:attr:`WireStats.stalls_injected` — shaping never touches the payload
+counters, so payload == manifest accounting stays exact on a shaped link.
 """
 
 from __future__ import annotations
@@ -274,6 +290,13 @@ class WireStats:
     round_frames_received: int = 0
     round_arrays_sent: int = 0
     round_arrays_received: int = 0
+    #: scripted faults a wrapping :class:`FaultyTransport` injected on this
+    #: endpoint (connection drops / stalls).  Kept in the wire stats so the
+    #: accounting that travels with a job also records what was done to it —
+    #: payload counters are never touched by injection, so payload ==
+    #: manifest stays exact even on a faulted link.
+    faults_injected: int = 0
+    stalls_injected: int = 0
 
     @property
     def wire_bytes_sent(self) -> int:
@@ -321,6 +344,30 @@ class Transport:
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
 
+    def _recv_frame_expecting(self, expected: str) -> bytes:
+        """Receive one frame, annotating connection loss with session context.
+
+        A bare ``ConnectionError("peer closed the connection mid-frame")``
+        is undiagnosable in a chaos run; re-raise it with what the session
+        layer knows: which kind of frame was awaited, the receive-direction
+        round index, and how many payload bytes this endpoint had already
+        received — enough to locate the failure in the fault schedule.
+        """
+        try:
+            return self._recv_frame()
+        except FaultInjected:
+            # a scripted drop this endpoint injected itself: already carries
+            # its round index and direction, no extra context to add
+            raise
+        except ConnectionError as exc:
+            raise ConnectionError(
+                f"connection lost while awaiting {expected} "
+                f"(recv direction, round index "
+                f"{self.stats.round_frames_received}, "
+                f"{self.stats.payload_bytes_received} payload bytes "
+                f"received so far): {exc}"
+            ) from exc
+
     # -- array layer --------------------------------------------------------- #
     def send_array(
         self,
@@ -339,7 +386,7 @@ class Transport:
 
     def recv_array(self) -> Tuple[np.ndarray, int]:
         """Receive one ndarray; returns ``(array, payload_bytes)``."""
-        frame = self._recv_frame()
+        frame = self._recv_frame_expecting("an array frame")
         array, payload_bytes = decode_array(frame)
         self.stats.frames_received += 1
         self.stats.payload_bytes_received += payload_bytes
@@ -385,7 +432,9 @@ class Transport:
     def recv_arrays(self) -> "list[Tuple[np.ndarray, int]]":
         """Receive one coalesced round frame; ``(array, payload_bytes)`` per
         array, in the order the peer packed them."""
-        frame = self._recv_frame()
+        frame = self._recv_frame_expecting(
+            f"round frame {self.stats.round_frames_received}"
+        )
         if not frame or frame[0] != _ROUND_CODE:
             raise ValueError(
                 "received a non-round frame where a round frame was expected "
@@ -433,7 +482,7 @@ class Transport:
         Raises if an array frame arrives instead — the session layers of the
         two endpoints must agree on the frame sequence.
         """
-        frame = self._recv_frame()
+        frame = self._recv_frame_expecting("a control frame")
         if not frame or frame[0] != _CONTROL_CODE:
             raise ValueError(
                 "received an array frame where a control frame was expected — "
@@ -510,11 +559,19 @@ class LoopbackTransport(Transport):
 
     def _recv_frame(self) -> bytes:
         try:
-            return self._inbox.get(timeout=self.timeout)
+            item = self._inbox.get(timeout=self.timeout)
         except queue.Empty as exc:
             raise TimeoutError(
                 f"loopback transport received nothing for {self.timeout}s"
             ) from exc
+        if item is None:  # close() poison: the loopback analogue of TCP EOF
+            self._inbox.put(None)  # keep erroring on any further recv
+            raise ConnectionError("peer closed the connection mid-frame")
+        return item
+
+    def close(self) -> None:
+        """Mirror a TCP close: the peer's next recv fails instead of hanging."""
+        self._outbox.put(None)
 
 
 class TcpTransport(Transport):
@@ -598,7 +655,11 @@ class TcpTransport(Transport):
         while remaining:
             chunk = self._sock.recv(min(remaining, 1 << 20))
             if not chunk:
-                raise ConnectionError("peer closed the connection mid-frame")
+                raise ConnectionError(
+                    f"peer closed the connection mid-frame "
+                    f"({num_bytes - remaining}/{num_bytes} bytes of the "
+                    f"current read arrived)"
+                )
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
@@ -664,6 +725,197 @@ def free_port(host: str = "127.0.0.1") -> int:
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
         sock.bind((host, 0))
         return int(sock.getsockname()[1])
+
+
+# --------------------------------------------------------------------------- #
+# Link shaping and fault injection
+# --------------------------------------------------------------------------- #
+
+
+class FaultInjected(ConnectionError):
+    """A scripted fault from a :class:`FaultPlan` fired on this endpoint.
+
+    Subclasses :class:`ConnectionError` so every recovery path (party-server
+    job abort, shard eviction, pool retry) treats an injected drop exactly
+    like a genuine connection loss — chaos tests exercise the real code.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of link shaping and scripted faults.
+
+    Shaping (applies to every outgoing frame, all session long):
+
+    - ``latency_ms`` — constant one-way delay;
+    - ``jitter_ms`` — extra uniform ``[0, jitter_ms)`` delay drawn from a
+      generator seeded with ``seed`` (replayable: the same plan produces the
+      same delay sequence);
+    - ``bandwidth_bytes_per_s`` — serialization delay of ``len(frame)``
+      bytes through a capped link (0 = uncapped).
+
+    Scripted faults (fire at a *communication round index*, i.e. the n-th
+    coalesced round frame moving in the configured direction):
+
+    - ``stall_at_round`` / ``stall_ms`` / ``stall_direction`` — a one-off
+      read/write stall (the job survives; only latency suffers);
+    - ``drop_at_round`` / ``drop_direction`` / ``max_drops`` — the wrapper
+      closes the underlying connection and raises :class:`FaultInjected`;
+      the peer observes a genuine mid-frame connection loss.  ``max_drops``
+      bounds how often the drop fires (default once), so a respawned
+      session against the same plan instance is not re-dropped forever.
+
+    The plan is plain data (picklable, JSON-serializable via
+    :meth:`to_dict`) so it can ride in a :class:`ServerConfig` to a party
+    process and be uploaded as a CI artifact when a chaos test fails.
+    """
+
+    seed: int = 0
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    bandwidth_bytes_per_s: float = 0.0
+    stall_at_round: Optional[int] = None
+    stall_ms: float = 0.0
+    stall_direction: str = "send"
+    drop_at_round: Optional[int] = None
+    drop_direction: str = "send"
+    max_drops: int = 1
+
+    _DIRECTIONS = ("send", "recv", "both")
+
+    def __post_init__(self) -> None:
+        for name in ("stall_direction", "drop_direction"):
+            value = getattr(self, name)
+            if value not in self._DIRECTIONS:
+                raise ValueError(
+                    f"{name} must be one of {self._DIRECTIONS}, got {value!r}"
+                )
+
+    @property
+    def drops(self) -> bool:
+        return self.drop_at_round is not None and self.max_drops > 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "latency_ms": self.latency_ms,
+            "jitter_ms": self.jitter_ms,
+            "bandwidth_bytes_per_s": self.bandwidth_bytes_per_s,
+            "stall_at_round": self.stall_at_round,
+            "stall_ms": self.stall_ms,
+            "stall_direction": self.stall_direction,
+            "drop_at_round": self.drop_at_round,
+            "drop_direction": self.drop_direction,
+            "max_drops": self.max_drops,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(**payload)
+
+
+class ShapedTransport(Transport):
+    """A transport wrapper that shapes the link deterministically.
+
+    Wraps any :class:`Transport` and delays each outgoing frame by the
+    plan's constant latency, seeded jitter and bandwidth-cap serialization
+    time.  The wrapper keeps its own :class:`WireStats` (the array/control
+    layers of :class:`Transport` run against it), so payload and manifest
+    accounting are bit-for-bit what an unshaped endpoint would record —
+    shaping only costs time, never bytes.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+        super().__init__()
+        self.inner = inner
+        self.plan = plan
+        self._jitter_rng = np.random.default_rng(plan.seed)
+
+    def _shaping_delay_s(self, frame_bytes: int) -> float:
+        plan = self.plan
+        delay = plan.latency_ms / 1e3
+        if plan.jitter_ms > 0.0:
+            delay += float(self._jitter_rng.uniform(0.0, plan.jitter_ms)) / 1e3
+        if plan.bandwidth_bytes_per_s > 0.0:
+            delay += frame_bytes / plan.bandwidth_bytes_per_s
+        return delay
+
+    def _send_frame(self, frame: bytes) -> None:
+        delay = self._shaping_delay_s(len(frame))
+        if delay > 0.0:
+            time.sleep(delay)
+        self.inner._send_frame(frame)
+
+    def _recv_frame(self) -> bytes:
+        return self.inner._recv_frame()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class FaultyTransport(ShapedTransport):
+    """A :class:`ShapedTransport` that also executes scripted faults.
+
+    Round indices are the per-direction counts of coalesced round frames
+    (``WireStats.round_frames_sent`` / ``_received``) — the same counters
+    the round-coalescing scheduler reports — so "drop at round k" means
+    exactly the k-th communication round of the executing plan in that
+    direction.  Control frames and single-array frames never trip a fault.
+
+    Send-side faults fire *before* the frame leaves (the peer never sees
+    it); recv-side faults fire after the bytes arrive but before they are
+    delivered (the frame is lost in flight).  Both close the underlying
+    connection first, so the peer observes a genuine connection loss and
+    both parties abort the job rather than deadlocking.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+        super().__init__(inner, plan)
+        self._drops_done = 0
+
+    @staticmethod
+    def _applies(configured: str, direction: str) -> bool:
+        return configured in (direction, "both")
+
+    def _round_index(self, direction: str) -> int:
+        if direction == "send":
+            return self.stats.round_frames_sent
+        return self.stats.round_frames_received
+
+    def _run_scripted_faults(self, direction: str) -> None:
+        plan = self.plan
+        index = self._round_index(direction)
+        if (
+            plan.stall_ms > 0.0
+            and plan.stall_at_round == index
+            and self._applies(plan.stall_direction, direction)
+        ):
+            self.stats.stalls_injected += 1
+            time.sleep(plan.stall_ms / 1e3)
+        if (
+            plan.drop_at_round == index
+            and self._drops_done < plan.max_drops
+            and self._applies(plan.drop_direction, direction)
+        ):
+            self._drops_done += 1
+            self.stats.faults_injected += 1
+            self.inner.close()
+            raise FaultInjected(
+                f"scripted fault: connection dropped at round {index} "
+                f"({direction} direction, fault {self._drops_done}/"
+                f"{plan.max_drops} of the plan)"
+            )
+
+    def _send_frame(self, frame: bytes) -> None:
+        if frame and frame[0] == _ROUND_CODE:
+            self._run_scripted_faults("send")
+        super()._send_frame(frame)
+
+    def _recv_frame(self) -> bytes:
+        frame = super()._recv_frame()
+        if frame and frame[0] == _ROUND_CODE:
+            self._run_scripted_faults("recv")
+        return frame
 
 
 @dataclass

@@ -51,7 +51,12 @@ from repro.crypto.dealer import RandomnessPool, TrustedDealer
 from repro.crypto.passes import optimize_plan
 from repro.crypto.plan import compile_plan
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
-from repro.crypto.transport import TcpListener, TransportEndpoint
+from repro.crypto.transport import (
+    FaultPlan,
+    FaultyTransport,
+    TcpListener,
+    TransportEndpoint,
+)
 from repro.models.specs import ModelSpec
 from repro.runtime.party import (
     execute_plan_as_party,
@@ -102,6 +107,11 @@ class ServerConfig:
     #: behavior, bit-identical logits, fewer numpy passes per op); only
     #: meaningful with ``coalesce_rounds``
     lower_local_compute: bool = True
+    #: per-party link shaping / scripted fault schedules: the party's
+    #: transport is wrapped in a :class:`FaultyTransport` right after the
+    #: connection opens.  ``None`` (or a missing party key) means a clean
+    #: link.  Chaos tests and shaped-link benchmarks ride through here.
+    fault_plans: Optional[Dict[int, FaultPlan]] = None
 
 
 @dataclass
@@ -113,6 +123,12 @@ class JobRequest:
     batch_size: int
     counter: int
     input_share: np.ndarray
+    #: explicit session seed for deterministic replay.  ``None`` (the
+    #: normal path) derives the seed from the server's own base seed via
+    #: :func:`derive_job_seed`; a retry of a job that first ran on a dead
+    #: shard pins the original seed so the recovered logits stay
+    #: bit-identical to the fault-free run.
+    seed: Optional[int] = None
 
 
 class JobValidationError(ValueError):
@@ -377,6 +393,7 @@ class PartyServer:
             "model": request.model,
             "batch": request.batch_size,
             "counter": request.counter,
+            "seed": request.seed,
         }
         if self.party == 0:
             self.transport.send_control(json.dumps(header).encode("utf-8"))
@@ -408,13 +425,26 @@ class PartyServer:
                 f"an input share of shape {entry.plan.input_shape}, got "
                 f"{np.asarray(request.input_share).shape}"
             )
-        seed = derive_job_seed(
+        derived = derive_job_seed(
             self.config.base_seed, request.model, request.batch_size, request.counter
         )
+        seed = derived if request.seed is None else int(request.seed)
         self._sync_job_header(request)
-        pool, hit = self._acquire_pool(
-            entry, request.model, request.batch_size, request.counter
-        )
+        if seed == derived:
+            pool, hit = self._acquire_pool(
+                entry, request.model, request.batch_size, request.counter
+            )
+        else:
+            # A replay pinned to another shard generation's seed: the
+            # buffered pools of this server (keyed by counter under *its*
+            # base seed) don't apply — generate the exact pool cold so the
+            # dealer stream matches the pinned session seed bit-for-bit.
+            dealer = TrustedDealer(ring=self.ring, seed=seed)
+            pool = dealer.preprocess(entry.plan).restrict_to_party(self.party)
+            hit = False
+            with self._lock:
+                self.stats.pool_misses += 1
+                entry.next_counter = max(entry.next_counter, request.counter + 1)
         start = time.perf_counter()
         ctx = TwoPartyContext(ring=self.ring, seed=seed, channel=self.channel)
         before = self.transport.stats.snapshot()
@@ -536,6 +566,11 @@ def run_party_server(
             listener=listener,
         )
         transport = endpoint.open()
+        plan = (getattr(config, "fault_plans", None) or {}).get(party)
+        if plan is not None:
+            # chaos/shaping harness: the wrapper owns the WireStats the
+            # server accounts against, so payload==manifest stays exact
+            transport = FaultyTransport(transport, plan)
         server = PartyServer(party, transport, config)
         server.warm_up()
         server.start_provisioner()

@@ -27,6 +27,7 @@ from repro.serve.frontend import (
     ServingStats,
 )
 from repro.serve.pool import (
+    JobTicket,
     PoolBatchResult,
     ShardedServingPool,
     ShardFailure,
@@ -38,6 +39,7 @@ __all__ = [
     "BatchingFrontend",
     "BatchOutcome",
     "CacheStats",
+    "JobTicket",
     "PlanPoolCache",
     "PoolBatchResult",
     "ServableModel",

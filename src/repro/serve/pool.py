@@ -20,9 +20,15 @@ Lifecycle of a shard:
    both parties' accounting;
 3. **refill** — each party's background provisioner tops its pool buffer up
    whenever it falls below the low-water mark, off the serving path;
-4. **evict / restart** — a shard whose worker processes die is evicted
-   (its in-flight batch fails cleanly; remaining shards keep serving) and
-   can be replaced with :meth:`ShardedServingPool.restart_shard`.
+4. **evict / respawn / replay** — a shard whose worker processes die is
+   evicted, its in-flight job is replayed on another shard from the job's
+   :class:`JobTicket` (same counter, same pinned session seed — the
+   recovered logits are bit-identical to the fault-free run), and a
+   replacement pair is booted asynchronously that *continues* the dead
+   shard's seed stream.  With ``max_job_retries=0`` the pool keeps the
+   legacy evict-only semantics: the in-flight batch fails cleanly and an
+   evicted slot is only replaced by an explicit
+   :meth:`ShardedServingPool.restart_shard`.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ import numpy as np
 from repro.crypto.events import bytes_saved_pct as _bytes_saved_pct
 from repro.crypto.ring import DEFAULT_RING, FixedPointRing
 from repro.crypto.sharing import share
+from repro.crypto.transport import FaultPlan
 from repro.models.specs import ModelSpec
 from repro.runtime.server import (
     JobFailed,
@@ -58,8 +65,31 @@ from repro.serve.cache import ServableModel
 from repro.serve.frontend import BatchingFrontend, BatchOutcome, _PendingQuery
 
 
+@dataclass(frozen=True)
+class JobTicket:
+    """The identity of one job, fixed at its *first* dispatch.
+
+    ``seed`` is the session seed the first attempt ran (or would have run)
+    under.  A retry replays the ticket verbatim on another shard — same
+    counter, same pinned seed — so the recovered logits are bit-identical
+    to what the fault-free run would have produced.
+    """
+
+    model: str
+    batch_size: int
+    counter: int
+    seed: int
+
+
 class ShardFailure(RuntimeError):
-    """A worker pair died or desynchronized; the shard must be evicted."""
+    """A worker pair died or desynchronized; the shard must be evicted.
+
+    ``ticket`` carries the identity of the job that was in flight when the
+    shard died (``None`` if the failure struck outside a job), so the
+    pool's retry loop can replay it deterministically elsewhere.
+    """
+
+    ticket: Optional[JobTicket] = None
 
 
 @dataclass
@@ -164,6 +194,9 @@ class WorkerShard:
         verify: bool = True,
         coalesce_rounds: bool = True,
         lower_local_compute: bool = True,
+        fault_plans: Optional[Dict[int, FaultPlan]] = None,
+        initial_counters: Optional[Dict[Tuple[str, int], int]] = None,
+        initial_job_id: int = 0,
     ) -> None:
         self.index = index
         self.models = models
@@ -175,8 +208,12 @@ class WorkerShard:
         self.stats = ShardStats()
         self.final_server_stats: Dict[int, ServerStats] = {}
         self._lock = threading.Lock()
-        self._counters: Dict[Tuple[str, int], int] = {}
-        self._next_job_id = 0
+        # A replacement for a dead shard inherits its predecessor's counters
+        # (and base seed), so the slot's job-seed stream continues exactly
+        # where the fault interrupted it — later jobs still match the
+        # fault-free run bit for bit.
+        self._counters: Dict[Tuple[str, int], int] = dict(initial_counters or {})
+        self._next_job_id = initial_job_id
         self._pipes: List = []
         self._processes: List[mp.Process] = []
 
@@ -192,6 +229,7 @@ class WorkerShard:
             verify=verify,
             coalesce_rounds=coalesce_rounds,
             lower_local_compute=lower_local_compute,
+            fault_plans=dict(fault_plans) if fault_plans else None,
         )
         # Party 0 binds an ephemeral port itself and announces the
         # kernel-assigned number before party 1 boots — race-free even when
@@ -266,25 +304,50 @@ class WorkerShard:
             ) from exc
 
     # -- serving path --------------------------------------------------------- #
-    def run_job(self, model: str, spec: ModelSpec, inputs: np.ndarray) -> PoolBatchResult:
-        """Execute one batch on this shard's persistent worker pair."""
+    def run_job(
+        self,
+        model: str,
+        spec: ModelSpec,
+        inputs: np.ndarray,
+        ticket: Optional[JobTicket] = None,
+    ) -> PoolBatchResult:
+        """Execute one batch on this shard's persistent worker pair.
+
+        ``ticket`` replays a job that already ran (or started) elsewhere:
+        the counter and session seed are taken from the ticket instead of
+        this shard's own stream, so the logits come out bit-identical to
+        the original attempt.  Without a ticket the shard mints one from
+        its deterministic counter stream.
+        """
         if not self.alive:
             raise ShardFailure(f"shard {self.index} is not alive")
         inputs = np.asarray(inputs, dtype=np.float64)
         batch_size = int(inputs.shape[0])
         start = time.perf_counter()
-        try:
+        if ticket is None:
             with self._lock:
                 key = (model, batch_size)
                 counter = self._counters.get(key, 0)
                 self._counters[key] = counter + 1
+            seed = derive_job_seed(self.base_seed, model, batch_size, counter)
+            ticket = JobTicket(
+                model=model, batch_size=batch_size, counter=counter, seed=seed
+            )
+        else:
+            # replay: never re-issue the replayed counter on this shard
+            with self._lock:
+                key = (ticket.model, ticket.batch_size)
+                self._counters[key] = max(
+                    self._counters.get(key, 0), ticket.counter + 1
+                )
+        try:
+            with self._lock:
                 job_id = self._next_job_id
                 self._next_job_id += 1
-            seed = derive_job_seed(self.base_seed, model, batch_size, counter)
             # Client role: secret-share the batch with the job's session seed
             # (rng = seed + 1, the TwoPartyContext convention, so the session
             # is bit-identical to the in-process engine at the same seed).
-            client_rng = np.random.default_rng(seed + 1)
+            client_rng = np.random.default_rng(ticket.seed + 1)
             shared = share(inputs, self.ring, client_rng)
             for party, input_share in ((0, shared.share0), (1, shared.share1)):
                 self._send(
@@ -293,8 +356,9 @@ class WorkerShard:
                         job_id=job_id,
                         model=model,
                         batch_size=batch_size,
-                        counter=counter,
+                        counter=ticket.counter,
                         input_share=input_share,
+                        seed=ticket.seed,
                     ),
                 )
             replies = {
@@ -315,7 +379,8 @@ class WorkerShard:
                     )
                 reports[party] = message
             self._cross_check(reports)
-        except ShardFailure:
+        except ShardFailure as exc:
+            exc.ticket = ticket
             self.alive = False
             with self._lock:
                 self.stats.failures += 1
@@ -388,6 +453,15 @@ class WorkerShard:
         """A consistent copy of the shard stats (appended to concurrently)."""
         with self._lock:
             return self.stats.snapshot()
+
+    def counters_snapshot(self) -> Dict[Tuple[str, int], int]:
+        """The per-key job counters — a replacement shard inherits these."""
+        with self._lock:
+            return dict(self._counters)
+
+    def next_job_id_snapshot(self) -> int:
+        with self._lock:
+            return self._next_job_id
 
     def provision(self, model: str, batch_size: int, count: int) -> Dict[int, ProvisionReport]:
         """Synchronously top up both parties' pool buffers for one key."""
@@ -481,6 +555,22 @@ class ShardedServingPool:
         link_latency: one-way seconds injected per frame on the inter-party
             link (capacity planning for LAN/WAN-like deployments).
         seed: base seed; job seeds derive deterministically from it.
+        max_job_retries: transient-fault budget per batch — a job whose
+            shard dies mid-flight is replayed (same ticket, same seed) on
+            another or respawned shard up to this many extra attempts
+            before the client future is allowed to fail.  ``0`` disables
+            both replay and auto-respawn (the legacy evict-only
+            semantics, paired with manual :meth:`restart_shard`).
+        retry_backoff: seconds slept before attempt ``n`` retries
+            (``retry_backoff * n``, linear).
+        fault_plans: scripted chaos schedules, ``{shard index: {party:
+            FaultPlan}}`` — applied only to the shard slot's *initial*
+            boot; replacements come up clean so a bounded retry budget
+            always suffices for a bounded schedule.
+        link_shape: a shaping-only :class:`FaultPlan` (latency/jitter/
+            bandwidth; no scripted faults) applied to both parties of
+            every boot, including replacements — the degraded-network
+            regime of the scaling benchmark.
     """
 
     def __init__(
@@ -501,9 +591,20 @@ class ShardedServingPool:
         verify: bool = True,
         coalesce_rounds: bool = True,
         lower_local_compute: bool = True,
+        max_job_retries: int = 2,
+        retry_backoff: float = 0.05,
+        fault_plans: Optional[Dict[int, Dict[int, FaultPlan]]] = None,
+        link_shape: Optional[FaultPlan] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if max_job_retries < 0:
+            raise ValueError(f"max_job_retries must be >= 0, got {max_job_retries}")
+        if link_shape is not None and link_shape.drops:
+            raise ValueError(
+                "link_shape must be shaping-only (no drop_at_round); put "
+                "scripted faults in fault_plans instead"
+            )
         self.models = dict(models)
         self.num_shards = num_shards
         self.ring = ring or DEFAULT_RING
@@ -520,10 +621,19 @@ class ShardedServingPool:
         self.warm_batch_sizes: Tuple[int, ...] = (
             tuple(warm_batch_sizes) if warm_batch_sizes is not None else (1, max_batch)
         )
+        self.max_job_retries = max_job_retries
+        self.retry_backoff = retry_backoff
+        self.fault_plans = dict(fault_plans or {})
+        self.link_shape = link_shape
         self.processes_spawned = 0
         self.shards_booted = 0
+        self.jobs_retried = 0
+        self.jobs_recovered = 0
+        self.retries_exhausted = 0
+        self.shards_respawned = 0
         self._shards: List[Optional[WorkerShard]] = []
         self._restarting: set = set()
+        self._respawn_threads: List[threading.Thread] = []
         self._idle: "Queue[WorkerShard]" = Queue()
         self._shard_lock = threading.Lock()
         self._closed = False
@@ -551,13 +661,40 @@ class ShardedServingPool:
         )
 
     # -- shard management ----------------------------------------------------- #
-    def _boot_shard(self, index: int) -> WorkerShard:
+    def _shard_fault_plans(self, index: int, inject: bool) -> Optional[Dict[int, FaultPlan]]:
+        """The per-party transport plans of one boot of a shard slot.
+
+        Scripted chaos plans fire only when ``inject`` is true (the slot's
+        initial boot); permanent link shaping applies to every boot, so a
+        replacement shard serves over the same degraded link — just without
+        the scripted fault that killed its predecessor.
+        """
+        plans: Dict[int, FaultPlan] = dict(self.fault_plans.get(index, {})) if inject else {}
+        if self.link_shape is not None:
+            for party in (0, 1):
+                plans.setdefault(party, self.link_shape)
+        return plans or None
+
+    def _boot_shard(
+        self,
+        index: int,
+        base_seed: Optional[int] = None,
+        initial_counters: Optional[Dict[Tuple[str, int], int]] = None,
+        initial_job_id: int = 0,
+        inject: bool = True,
+    ) -> WorkerShard:
         shard = WorkerShard(
             index=index,
             models=self.models,
             # distinct seed stream per shard slot *and* per boot generation,
-            # so a restarted shard never replays a previous incarnation's jobs
-            base_seed=self.seed + 7919 * index + 104_729 * self.shards_booted,
+            # so a restarted shard never replays a previous incarnation's
+            # jobs — unless the caller pins the predecessor's base_seed to
+            # *continue* its stream (the retry/replay respawn path)
+            base_seed=(
+                base_seed
+                if base_seed is not None
+                else self.seed + 7919 * index + 104_729 * self.shards_booted
+            ),
             ring=self.ring,
             host=self.host,
             timeout=self.job_timeout,
@@ -569,6 +706,9 @@ class ShardedServingPool:
             verify=self.verify,
             coalesce_rounds=self.coalesce_rounds,
             lower_local_compute=self.lower_local_compute,
+            fault_plans=self._shard_fault_plans(index, inject),
+            initial_counters=initial_counters,
+            initial_job_id=initial_job_id,
         )
         self.processes_spawned += 2
         self.shards_booted += 1
@@ -593,7 +733,9 @@ class ShardedServingPool:
         try:
             if old is not None:
                 old.kill()
-            shard = self._boot_shard(index)
+            # a manual restart is a clean slate: fresh seed stream, and any
+            # scripted chaos plan of the slot's first boot stays spent
+            shard = self._boot_shard(index, inject=False)
             with self._shard_lock:
                 self._shards[index] = shard
             # enqueue only after the slot is registered, so live_shards
@@ -602,6 +744,57 @@ class ShardedServingPool:
         finally:
             with self._shard_lock:
                 self._restarting.discard(index)
+
+    def _respawn_shard_async(self, dead: WorkerShard) -> None:
+        """Boot a replacement for a dead shard without blocking the retry.
+
+        The replacement continues the predecessor's seed stream (inherited
+        base seed, counters and job ids), so jobs dispatched to the slot
+        after recovery still derive the same session seeds the fault-free
+        run would have — the whole serving history stays replayable.
+        """
+        index = dead.index
+        with self._shard_lock:
+            if self._closed or index in self._restarting:
+                return
+            self._restarting.add(index)
+        base_seed = dead.base_seed
+        counters = dead.counters_snapshot()
+        next_job_id = dead.next_job_id_snapshot()
+
+        def _boot() -> None:
+            try:
+                replacement = self._boot_shard(
+                    index,
+                    base_seed=base_seed,
+                    initial_counters=counters,
+                    initial_job_id=next_job_id,
+                    inject=False,
+                )
+            except Exception:
+                with self._shard_lock:
+                    self._restarting.discard(index)
+                return
+            with self._shard_lock:
+                closed = self._closed
+                if not closed:
+                    self._shards[index] = replacement
+                    self.shards_respawned += 1
+                self._restarting.discard(index)
+            if closed:
+                replacement.kill()
+            else:
+                self._idle.put(replacement)
+
+        thread = threading.Thread(
+            target=_boot, name=f"respawn-shard{index}", daemon=True
+        )
+        with self._shard_lock:
+            self._respawn_threads = [
+                t for t in self._respawn_threads if t.is_alive()
+            ]
+            self._respawn_threads.append(thread)
+        thread.start()
 
     def _acquire_shard(self) -> WorkerShard:
         deadline = time.monotonic() + self.job_timeout
@@ -630,15 +823,43 @@ class ShardedServingPool:
     def _run_on_shard(
         self, model: str, spec: ModelSpec, inputs: np.ndarray
     ) -> PoolBatchResult:
-        shard = self._acquire_shard()
-        try:
-            return shard.run_job(model, spec, inputs)
-        except ShardFailure:
-            shard.kill()  # evict: never returns to the idle queue
-            raise
-        finally:
-            if shard.alive:
-                self._idle.put(shard)
+        """Run one batch, replaying it on failures until the budget is spent.
+
+        A shard that dies mid-job is evicted and respawned asynchronously;
+        the in-flight job's ticket (counter + session seed, fixed at the
+        first attempt) is replayed on the next shard that frees up, so a
+        transient fault costs latency, never a client future — and the
+        recovered logits are bit-identical to the fault-free run.
+        """
+        attempts = 0
+        ticket: Optional[JobTicket] = None
+        while True:
+            shard = self._acquire_shard()
+            try:
+                result = shard.run_job(model, spec, inputs, ticket=ticket)
+            except ShardFailure as exc:
+                shard.kill()  # evict: never returns to the idle queue
+                if self.max_job_retries > 0:
+                    # heal the slot off the retry path; a zero budget keeps
+                    # the legacy evict-only semantics (manual restart_shard)
+                    self._respawn_shard_async(shard)
+                ticket = exc.ticket or ticket
+                attempts += 1
+                with self._shard_lock:
+                    self.jobs_retried += 1
+                    if attempts > self.max_job_retries:
+                        self.retries_exhausted += 1
+                if attempts > self.max_job_retries:
+                    raise
+                time.sleep(self.retry_backoff * attempts)
+                continue
+            finally:
+                if shard.alive:
+                    self._idle.put(shard)
+            if attempts:
+                with self._shard_lock:
+                    self.jobs_recovered += 1
+            return result
 
     # -- client API ------------------------------------------------------------ #
     def submit(self, model: str, query: np.ndarray):
@@ -725,7 +946,11 @@ class ShardedServingPool:
             "num_shards": self.num_shards,
             "live_shards": self.live_shards,
             "shards_booted": self.shards_booted,
+            "shards_respawned": self.shards_respawned,
             "processes_spawned": self.processes_spawned,
+            "jobs_retried": self.jobs_retried,
+            "jobs_recovered": self.jobs_recovered,
+            "retries_exhausted": self.retries_exhausted,
             "jobs_executed": sum(snap["jobs_executed"] for snap in per_shard.values()),
             "queries_served": sum(snap["queries_served"] for snap in per_shard.values()),
             "shard_failures": sum(snap["failures"] for snap in per_shard.values()),
@@ -754,6 +979,10 @@ class ShardedServingPool:
         if hasattr(self, "frontend"):
             self.frontend.close(timeout=timeout)
         self._executor.shutdown(wait=True)
+        with self._shard_lock:
+            respawns = list(self._respawn_threads)
+        for thread in respawns:
+            thread.join(timeout=timeout)
         with self._shard_lock:
             shards = [s for s in self._shards if s is not None]
         for shard in shards:

@@ -1,0 +1,56 @@
+"""Stalls and jitter are survivable: no retry, no eviction, same logits.
+
+A stall parks one direction of the link mid-protocol (here: during the
+OT-tree rounds of a ReLU model) without closing it — the job must ride it
+out and come back bit-identical, with the stall visible only as latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from tests.chaos.conftest import make_chaos_pool
+
+
+def test_stall_during_ot_tree_is_survived_without_retry(
+    relu_servable, query_batch, stall_plan, record_fault_schedule
+):
+    name = "vgg-tiny-relu"
+    batch = query_batch(relu_servable)
+
+    with make_chaos_pool(name, relu_servable) as pool:
+        reference = pool.run_batch(name, batch)
+
+    # the ReLU comparison flow burns rounds on the OT tree; round 6 of the
+    # recv direction lands inside it for this plan
+    plans = {0: {1: stall_plan(round_index=6, stall_ms=250.0, direction="recv", seed=9)}}
+    record_fault_schedule(plans, model=name)
+    with make_chaos_pool(name, relu_servable, fault_plans=plans) as pool:
+        stalled = pool.run_batch(name, batch)
+        snapshot = pool.stats_snapshot()
+
+    np.testing.assert_array_equal(reference.logits, stalled.logits)
+    assert reference.seed == stalled.seed
+    # survivable fault: latency, not a retry
+    assert snapshot["jobs_retried"] == 0
+    assert snapshot["shards_respawned"] == 0
+    assert stalled.wall_seconds >= 0.25
+
+
+def test_jittered_link_serves_identical_logits(
+    tiny_zoo, query_batch, stall_plan, clean_logits, record_fault_schedule
+):
+    """Seeded latency jitter on both directions shapes time, never bytes."""
+    name = "mobilenetv2-tiny"
+    servable = tiny_zoo[name]
+    batch = query_batch(servable)
+    reference = clean_logits(name, batch, n_jobs=1)
+
+    shape = stall_plan(round_index=-1, stall_ms=0.0, seed=21, jitter_ms=2.0)
+    record_fault_schedule({0: {0: shape, 1: shape}}, model=name)
+    with make_chaos_pool(name, servable, link_shape=shape) as pool:
+        shaped = pool.run_batch(name, batch)
+        snapshot = pool.stats_snapshot()
+
+    np.testing.assert_array_equal(reference[0], shaped.logits)
+    assert snapshot["jobs_retried"] == 0

@@ -20,7 +20,11 @@ from repro.crypto.dealer import TrustedDealer
 from repro.crypto.ring import DEFAULT_RING, PAPER_RING
 from repro.crypto.sharing import SharePair, share
 from repro.crypto.transport import (
+    FaultInjected,
+    FaultPlan,
+    FaultyTransport,
     LoopbackTransport,
+    ShapedTransport,
     TcpTransport,
     decode_array,
     encode_array,
@@ -552,3 +556,217 @@ class TestRoundFrames:
         assert ta.stats.round_frames_sent == 1
         assert ta.stats.round_arrays_sent == 3  # open + bits + transfer
         assert tb.stats.round_arrays_sent == 2  # open + bits (no transfer)
+
+
+class TestFaultInjection:
+    """ShapedTransport / FaultyTransport: deterministic shaping and faults."""
+
+    def _round(self, sender, receiver):
+        sender.send_arrays([np.arange(4, dtype=np.uint64)], DEFAULT_RING)
+        return receiver.recv_arrays()
+
+    def test_shaped_transport_keeps_accounting_exact(self):
+        a, b = LoopbackTransport.pair()
+        shaped = ShapedTransport(a, FaultPlan(seed=1, latency_ms=1.0, jitter_ms=1.0))
+        self._round(shaped, b)
+        assert shaped.stats.payload_bytes_sent == 32
+        assert shaped.stats.round_frames_sent == 1
+        assert b.stats.payload_bytes_received == 32
+
+    def test_shaping_delay_is_seeded_and_replayable(self):
+        plan = FaultPlan(seed=7, latency_ms=2.0, jitter_ms=5.0, bandwidth_bytes_per_s=1e6)
+        first = ShapedTransport(LoopbackTransport.pair()[0], plan)
+        second = ShapedTransport(LoopbackTransport.pair()[0], plan)
+        delays_a = [first._shaping_delay_s(100) for _ in range(8)]
+        delays_b = [second._shaping_delay_s(100) for _ in range(8)]
+        assert delays_a == delays_b  # same plan seed -> same delay sequence
+        assert all(d >= 2e-3 + 1e-4 for d in delays_a)  # latency + bandwidth
+
+    def test_drop_at_round_fires_on_the_exact_round(self):
+        a, b = LoopbackTransport.pair()
+        faulty = FaultyTransport(a, FaultPlan(seed=0, drop_at_round=2))
+        for _ in range(2):
+            self._round(faulty, b)
+        with pytest.raises(FaultInjected, match="round 2"):
+            faulty.send_arrays([np.arange(4, dtype=np.uint64)], DEFAULT_RING)
+        assert faulty.stats.faults_injected == 1
+        # the peer observes a genuine connection loss, with recv context
+        with pytest.raises(ConnectionError, match="round frame 2"):
+            b.recv_arrays()
+
+    def test_recv_direction_drop_discards_the_frame_in_flight(self):
+        a, b = LoopbackTransport.pair()
+        faulty = FaultyTransport(
+            b, FaultPlan(seed=0, drop_at_round=0, drop_direction="recv")
+        )
+        a.send_arrays([np.arange(4, dtype=np.uint64)], DEFAULT_RING)
+        with pytest.raises(FaultInjected, match="recv direction"):
+            faulty.recv_arrays()
+        assert faulty.stats.faults_injected == 1
+        # the injecting side closed the link: the sender's next recv fails too
+        with pytest.raises(ConnectionError):
+            a.recv_arrays()
+
+    def test_drop_fires_at_most_max_drops_times(self):
+        a, b = LoopbackTransport.pair()
+        faulty = FaultyTransport(a, FaultPlan(seed=0, drop_at_round=0, max_drops=1))
+        with pytest.raises(FaultInjected):
+            faulty.send_arrays([np.arange(2, dtype=np.uint64)], DEFAULT_RING)
+        # a fresh session against the SAME plan instance is not re-dropped
+        a2, b2 = LoopbackTransport.pair()
+        faulty2 = faulty.__class__(a2, faulty.plan)
+        faulty2._drops_done = faulty._drops_done
+        self._round(faulty2, b2)  # would raise if the drop re-fired
+
+    def test_stall_is_survivable_and_counted(self):
+        a, b = LoopbackTransport.pair()
+        faulty = FaultyTransport(
+            a, FaultPlan(seed=0, stall_at_round=0, stall_ms=30.0)
+        )
+        self._round(faulty, b)
+        assert faulty.stats.stalls_injected == 1
+        assert faulty.stats.faults_injected == 0
+
+    def test_control_frames_never_trip_scripted_faults(self):
+        a, b = LoopbackTransport.pair()
+        faulty = FaultyTransport(a, FaultPlan(seed=0, drop_at_round=0))
+        faulty.send_control(b"job-header")  # not a round frame: passes
+        assert b.recv_control() == b"job-header"
+        faulty.send_array(np.arange(2, dtype=np.uint64), DEFAULT_RING)
+        b.recv_array()  # single-array frames pass too
+        with pytest.raises(FaultInjected):
+            faulty.send_arrays([np.arange(2, dtype=np.uint64)], DEFAULT_RING)
+
+    def test_plan_validates_directions(self):
+        with pytest.raises(ValueError, match="drop_direction"):
+            FaultPlan(drop_direction="sideways")
+        with pytest.raises(ValueError, match="stall_direction"):
+            FaultPlan(stall_direction="up")
+
+    def test_plan_json_roundtrip(self):
+        plan = FaultPlan(
+            seed=9,
+            latency_ms=20.0,
+            jitter_ms=5.0,
+            bandwidth_bytes_per_s=1e9,
+            stall_at_round=4,
+            stall_ms=100.0,
+            stall_direction="recv",
+            drop_at_round=7,
+            drop_direction="both",
+            max_drops=2,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert plan.drops
+
+    def test_loopback_close_poisons_the_peer(self):
+        """The loopback analogue of TCP EOF: close() fails the peer's recv
+        instead of letting it hang until timeout."""
+        a, b = LoopbackTransport.pair(timeout=5.0)
+        a.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            b.recv_array()
+        # and it keeps failing (the poison is re-queued)
+        with pytest.raises(ConnectionError):
+            b.recv_control()
+
+
+class TestRecvErrorContext:
+    """Satellite: partial-frame errors carry round index, direction, bytes."""
+
+    def _serve_truncated(self, port, payload: bytes):
+        """Accept one connection, ship ``payload`` raw, close mid-frame."""
+        import socket as socket_module
+
+        server = socket_module.socket()
+        server.setsockopt(socket_module.SOL_SOCKET, socket_module.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", port))
+        server.listen(1)
+
+        def run():
+            conn, _ = server.accept()
+            conn.sendall(payload)
+            conn.close()
+            server.close()
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        return thread
+
+    def test_partial_round_frame_reports_context(self):
+        import struct
+
+        port = free_port()
+        # length prefix promises 100 bytes; only 10 arrive before EOF
+        thread = self._serve_truncated(port, struct.pack("<I", 100) + b"\xfe" + b"x" * 9)
+        client = TcpTransport.connect("127.0.0.1", port, timeout=10.0)
+        try:
+            with pytest.raises(ConnectionError) as excinfo:
+                client.recv_arrays()
+        finally:
+            client.close()
+            thread.join(timeout=10)
+        message = str(excinfo.value)
+        assert "round frame 0" in message
+        assert "recv direction" in message
+        assert "mid-frame" in message
+        assert "10/100" in message  # bytes-so-far of the truncated read
+
+    def test_truncated_control_frame_reports_context(self):
+        import struct
+
+        port = free_port()
+        thread = self._serve_truncated(port, struct.pack("<I", 64) + b"\xff")
+        client = TcpTransport.connect("127.0.0.1", port, timeout=10.0)
+        try:
+            with pytest.raises(ConnectionError, match="control frame") as excinfo:
+                client.recv_control()
+        finally:
+            client.close()
+            thread.join(timeout=10)
+        assert "mid-frame" in str(excinfo.value)
+
+    def test_eof_before_any_frame_reports_zero_progress(self):
+        port = free_port()
+        thread = self._serve_truncated(port, b"")
+        client = TcpTransport.connect("127.0.0.1", port, timeout=10.0)
+        try:
+            with pytest.raises(ConnectionError, match="0 payload bytes"):
+                client.recv_array()
+        finally:
+            client.close()
+            thread.join(timeout=10)
+
+
+class TestInterleavedShutdown:
+    """Satellite: shutdown handshake arriving while a job is in flight."""
+
+    def test_shutdown_during_expected_round_frame_is_a_desync(self):
+        """A peer that answers a round with the shutdown handshake is out of
+        sync — the receiver refuses loudly instead of mis-decoding."""
+        a, b = LoopbackTransport.pair()
+        a.send_shutdown()
+        with pytest.raises(ValueError, match="out of sync"):
+            b.recv_arrays()
+
+    def test_shutdown_during_expected_array_is_a_desync(self):
+        a, b = LoopbackTransport.pair()
+        a.send_shutdown()
+        with pytest.raises(ValueError, match="out of sync"):
+            b.recv_array()
+
+    def test_server_treats_mid_job_shutdown_as_connection_loss(self):
+        """PartyServer's header sync: a shutdown instead of a job header is
+        a connection-scoped failure (the job cannot proceed), not a crash
+        with a confusing decode error."""
+        from repro.runtime.server import JobRequest, PartyServer, ServerConfig
+
+        a, b = LoopbackTransport.pair()
+        config = ServerConfig(base_seed=0, models={}, weights={})
+        server = PartyServer(1, b, config)  # party 1 validates headers
+        a.send_shutdown()
+        request = JobRequest(
+            job_id=0, model="m", batch_size=1, counter=0, input_share=np.zeros(1)
+        )
+        with pytest.raises(ConnectionError, match="shut the session down"):
+            server._sync_job_header(request)

@@ -37,6 +37,18 @@ are understood (dispatched on the report's ``kind`` field):
   (``fused_kernel_calls > 0``);
 - the four-mode zoo **bit-identity** phase must have passed.
 
+``pool_scaling`` (schema ``serving-bench/v1``):
+
+- the **shaped-link qps scaling ratio** (1-shard -> N-shard throughput under
+  the injected-latency WAN-like link) must not fall more than
+  ``--max-qps-regression`` below the baseline's ratio, and likewise the
+  clean-link ``scaling`` ratio when both reports carry one.  Ratios under
+  the shaped link are dominated by injected sleeps, not host speed, so they
+  transfer across CI machines;
+- no job may exhaust its retry budget (``jobs_retried`` is allowed —
+  recovery is the feature — but a shaped, drop-free link must not retry);
+- the zoo-wide **bit-identity** phase must have passed when it ran.
+
 Run with:
   python tools/check_bench_regression.py current.json \\
       benchmarks/baselines/round_coalescing_2shards.json
@@ -193,6 +205,68 @@ def check_local_compute(
     return failures
 
 
+def check_pool_scaling(
+    current: dict, baseline: dict, max_qps_regression: float
+) -> list:
+    failures = []
+    # -- qps scaling ratios (machine-independent) ----------------------------- #
+    for block in ("shaped_scaling", "scaling"):
+        baseline_block = baseline.get(block) or {}
+        baseline_ratio = baseline_block.get("qps_speedup")
+        if baseline_ratio is None:
+            continue  # baseline did not run this regime; nothing to gate
+        current_block = current.get(block) or {}
+        current_ratio = current_block.get("qps_speedup")
+        if current_ratio is None:
+            failures.append(
+                f"missing {block}.qps_speedup in current report "
+                f"(baseline has {baseline_ratio:.3f}x)"
+            )
+            continue
+        span = f"{baseline_block.get('from')} -> {baseline_block.get('to')}"
+        if current_block.get("from") != baseline_block.get("from") or (
+            current_block.get("to") != baseline_block.get("to")
+        ):
+            failures.append(
+                f"{block} span mismatch: baseline measured {span}, current "
+                f"{current_block.get('from')} -> {current_block.get('to')}"
+            )
+            continue
+        floor = baseline_ratio * (1.0 - max_qps_regression)
+        if current_ratio < floor:
+            failures.append(
+                f"{block} ({span}) regressed: {current_ratio:.3f}x vs "
+                f"baseline {baseline_ratio:.3f}x (floor {floor:.3f}x at "
+                f"{max_qps_regression:.0%} tolerance)"
+            )
+
+    # -- a shaped, drop-free link must serve without retries ------------------- #
+    for key, path in (current.get("paths") or {}).items():
+        if key.endswith("-shaped") and path.get("jobs_retried", 0) > 0:
+            failures.append(
+                f"{key}: {path['jobs_retried']} job(s) retried under a "
+                "drop-free shaped link — shaping must never cost a retry"
+            )
+
+    # -- bit identity ---------------------------------------------------------- #
+    zoo = current.get("zoo_bit_identity")
+    if zoo is not None:
+        broken = [
+            f"{c['model']}#{c.get('repeat')}"
+            for c in zoo.get("checked", [])
+            if not c.get("bit_identical")
+        ]
+        if broken:
+            failures.append(f"bit-identity broken for: {', '.join(broken)}")
+        if zoo.get("per_request_process_spawns", 0) > 0:
+            failures.append(
+                "serving path spawned processes per request "
+                f"({zoo['per_request_process_spawns']:.2f}/job) — persistent "
+                "servers must serve without spawning"
+            )
+    return failures
+
+
 def check(
     current: dict,
     baseline: dict,
@@ -214,6 +288,10 @@ def check(
         failures.extend(
             check_local_compute(current, baseline, max_cpu_regression)
         )
+    elif kind == "pool_scaling":
+        failures.extend(
+            check_pool_scaling(current, baseline, max_qps_regression)
+        )
     else:
         failures.extend(
             check_round_coalescing(current, baseline, latency_key, max_qps_regression)
@@ -227,6 +305,14 @@ def _summary(current: dict, baseline: dict, latency_key: str) -> str:
             f"min linear-class cpu speedup "
             f"{current.get('min_linear_speedup', 0.0):.2f}x "
             f"(baseline {baseline.get('min_linear_speedup', 0.0):.2f}x)"
+        )
+    if baseline.get("kind") == "pool_scaling":
+        shaped = current.get("shaped_scaling") or {}
+        baseline_shaped = baseline.get("shaped_scaling") or {}
+        return (
+            f"shaped-link qps scaling {shaped.get('qps_speedup', 0.0):.2f}x "
+            f"(baseline {baseline_shaped.get('qps_speedup', 0.0):.2f}x), "
+            f"clean scaling {current.get('scaling', {}).get('qps_speedup', 0.0):.2f}x"
         )
     if baseline.get("kind") == "wire_compression":
         return (
