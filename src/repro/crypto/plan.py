@@ -47,6 +47,7 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -195,6 +196,35 @@ class PreprocessingManifest:
     def material_bytes(self) -> int:
         """Total bytes of randomness material the dealer ships offline."""
         return sum(r.material_bytes(self.ring) for r in self.requests)
+
+    # -- grouping / identity -------------------------------------------------- #
+    def grouped_requests(self) -> List[Tuple[str, Tuple[int, ...], int]]:
+        """Requests grouped per (kind, shape), in first-occurrence order.
+
+        The offline phase generates each group from its own seeded
+        substream and the pool pops per-(kind, shape) FIFOs, so the grouped
+        counts — not the interleaving — fully determine the material.
+        """
+        counts: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        for request in self.requests:
+            key = (request.kind, tuple(request.shape))
+            counts[key] = counts.get(key, 0) + 1
+        return [(kind, shape, count) for (kind, shape), count in counts.items()]
+
+    @property
+    def content_hash(self) -> str:
+        """Content hash of the randomness material this manifest demands.
+
+        Hashes the ring parameters and the grouped (kind, shape, count)
+        requests — the exact inputs of pool generation — so two manifests
+        with the same hash consume interchangeable pool buffers.  This is
+        the inventory key of the offline factory.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"pool-material/v1:{self.ring.ring_bits}:{self.ring.frac_bits}".encode())
+        for kind, shape, count in self.grouped_requests():
+            digest.update(f";{kind}:{','.join(str(d) for d in shape)}x{count}".encode())
+        return digest.hexdigest()[:16]
 
     # -- online communication ----------------------------------------------- #
     @property

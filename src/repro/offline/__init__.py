@@ -1,0 +1,66 @@
+"""Offline-phase subsystem: the correlated-randomness factory.
+
+The online path is near its protocol floor; at serving scale the binding
+constraint is the *offline* phase — every job consumes manifest-exact
+Beaver triples / bit triples / daBits.  This package turns provisioning
+into a first-class subsystem:
+
+- :mod:`repro.offline.generation` — vectorized batched RNG layouts: each
+  manifest (kind, shape) group is drawn as one stacked generator call from
+  a per-group seeded substream, bit-identical to the per-item path;
+- :mod:`repro.offline.inventory` — :class:`InventoryStore`, a disk-backed
+  (npz-spooled) inventory of pre-generated pool bundles keyed by manifest
+  hash, with depth / consumption-rate / refill-lead-time accounting;
+- :mod:`repro.offline.provisioning` — typed ``ProvisionRequest`` /
+  ``ProvisionChunk`` control frames streamed over the transport session
+  layer;
+- :mod:`repro.offline.factory` — the producer service
+  (:class:`RandomnessFactory`), its TCP server, and the
+  :class:`FactoryClient` party servers use to fetch party-restricted
+  buffers with local cold generation as the fallback.
+
+The factory/inventory names are provided lazily (PEP 562): the dealer
+imports :mod:`repro.offline.generation` while :mod:`repro.crypto.dealer`
+is itself still initializing, and the higher offline layers import the
+dealer back.
+"""
+
+from repro.offline.generation import (
+    GROUP_FIELDS,
+    PARTY_FIELDS,
+    POOL_KINDS,
+    draw_group,
+    generate_group,
+    substream,
+)
+
+__all__ = [
+    "FactoryClient",
+    "FactoryServer",
+    "GROUP_FIELDS",
+    "InventoryStore",
+    "PARTY_FIELDS",
+    "POOL_KINDS",
+    "PoolBundle",
+    "RandomnessFactory",
+    "draw_group",
+    "generate_group",
+    "substream",
+]
+
+_LAZY = {
+    "FactoryClient": "repro.offline.factory",
+    "FactoryServer": "repro.offline.factory",
+    "RandomnessFactory": "repro.offline.factory",
+    "InventoryStore": "repro.offline.inventory",
+    "PoolBundle": "repro.offline.inventory",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,363 @@
+"""Disk-backed inventory of pre-generated randomness pool bundles.
+
+A :class:`PoolBundle` is the complete correlated-randomness material of one
+(manifest, seed) pair — every (kind, shape) group of the manifest as
+stacked share arrays, exactly what :meth:`TrustedDealer.preprocess` would
+generate at that seed.  Bundles are what the factory pre-generates, spools
+to disk and streams to party servers.
+
+The :class:`InventoryStore` keys bundles by the manifest's
+:attr:`~repro.crypto.plan.PreprocessingManifest.content_hash` and spools
+each one as a single ``.npz`` file (atomic tmp-file + rename, so a reader
+never observes a half-written bundle).  Besides storage it keeps the
+accounting capacity planning needs:
+
+- **depth** — bundles on hand per manifest hash;
+- **consumption rate** — served bundles per second over a sliding window;
+- **refill lead time** — EWMA of the wall-clock cost of producing one
+  bundle, i.e. how far ahead of demand the producer must run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.dealer import RandomnessPool
+from repro.crypto.ring import FixedPointRing
+from repro.offline.generation import (
+    GROUP_FIELDS,
+    generate_group,
+    restrict_group_arrays,
+)
+
+#: serialization format tag of spooled bundles
+BUNDLE_FORMAT = "pool-bundle/v1"
+
+
+@dataclass
+class GroupMaterial:
+    """One (kind, shape) group of a bundle: stacked share arrays."""
+
+    kind: str
+    shape: Tuple[int, ...]
+    count: int
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(stack.nbytes for stack in self.arrays.values())
+
+
+@dataclass
+class PoolBundle:
+    """All correlated randomness of one (manifest, seed) pair.
+
+    Holds both share-worlds; :meth:`build_pool` materializes the
+    party-restricted :class:`~repro.crypto.dealer.RandomnessPool` a server
+    consumes, bit-identical to local generation at the same seed.
+    """
+
+    manifest_hash: str
+    seed: int
+    ring: FixedPointRing
+    groups: List[GroupMaterial] = field(default_factory=list)
+
+    @classmethod
+    def generate(cls, manifest, seed: int) -> "PoolBundle":
+        """Generate the bundle of ``manifest`` at ``seed`` (vectorized).
+
+        Uses the same per-group substreams as a fresh
+        :class:`~repro.crypto.dealer.TrustedDealer` at the same seed, so
+        factory-produced buffers match local cold generation bit for bit.
+        """
+        return cls.from_groups(
+            ring=manifest.ring,
+            manifest_hash=manifest.content_hash,
+            groups=manifest.grouped_requests(),
+            seed=seed,
+        )
+
+    @classmethod
+    def from_groups(
+        cls,
+        ring: FixedPointRing,
+        manifest_hash: str,
+        groups: List[Tuple[str, Tuple[int, ...], int]],
+        seed: int,
+    ) -> "PoolBundle":
+        """Generate from grouped (kind, shape, count) requests directly —
+        the factory path, where manifests arrive already grouped on the
+        wire."""
+        return cls(
+            manifest_hash=manifest_hash,
+            seed=int(seed),
+            ring=ring,
+            groups=[
+                GroupMaterial(
+                    kind=kind,
+                    shape=tuple(shape),
+                    count=int(count),
+                    arrays=generate_group(ring, seed, kind, tuple(shape), int(count)),
+                )
+                for kind, shape, count in groups
+            ],
+        )
+
+    @property
+    def material_bytes(self) -> int:
+        return sum(group.nbytes for group in self.groups)
+
+    def restricted_groups(self, party: Optional[int]) -> List[GroupMaterial]:
+        """The groups with the other party's share-world zeroed.
+
+        ``party=None`` returns the full two-world groups (simulation mode).
+        The genuine party's stacks are shared, not copied.
+        """
+        if party is None:
+            return self.groups
+        return [
+            GroupMaterial(
+                kind=group.kind,
+                shape=group.shape,
+                count=group.count,
+                arrays=restrict_group_arrays(group.arrays, group.kind, party),
+            )
+            for group in self.groups
+        ]
+
+    def build_pool(self, party: Optional[int] = None) -> RandomnessPool:
+        """Materialize the consumable pool (optionally party-restricted)."""
+        pool = RandomnessPool(ring=self.ring, manifest_hash=self.manifest_hash)
+        for group in self.restricted_groups(party):
+            pool.install_group(group.kind, group.shape, group.arrays)
+        if party is not None:
+            pool.restricted_to = party
+        return pool
+
+    # -- (de)serialization --------------------------------------------------- #
+    def to_npz_bytes(self) -> bytes:
+        """Serialize to an in-memory ``.npz`` image (uncompressed)."""
+        payload: Dict[str, np.ndarray] = {}
+        meta = {
+            "format": BUNDLE_FORMAT,
+            "manifest_hash": self.manifest_hash,
+            "seed": self.seed,
+            "ring": {"ring_bits": self.ring.ring_bits, "frac_bits": self.ring.frac_bits},
+            "groups": [
+                {"kind": group.kind, "shape": list(group.shape), "count": group.count}
+                for group in self.groups
+            ],
+        }
+        payload["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        for index, group in enumerate(self.groups):
+            for name in GROUP_FIELDS[group.kind]:
+                payload[f"g{index}:{name}"] = group.arrays[name]
+        buffer = io.BytesIO()
+        np.savez(buffer, **payload)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_npz(cls, source) -> "PoolBundle":
+        """Load a bundle from a path or file-like ``.npz`` source."""
+        with np.load(source) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            if meta.get("format") != BUNDLE_FORMAT:
+                raise ValueError(
+                    f"unsupported bundle format {meta.get('format')!r}; "
+                    f"expected {BUNDLE_FORMAT!r}"
+                )
+            ring = FixedPointRing(
+                ring_bits=int(meta["ring"]["ring_bits"]),
+                frac_bits=int(meta["ring"]["frac_bits"]),
+            )
+            groups = [
+                GroupMaterial(
+                    kind=entry["kind"],
+                    shape=tuple(entry["shape"]),
+                    count=int(entry["count"]),
+                    arrays={
+                        name: archive[f"g{index}:{name}"]
+                        for name in GROUP_FIELDS[entry["kind"]]
+                    },
+                )
+                for index, entry in enumerate(meta["groups"])
+            ]
+        return cls(
+            manifest_hash=meta["manifest_hash"],
+            seed=int(meta["seed"]),
+            ring=ring,
+            groups=groups,
+        )
+
+
+class InventoryStore:
+    """Npz-spooled store of :class:`PoolBundle` objects keyed by manifest hash.
+
+    Layout: ``root/<manifest_hash>/<seed>.npz``.  Writes spool through a
+    temp file in the same directory and ``os.replace`` into place, so
+    concurrent readers only ever see complete bundles.  All accounting is
+    process-local and thread-safe.
+    """
+
+    def __init__(self, root: str, *, rate_window: int = 64) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._served_times: Dict[str, Deque[float]] = {}
+        self._generation_ewma: Dict[str, float] = {}
+        self._rate_window = int(rate_window)
+        self.produced_total = 0
+        self.served_total = 0
+
+    # -- paths ---------------------------------------------------------------- #
+    def _hash_dir(self, manifest_hash: str) -> str:
+        return os.path.join(self.root, manifest_hash)
+
+    def _bundle_path(self, manifest_hash: str, seed: int) -> str:
+        return os.path.join(self._hash_dir(manifest_hash), f"{int(seed)}.npz")
+
+    # -- storage -------------------------------------------------------------- #
+    def put(self, bundle: PoolBundle, *, generation_seconds: Optional[float] = None) -> str:
+        """Spool a bundle to disk (atomic) and record its production cost."""
+        directory = self._hash_dir(bundle.manifest_hash)
+        os.makedirs(directory, exist_ok=True)
+        final_path = self._bundle_path(bundle.manifest_hash, bundle.seed)
+        data = bundle.to_npz_bytes()
+        descriptor, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_path, final_path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        with self._lock:
+            self.produced_total += 1
+            if generation_seconds is not None:
+                previous = self._generation_ewma.get(bundle.manifest_hash)
+                self._generation_ewma[bundle.manifest_hash] = (
+                    generation_seconds
+                    if previous is None
+                    else 0.8 * previous + 0.2 * generation_seconds
+                )
+        return final_path
+
+    def contains(self, manifest_hash: str, seed: int) -> bool:
+        return os.path.exists(self._bundle_path(manifest_hash, seed))
+
+    def seeds(self, manifest_hash: str) -> List[int]:
+        """Seeds of the bundles on hand for one manifest hash, sorted."""
+        directory = self._hash_dir(manifest_hash)
+        if not os.path.isdir(directory):
+            return []
+        found = []
+        for entry in os.listdir(directory):
+            stem, extension = os.path.splitext(entry)
+            if extension == ".npz":
+                try:
+                    found.append(int(stem))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def depth(self, manifest_hash: str) -> int:
+        """Bundles on hand for one manifest hash."""
+        return len(self.seeds(manifest_hash))
+
+    def load(self, manifest_hash: str, seed: int) -> Optional[PoolBundle]:
+        """Load one bundle (``None`` if not spooled); counts as a serve."""
+        path = self._bundle_path(manifest_hash, seed)
+        if not os.path.exists(path):
+            return None
+        bundle = PoolBundle.from_npz(path)
+        with self._lock:
+            self.served_total += 1
+            window = self._served_times.setdefault(
+                manifest_hash, deque(maxlen=self._rate_window)
+            )
+            window.append(time.monotonic())
+        return bundle
+
+    def remove(self, manifest_hash: str, seed: int) -> bool:
+        """Drop a consumed bundle from the spool."""
+        path = self._bundle_path(manifest_hash, seed)
+        try:
+            os.unlink(path)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def hashes(self) -> List[str]:
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+        )
+
+    # -- accounting ----------------------------------------------------------- #
+    def consumption_rate(self, manifest_hash: str) -> float:
+        """Served bundles per second over the sliding window (0 if cold)."""
+        with self._lock:
+            window = self._served_times.get(manifest_hash)
+            if not window or len(window) < 2:
+                return 0.0
+            elapsed = window[-1] - window[0]
+            if elapsed <= 0:
+                return 0.0
+            return (len(window) - 1) / elapsed
+
+    def generation_seconds(self, manifest_hash: str) -> Optional[float]:
+        """EWMA wall-clock cost of producing one bundle for this hash."""
+        with self._lock:
+            return self._generation_ewma.get(manifest_hash)
+
+    def refill_lead_time(self, manifest_hash: str) -> Optional[float]:
+        """Seconds of demand one bundle's production covers vs. consumes.
+
+        ``generation_seconds * consumption_rate`` is the number of bundles
+        consumed while one is produced; the lead time is how long before
+        projected exhaustion the producer must start:
+        ``depth / rate - generation_seconds`` (``None`` when idle).
+        """
+        rate = self.consumption_rate(manifest_hash)
+        generation = self.generation_seconds(manifest_hash)
+        if generation is None or rate <= 0:
+            return None
+        return self.depth(manifest_hash) / rate - generation
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """JSON-serializable accounting snapshot (documented schema).
+
+        ``{"schema": "offline-inventory/v1", "produced_total": int,
+        "served_total": int, "inventory": {hash: {"depth": int,
+        "seeds": [int], "consumption_per_s": float,
+        "generation_s": float | None, "refill_lead_time_s": float | None}}}``
+        """
+        inventory: Dict[str, object] = {}
+        for manifest_hash in self.hashes():
+            inventory[manifest_hash] = {
+                "depth": self.depth(manifest_hash),
+                "seeds": self.seeds(manifest_hash),
+                "consumption_per_s": self.consumption_rate(manifest_hash),
+                "generation_s": self.generation_seconds(manifest_hash),
+                "refill_lead_time_s": self.refill_lead_time(manifest_hash),
+            }
+        with self._lock:
+            produced, served = self.produced_total, self.served_total
+        return {
+            "schema": "offline-inventory/v1",
+            "produced_total": produced,
+            "served_total": served,
+            "inventory": inventory,
+        }

@@ -1,0 +1,237 @@
+"""Typed control frames of the offline provisioning protocol.
+
+Party servers talk to the randomness factory over the existing transport
+session layer (:meth:`~repro.crypto.transport.Transport.send_control` /
+``recv_control``): every provisioning message is one opaque control frame,
+so control bytes stay accounted separately from protocol payload and
+``payload == manifest`` verification remains exact on serving links.
+
+A frame is a 4-byte big-endian header length, a JSON header, and an
+optional raw binary payload.  The session is strict request/reply:
+
+- ``ProvisionRequest`` — fetch the pool material of ``(manifest_hash,
+  seed)``, optionally restricted to one party.  Carries the ring and the
+  grouped (kind, shape, count) requests, so the factory can cold-generate
+  a miss without a registration handshake.
+- ``ProvisionChunk`` (reply, one per group) — stacked share arrays of one
+  (kind, shape) group; for a party-restricted fetch only that party's
+  share-world is shipped (the client synthesizes the zeroed world).
+- ``ProvisionDone`` (reply terminator) — group/byte totals, the serving
+  source (``"inventory"`` or ``"cold"``) and the remaining inventory
+  depth for the hash.
+- ``AnnounceRequest`` / ``AnnounceAck`` — advertise upcoming job seeds so
+  the producer can pre-generate bundles ahead of demand.
+- ``StatsRequest`` / ``StatsReply`` — the factory's JSON stats snapshot.
+- ``ProvisionError`` — error reply carrying the server-side message.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.ring import FixedPointRing
+
+#: wire tag of the provisioning protocol (bumped on layout changes)
+PROVISION_PROTOCOL = "offline-provision/v1"
+
+_HEADER_LEN = struct.Struct(">I")
+
+#: grouped manifest requests on the wire: [kind, shape, count]
+WireGroups = List[Tuple[str, Tuple[int, ...], int]]
+
+
+def _ring_to_wire(ring: FixedPointRing) -> Dict[str, int]:
+    return {"ring_bits": ring.ring_bits, "frac_bits": ring.frac_bits}
+
+
+def _ring_from_wire(data: Dict[str, int]) -> FixedPointRing:
+    return FixedPointRing(ring_bits=int(data["ring_bits"]), frac_bits=int(data["frac_bits"]))
+
+
+def _groups_to_wire(groups: WireGroups) -> List[List[object]]:
+    return [[kind, list(shape), int(count)] for kind, shape, count in groups]
+
+
+def _groups_from_wire(data: List[List[object]]) -> WireGroups:
+    return [(str(kind), tuple(int(d) for d in shape), int(count)) for kind, shape, count in data]
+
+
+@dataclass
+class ProvisionRequest:
+    """Fetch the pool material of one (manifest, seed) pair."""
+
+    manifest_hash: str
+    seed: int
+    ring: FixedPointRing
+    groups: WireGroups
+    party: Optional[int] = None
+
+    def header(self) -> Dict[str, object]:
+        return {
+            "type": "provision-request",
+            "protocol": PROVISION_PROTOCOL,
+            "manifest_hash": self.manifest_hash,
+            "seed": int(self.seed),
+            "ring": _ring_to_wire(self.ring),
+            "groups": _groups_to_wire(self.groups),
+            "party": self.party,
+        }
+
+    @classmethod
+    def from_header(cls, header: Dict[str, object]) -> "ProvisionRequest":
+        party = header.get("party")
+        return cls(
+            manifest_hash=str(header["manifest_hash"]),
+            seed=int(header["seed"]),
+            ring=_ring_from_wire(header["ring"]),
+            groups=_groups_from_wire(header["groups"]),
+            party=None if party is None else int(party),
+        )
+
+
+@dataclass
+class ProvisionChunk:
+    """Stacked share arrays of one (kind, shape) group."""
+
+    kind: str
+    shape: Tuple[int, ...]
+    count: int
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def header_and_payload(self) -> Tuple[Dict[str, object], bytes]:
+        fields = []
+        parts = []
+        for name, stack in self.arrays.items():
+            fields.append(
+                {"name": name, "dtype": stack.dtype.str, "shape": list(stack.shape)}
+            )
+            parts.append(np.ascontiguousarray(stack).tobytes())
+        header = {
+            "type": "provision-chunk",
+            "kind": self.kind,
+            "shape": list(self.shape),
+            "count": int(self.count),
+            "fields": fields,
+        }
+        return header, b"".join(parts)
+
+    @classmethod
+    def from_frame(cls, header: Dict[str, object], payload: bytes) -> "ProvisionChunk":
+        # A writable backing buffer: received share stacks behave exactly
+        # like locally generated ones (restriction memsets them in place).
+        backing = bytearray(payload)
+        arrays: Dict[str, np.ndarray] = {}
+        offset = 0
+        for entry in header["fields"]:
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(d) for d in entry["shape"])
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+            arrays[str(entry["name"])] = np.frombuffer(
+                backing, dtype=dtype, count=max(int(np.prod(shape, dtype=np.int64)), 0), offset=offset
+            ).reshape(shape)
+            offset += nbytes
+        if offset != len(payload):
+            raise ValueError(
+                f"provision chunk payload is {len(payload)} bytes but its "
+                f"fields describe {offset}"
+            )
+        return cls(
+            kind=str(header["kind"]),
+            shape=tuple(int(d) for d in header["shape"]),
+            count=int(header["count"]),
+            arrays=arrays,
+        )
+
+
+@dataclass
+class ProvisionDone:
+    """Terminates a provisioning reply stream."""
+
+    manifest_hash: str
+    seed: int
+    groups: int
+    material_bytes: int
+    source: str  # "inventory" | "cold"
+    inventory_depth: int
+
+    def header(self) -> Dict[str, object]:
+        return {
+            "type": "provision-done",
+            "manifest_hash": self.manifest_hash,
+            "seed": int(self.seed),
+            "groups": int(self.groups),
+            "material_bytes": int(self.material_bytes),
+            "source": self.source,
+            "inventory_depth": int(self.inventory_depth),
+        }
+
+    @classmethod
+    def from_header(cls, header: Dict[str, object]) -> "ProvisionDone":
+        return cls(
+            manifest_hash=str(header["manifest_hash"]),
+            seed=int(header["seed"]),
+            groups=int(header["groups"]),
+            material_bytes=int(header["material_bytes"]),
+            source=str(header["source"]),
+            inventory_depth=int(header["inventory_depth"]),
+        )
+
+
+@dataclass
+class AnnounceRequest:
+    """Advertise upcoming job seeds so the producer can run ahead."""
+
+    manifest_hash: str
+    seeds: List[int]
+    ring: FixedPointRing
+    groups: WireGroups
+
+    def header(self) -> Dict[str, object]:
+        return {
+            "type": "announce",
+            "protocol": PROVISION_PROTOCOL,
+            "manifest_hash": self.manifest_hash,
+            "seeds": [int(seed) for seed in self.seeds],
+            "ring": _ring_to_wire(self.ring),
+            "groups": _groups_to_wire(self.groups),
+        }
+
+    @classmethod
+    def from_header(cls, header: Dict[str, object]) -> "AnnounceRequest":
+        return cls(
+            manifest_hash=str(header["manifest_hash"]),
+            seeds=[int(seed) for seed in header["seeds"]],
+            ring=_ring_from_wire(header["ring"]),
+            groups=_groups_from_wire(header["groups"]),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Frame codec over Transport control messages
+# --------------------------------------------------------------------------- #
+def encode_frame(header: Dict[str, object], payload: bytes = b"") -> bytes:
+    """One provisioning frame: header length, JSON header, raw payload."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    return _HEADER_LEN.pack(len(header_bytes)) + header_bytes + payload
+
+
+def decode_frame(frame: bytes) -> Tuple[Dict[str, object], bytes]:
+    """Split a provisioning frame back into (header, payload)."""
+    if len(frame) < _HEADER_LEN.size:
+        raise ValueError(f"provisioning frame too short: {len(frame)} bytes")
+    (header_len,) = _HEADER_LEN.unpack_from(frame)
+    end = _HEADER_LEN.size + header_len
+    if len(frame) < end:
+        raise ValueError(
+            f"provisioning frame truncated: header claims {header_len} bytes, "
+            f"{len(frame) - _HEADER_LEN.size} available"
+        )
+    header = json.loads(frame[_HEADER_LEN.size : end].decode())
+    if not isinstance(header, dict) or "type" not in header:
+        raise ValueError("provisioning frame header lacks a 'type' field")
+    return header, frame[end:]

@@ -112,6 +112,15 @@ class ServerConfig:
     #: connection opens.  ``None`` (or a missing party key) means a clean
     #: link.  Chaos tests and shaped-link benchmarks ride through here.
     fault_plans: Optional[Dict[int, FaultPlan]] = None
+    #: (host, port) of a randomness-factory server.  When set, pool
+    #: provisioning *fetches* party-restricted buffers from the factory's
+    #: inventory instead of generating locally; any factory failure falls
+    #: back to local cold generation at the identical seed, so logits stay
+    #: bit-for-bit unchanged either way.
+    factory_address: Optional[Tuple[str, int]] = None
+    #: job seeds to announce ahead to the factory on each refill, so the
+    #: producer pre-generates bundles before the servers ask (0 = reactive)
+    factory_announce_ahead: int = 4
 
 
 @dataclass
@@ -192,6 +201,12 @@ class ProvisionReport:
     batch_size: int
     buffered: int
     provision_seconds: float
+    #: lifetime pools this party fetched from the factory inventory
+    pools_from_factory: int = 0
+    #: lifetime factory fetches that failed over to local cold generation
+    factory_fallbacks: int = 0
+    #: factory inventory depth as of the last successful fetch (-1 = never)
+    factory_inventory_depth: int = -1
 
 
 @dataclass
@@ -219,6 +234,13 @@ class ServerStats:
     cpu_time_ns: int = 0
     #: summed fused-kernel invocations across all jobs
     fused_kernel_calls: int = 0
+    #: pools fetched from the randomness factory's inventory
+    pools_from_factory: int = 0
+    #: factory fetches that failed over to local cold generation
+    factory_fallbacks: int = 0
+    #: factory inventory depth for this server's hottest manifest, as of
+    #: the last successful fetch (-1 = never fetched)
+    factory_inventory_depth: int = -1
 
 
 # --------------------------------------------------------------------------- #
@@ -234,6 +256,9 @@ class _PlanEntry:
     #: FIFO of (counter, party-restricted pool); counters strictly increase
     pools: Deque[Tuple[int, RandomnessPool]] = field(default_factory=deque)
     next_counter: int = 0
+    #: the plan's preprocessing manifest (cached — factory fetches and
+    #: announcements reuse its content hash and grouped requests)
+    manifest: object = None
 
 
 class PartyServer:
@@ -266,6 +291,8 @@ class PartyServer:
         self._refill = threading.Condition(self._lock)
         self._closing = False
         self._provisioner: Optional[threading.Thread] = None
+        self._factory = None
+        self._factory_unavailable = False
 
     # -- plan / pool management --------------------------------------------- #
     def _entry(self, model: str, batch_size: int) -> _PlanEntry:
@@ -285,17 +312,98 @@ class PartyServer:
             plan = optimize_plan(
                 plan, lower=getattr(self.config, "lower_local_compute", True)
             )
+        manifest = getattr(plan, "manifest", None)
         with self._lock:
-            entry = self._entries.setdefault(key, _PlanEntry(plan=plan))
+            entry = self._entries.setdefault(key, _PlanEntry(plan=plan, manifest=manifest))
             if entry.plan is plan:
                 self.stats.plans_compiled += 1
         return entry
 
+    # -- factory provisioning ------------------------------------------------- #
+    def _factory_client(self):
+        """The (lazily connected) randomness-factory client, if configured.
+
+        A connection or session failure permanently reverts this server to
+        local cold generation — correctness is unaffected because both
+        paths generate from the identical per-seed substreams.
+        """
+        address = getattr(self.config, "factory_address", None)
+        if address is None or self._factory_unavailable:
+            return None
+        if self._factory is None:
+            from repro.offline.factory import FactoryClient
+
+            try:
+                self._factory = FactoryClient(tuple(address), retries=3)
+            except (ConnectionError, OSError):
+                self._factory_unavailable = True
+                with self._lock:
+                    self.stats.factory_fallbacks += 1
+                return None
+        return self._factory
+
+    def _drop_factory(self) -> None:
+        client, self._factory = self._factory, None
+        self._factory_unavailable = True
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    def _pool_at_seed(self, entry: _PlanEntry, seed: int) -> RandomnessPool:
+        """The party-restricted pool of one session seed.
+
+        Tries the factory inventory first (streamed, pre-generated), then
+        falls back to local cold generation — the fetched buffers are
+        bit-identical to what the dealer generates here, so the fallback
+        changes latency only, never logits.
+        """
+        client = self._factory_client()
+        if client is not None and entry.manifest is not None:
+            try:
+                pool = client.fetch_pool(entry.manifest, seed, party=self.party)
+                with self._lock:
+                    self.stats.pools_from_factory += 1
+                    if client.last_inventory_depth is not None:
+                        self.stats.factory_inventory_depth = client.last_inventory_depth
+                return pool
+            except Exception:
+                with self._lock:
+                    self.stats.factory_fallbacks += 1
+                self._drop_factory()
+        dealer = TrustedDealer(ring=self.ring, seed=seed)
+        return dealer.preprocess(entry.plan).restrict_to_party(self.party)
+
+    def _announce_ahead(self, entry: _PlanEntry, model: str, batch_size: int) -> None:
+        """Advertise the next job seeds so the factory can run ahead."""
+        ahead = getattr(self.config, "factory_announce_ahead", 0)
+        client = self._factory_client()
+        if ahead <= 0 or client is None or entry.manifest is None or self.party != 0:
+            # one announcing party suffices — both servers derive the same
+            # seeds, and the factory spools one shared bundle per seed
+            return
+        with self._lock:
+            start = entry.next_counter
+        seeds = [
+            derive_job_seed(self.config.base_seed, model, batch_size, start + offset)
+            for offset in range(ahead)
+        ]
+        try:
+            client.announce(entry.manifest, seeds)
+        except Exception:
+            with self._lock:
+                self.stats.factory_fallbacks += 1
+            self._drop_factory()
+
     def _generate_pool(self, model: str, batch_size: int, counter: int, plan) -> RandomnessPool:
         seed = derive_job_seed(self.config.base_seed, model, batch_size, counter)
-        dealer = TrustedDealer(ring=self.ring, seed=seed)
-        pool = dealer.preprocess(plan).restrict_to_party(self.party)
-        return pool
+        key = (model, batch_size)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is None or entry.plan is not plan:
+            entry = _PlanEntry(plan=plan, manifest=getattr(plan, "manifest", None))
+        return self._pool_at_seed(entry, seed)
 
     def provision(self, model: str, batch_size: int, count: int) -> int:
         """Buffer ``count`` additional pools for a key; returns buffer depth."""
@@ -304,10 +412,12 @@ class PartyServer:
             with self._lock:
                 counter = entry.next_counter
                 entry.next_counter += 1
-            pool = self._generate_pool(model, batch_size, counter, entry.plan)
+            seed = derive_job_seed(self.config.base_seed, model, batch_size, counter)
+            pool = self._pool_at_seed(entry, seed)
             with self._lock:
                 entry.pools.append((counter, pool))
                 self.stats.pools_provisioned += 1
+        self._announce_ahead(entry, model, batch_size)
         # a pipe-driven warm-up may have just *created* a key; wake the
         # provisioner so it can judge the new key against the low-water mark
         self.notify_provisioner()
@@ -437,10 +547,10 @@ class PartyServer:
         else:
             # A replay pinned to another shard generation's seed: the
             # buffered pools of this server (keyed by counter under *its*
-            # base seed) don't apply — generate the exact pool cold so the
-            # dealer stream matches the pinned session seed bit-for-bit.
-            dealer = TrustedDealer(ring=self.ring, seed=seed)
-            pool = dealer.preprocess(entry.plan).restrict_to_party(self.party)
+            # base seed) don't apply — obtain the exact pool at the pinned
+            # seed (factory inventory or local cold generation; both yield
+            # the identical dealer stream bit-for-bit).
+            pool = self._pool_at_seed(entry, seed)
             hit = False
             with self._lock:
                 self.stats.pool_misses += 1
@@ -510,6 +620,12 @@ class PartyServer:
             self._refill.notify_all()
         if self._provisioner is not None:
             self._provisioner.join(timeout=10.0)
+        if self._factory is not None:
+            try:
+                self._factory.close()
+            except Exception:
+                pass
+            self._factory = None
         if self.party == 0:
             self.transport.send_shutdown()
         else:
@@ -591,6 +707,9 @@ def run_party_server(
                         batch_size=message.batch_size,
                         buffered=buffered,
                         provision_seconds=time.perf_counter() - start,
+                        pools_from_factory=server.stats.pools_from_factory,
+                        factory_fallbacks=server.stats.factory_fallbacks,
+                        factory_inventory_depth=server.stats.factory_inventory_depth,
                     )
                 )
             elif isinstance(message, JobRequest):

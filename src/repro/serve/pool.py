@@ -138,6 +138,13 @@ class ShardStats:
     unpacked_payload_bytes: int = 0
     cpu_time_ns: int = 0
     fused_kernel_calls: int = 0
+    #: pools the two parties fetched from the randomness factory inventory
+    #: (lifetime totals, refreshed from provision reports and final stats)
+    pools_from_factory: int = 0
+    #: factory fetches that failed over to local cold generation
+    factory_fallbacks: int = 0
+    #: last observed factory inventory depth (-1 = never fetched)
+    factory_inventory_depth: int = -1
     job_latencies: Deque[float] = field(default_factory=lambda: deque(maxlen=10_000))
 
     @property
@@ -165,6 +172,9 @@ class ShardStats:
             "bytes_saved_pct": self.bytes_saved_pct,
             "cpu_time_ns": self.cpu_time_ns,
             "fused_kernel_calls": self.fused_kernel_calls,
+            "pools_from_factory": self.pools_from_factory,
+            "factory_fallbacks": self.factory_fallbacks,
+            "factory_inventory_depth": self.factory_inventory_depth,
             "p50_job_ms": 1e3 * float(np.percentile(latencies, 50)) if latencies else 0.0,
             "p95_job_ms": 1e3 * float(np.percentile(latencies, 95)) if latencies else 0.0,
         }
@@ -197,6 +207,8 @@ class WorkerShard:
         fault_plans: Optional[Dict[int, FaultPlan]] = None,
         initial_counters: Optional[Dict[Tuple[str, int], int]] = None,
         initial_job_id: int = 0,
+        factory_address: Optional[Tuple[str, int]] = None,
+        factory_announce_ahead: int = 4,
     ) -> None:
         self.index = index
         self.models = models
@@ -230,6 +242,8 @@ class WorkerShard:
             coalesce_rounds=coalesce_rounds,
             lower_local_compute=lower_local_compute,
             fault_plans=dict(fault_plans) if fault_plans else None,
+            factory_address=factory_address,
+            factory_announce_ahead=factory_announce_ahead,
         )
         # Party 0 binds an ephemeral port itself and announces the
         # kernel-assigned number before party 1 boots — race-free even when
@@ -470,7 +484,26 @@ class WorkerShard:
         request = ProvisionRequest(model=model, batch_size=batch_size, count=count)
         for party in (0, 1):
             self._send(party, request)
-        return {party: self._recv(party, self.timeout) for party in (0, 1)}
+        reports = {party: self._recv(party, self.timeout) for party in (0, 1)}
+        self._absorb_factory_counters(reports.values())
+        return reports
+
+    def _absorb_factory_counters(self, sources) -> None:
+        """Refresh factory counters from provision reports / final stats.
+
+        The reported values are lifetime totals per party, so they replace
+        (not increment) the shard's view.
+        """
+        totals = [0, 0]
+        depth = -1
+        for report in sources:
+            totals[0] += getattr(report, "pools_from_factory", 0)
+            totals[1] += getattr(report, "factory_fallbacks", 0)
+            depth = max(depth, getattr(report, "factory_inventory_depth", -1))
+        with self._lock:
+            self.stats.pools_from_factory = totals[0]
+            self.stats.factory_fallbacks = totals[1]
+            self.stats.factory_inventory_depth = depth
 
     # -- lifecycle ------------------------------------------------------------ #
     def shutdown(self, timeout: float = 30.0) -> None:
@@ -483,6 +516,8 @@ class WorkerShard:
                     stats = self._recv(party, timeout)
                     if isinstance(stats, ServerStats):
                         self.final_server_stats[party] = stats
+                if len(self.final_server_stats) == 2:
+                    self._absorb_factory_counters(self.final_server_stats.values())
             except ShardFailure:
                 pass
         self.alive = False
@@ -571,6 +606,14 @@ class ShardedServingPool:
             bandwidth; no scripted faults) applied to both parties of
             every boot, including replacements — the degraded-network
             regime of the scaling benchmark.
+        factory_address: optional ``(host, port)`` of a randomness-factory
+            server.  Each party server then provisions pools by fetching
+            its party-restricted buffers from the factory inventory,
+            falling back to local cold generation (same seed, bit-identical
+            material) when the factory is unreachable or misses.
+        factory_announce_ahead: upcoming job seeds party 0 advertises to
+            the factory per provisioned key, so the producer generates
+            bundles ahead of demand.
     """
 
     def __init__(
@@ -595,6 +638,8 @@ class ShardedServingPool:
         retry_backoff: float = 0.05,
         fault_plans: Optional[Dict[int, Dict[int, FaultPlan]]] = None,
         link_shape: Optional[FaultPlan] = None,
+        factory_address: Optional[Tuple[str, int]] = None,
+        factory_announce_ahead: int = 4,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -625,6 +670,8 @@ class ShardedServingPool:
         self.retry_backoff = retry_backoff
         self.fault_plans = dict(fault_plans or {})
         self.link_shape = link_shape
+        self.factory_address = tuple(factory_address) if factory_address else None
+        self.factory_announce_ahead = factory_announce_ahead
         self.processes_spawned = 0
         self.shards_booted = 0
         self.jobs_retried = 0
@@ -709,6 +756,8 @@ class ShardedServingPool:
             fault_plans=self._shard_fault_plans(index, inject),
             initial_counters=initial_counters,
             initial_job_id=initial_job_id,
+            factory_address=self.factory_address,
+            factory_announce_ahead=self.factory_announce_ahead,
         )
         self.processes_spawned += 2
         self.shards_booted += 1
@@ -965,6 +1014,16 @@ class ShardedServingPool:
             "cpu_time_ns": sum(snap["cpu_time_ns"] for snap in per_shard.values()),
             "fused_kernel_calls": sum(
                 snap["fused_kernel_calls"] for snap in per_shard.values()
+            ),
+            "pools_from_factory": sum(
+                snap["pools_from_factory"] for snap in per_shard.values()
+            ),
+            "factory_fallbacks": sum(
+                snap["factory_fallbacks"] for snap in per_shard.values()
+            ),
+            "factory_inventory_depth": max(
+                (snap["factory_inventory_depth"] for snap in per_shard.values()),
+                default=-1,
             ),
             "frontend": frontend,
             "per_shard": per_shard,

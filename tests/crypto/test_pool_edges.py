@@ -1,0 +1,135 @@
+"""Edge-case tests for :class:`RandomnessPool`: restriction, partitioning
+and contextual exhaustion diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import compile_plan
+from repro.crypto.dealer import (
+    PreprocessingExhausted,
+    RandomnessPool,
+    TrustedDealer,
+)
+from repro.crypto.protocols.registry import RandomnessRequest
+from repro.crypto.ring import DEFAULT_RING
+from repro.models.vgg import vgg_tiny
+
+
+@pytest.fixture()
+def plan():
+    return compile_plan(vgg_tiny(input_size=8), batch_size=2)
+
+
+@pytest.fixture()
+def pool(plan):
+    return TrustedDealer(DEFAULT_RING, seed=13).preprocess(plan)
+
+
+class TestRestriction:
+    def test_restrict_is_idempotent_for_the_same_party(self, plan):
+        pool = TrustedDealer(DEFAULT_RING, seed=13).preprocess(plan)
+        once = pool.restrict_to_party(0)
+        kind, shape, _ = plan.manifest.grouped_requests()[0]
+        snapshot = {
+            name: stack.copy() for name, stack in once.group_buffers(kind, shape)[0].items()
+        }
+        twice = pool.restrict_to_party(0)
+        assert twice is pool
+        after = twice.group_buffers(kind, shape)[0]
+        for name, stack in snapshot.items():
+            assert np.array_equal(after[name], stack)
+
+    def test_restrict_to_conflicting_party_raises(self, pool):
+        pool.restrict_to_party(1)
+        with pytest.raises(ValueError, match="already restricted to party 1"):
+            pool.restrict_to_party(0)
+
+    def test_restrict_rejects_invalid_party(self, pool):
+        with pytest.raises(ValueError, match="party must be 0 or 1"):
+            pool.restrict_to_party(2)
+
+
+class TestPartition:
+    def test_empty_request_groups_yield_empty_sub_pools(self, pool):
+        total = pool.remaining
+        subs = pool.partition([[], [], []])
+        assert [sub.remaining for sub in subs] == [0, 0, 0]
+        assert pool.remaining == total  # nothing moved
+
+    def test_partition_moves_views_not_copies(self, plan, pool):
+        """Sub-pool items stay views into the parent pool's group buffers —
+        the no-intermediate-copies contract of the vectorized fill."""
+        kind, shape, _count = next(
+            g for g in plan.manifest.grouped_requests() if g[0] == "triple"
+        )
+        stacks = pool.group_buffers(kind, shape)[0]
+        (sub,) = pool.partition([[RandomnessRequest(kind=kind, shape=shape)]])
+        item = sub.triple(shape, shape, DEFAULT_RING.mul)
+        assert np.shares_memory(item.a.share0, stacks["a0"])
+        assert np.shares_memory(item.z.share1, stacks["z1"])
+
+    def test_partition_preserves_identity_and_restriction(self, plan, pool):
+        pool.restrict_to_party(1)
+        subs = pool.partition([op.requests for op in plan.ops])
+        assert len(subs) == len(plan.ops)
+        for sub in subs:
+            assert sub.manifest_hash == plan.manifest.content_hash
+            assert sub.restricted_to == 1
+        assert pool.remaining == 0  # fully drained into the sub-pools
+
+    def test_partition_exhaustion_is_contextual(self, plan, pool):
+        request = RandomnessRequest(kind="dabit", shape=(999, 999))
+        with pytest.raises(PreprocessingExhausted) as excinfo:
+            pool.partition([[request]])
+        error = excinfo.value
+        assert error.kind == "dabit"
+        assert error.shape == (999, 999)
+        assert error.manifest_hash == plan.manifest.content_hash
+        assert error.remaining_by_kind.get("triple", 0) > 0
+
+
+class TestExhaustionDiagnostics:
+    def _drain(self, pool, kind, shape):
+        popper = {
+            "bit": pool.bit_triple,
+            "dabit": pool.dabit,
+            "square": pool.square_pair,
+        }[kind]
+        while True:
+            popper(shape)
+
+    @pytest.mark.parametrize("kind", ["bit", "dabit"])
+    def test_mid_schedule_exhaustion_reports_context(self, plan, pool, kind):
+        groups = [g for g in plan.manifest.grouped_requests() if g[0] == kind]
+        assert groups, f"plan should consume {kind} randomness"
+        _, shape, _count = groups[0]
+        with pytest.raises(PreprocessingExhausted) as excinfo:
+            self._drain(pool, kind, shape)
+        error = excinfo.value
+        assert error.kind == kind
+        assert error.shape == tuple(shape)
+        assert error.manifest_hash == plan.manifest.content_hash
+        # the (kind, shape) FIFO is empty; other kinds are still stocked
+        assert error.remaining_by_kind.get("triple", 0) > 0
+        # deterministic: re-requesting reproduces the same diagnostics
+        with pytest.raises(PreprocessingExhausted) as again:
+            getattr(pool, "bit_triple" if kind == "bit" else kind)(shape)
+        assert again.value.remaining_by_kind == error.remaining_by_kind
+
+    def test_exhaustion_message_names_the_missing_request(self, pool):
+        with pytest.raises(PreprocessingExhausted, match="shape \\(123,\\)"):
+            pool.dabit((123,))
+
+    def test_empty_pool_reports_empty_depth(self):
+        pool = RandomnessPool(ring=DEFAULT_RING, manifest_hash="abc123")
+        with pytest.raises(PreprocessingExhausted) as excinfo:
+            pool.square_pair((2,))
+        assert excinfo.value.remaining_by_kind == {}
+        assert excinfo.value.manifest_hash == "abc123"
+        assert "empty" in str(excinfo.value)
+
+    def test_non_elementwise_triple_rejected_with_context(self, pool):
+        with pytest.raises(PreprocessingExhausted, match="elementwise"):
+            pool.triple((2, 3), (3, 4), DEFAULT_RING.matmul)

@@ -1,0 +1,129 @@
+"""Tests for pool bundles and the disk-backed inventory store."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.crypto import compile_plan
+from repro.crypto.dealer import TrustedDealer
+from repro.crypto.ring import DEFAULT_RING
+from repro.models.vgg import vgg_tiny
+from repro.offline.generation import GROUP_FIELDS
+from repro.offline.inventory import InventoryStore, PoolBundle
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return compile_plan(vgg_tiny(input_size=8), batch_size=2).manifest
+
+
+class TestPoolBundle:
+    def test_generate_matches_local_dealer_bit_for_bit(self, manifest):
+        bundle = PoolBundle.generate(manifest, seed=17)
+        local = TrustedDealer(manifest.ring, seed=17).preprocess(manifest)
+        assert bundle.manifest_hash == manifest.content_hash
+        assert len(bundle.groups) == len(manifest.grouped_requests())
+        for group in bundle.groups:
+            buffers = local.group_buffers(group.kind, group.shape)
+            assert len(buffers) == 1
+            for name in GROUP_FIELDS[group.kind]:
+                assert np.array_equal(group.arrays[name], buffers[0][name])
+
+    def test_npz_round_trip(self, manifest):
+        bundle = PoolBundle.generate(manifest, seed=3)
+        data = bundle.to_npz_bytes()
+        loaded = PoolBundle.from_npz(io.BytesIO(data))
+        assert loaded.manifest_hash == bundle.manifest_hash
+        assert loaded.seed == bundle.seed
+        assert loaded.ring == bundle.ring
+        assert [(g.kind, g.shape, g.count) for g in loaded.groups] == [
+            (g.kind, g.shape, g.count) for g in bundle.groups
+        ]
+        for original, restored in zip(bundle.groups, loaded.groups):
+            for name in GROUP_FIELDS[original.kind]:
+                assert np.array_equal(original.arrays[name], restored.arrays[name])
+
+    def test_from_npz_rejects_foreign_format(self):
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=np.frombuffer(b'{"format": "other/v9"}', dtype=np.uint8))
+        buffer.seek(0)
+        with pytest.raises(ValueError, match="unsupported bundle format"):
+            PoolBundle.from_npz(buffer)
+
+    def test_build_pool_restricted_matches_local(self, manifest):
+        bundle = PoolBundle.generate(manifest, seed=9)
+        for party in (0, 1):
+            from_bundle = bundle.build_pool(party=party)
+            local = TrustedDealer(manifest.ring, seed=9).preprocess(manifest)
+            local.restrict_to_party(party)
+            assert from_bundle.restricted_to == party
+            for kind, shape, _count in manifest.grouped_requests():
+                ours = from_bundle.group_buffers(kind, shape)[0]
+                theirs = local.group_buffers(kind, shape)[0]
+                for name in GROUP_FIELDS[kind]:
+                    assert np.array_equal(ours[name], theirs[name])
+
+    def test_material_bytes_positive(self, manifest):
+        bundle = PoolBundle.generate(manifest, seed=0)
+        assert bundle.material_bytes == sum(g.nbytes for g in bundle.groups) > 0
+
+
+class TestInventoryStore:
+    def test_put_load_remove_lifecycle(self, manifest, tmp_path):
+        store = InventoryStore(str(tmp_path))
+        bundle = PoolBundle.generate(manifest, seed=42)
+        path = store.put(bundle, generation_seconds=0.5)
+        assert os.path.exists(path)
+        assert store.contains(bundle.manifest_hash, 42)
+        assert store.depth(bundle.manifest_hash) == 1
+        assert store.seeds(bundle.manifest_hash) == [42]
+        assert store.hashes() == [bundle.manifest_hash]
+        # no stray temp files survive the atomic spool
+        directory = os.path.dirname(path)
+        assert all(entry.endswith(".npz") for entry in os.listdir(directory))
+
+        loaded = store.load(bundle.manifest_hash, 42)
+        assert loaded is not None and loaded.seed == 42
+        assert store.load(bundle.manifest_hash, 999) is None
+        assert store.remove(bundle.manifest_hash, 42)
+        assert not store.remove(bundle.manifest_hash, 42)
+        assert store.depth(bundle.manifest_hash) == 0
+
+    def test_accounting(self, manifest, tmp_path):
+        store = InventoryStore(str(tmp_path))
+        key = manifest.content_hash
+        assert store.consumption_rate(key) == 0.0
+        assert store.generation_seconds(key) is None
+        assert store.refill_lead_time(key) is None
+
+        for seed in (1, 2, 3):
+            store.put(PoolBundle.generate(manifest, seed=seed), generation_seconds=0.1)
+        assert store.produced_total == 3
+        # EWMA: 0.1, then 0.8*0.1 + 0.2*0.1 = 0.1 throughout
+        assert store.generation_seconds(key) == pytest.approx(0.1)
+        for seed in (1, 2):
+            assert store.load(key, seed) is not None
+        assert store.served_total == 2
+        assert store.consumption_rate(key) > 0.0
+        lead = store.refill_lead_time(key)
+        assert lead is not None
+
+    def test_stats_snapshot_schema(self, manifest, tmp_path):
+        import json
+
+        store = InventoryStore(str(tmp_path))
+        store.put(PoolBundle.generate(manifest, seed=5), generation_seconds=0.2)
+        store.load(manifest.content_hash, 5)
+        snapshot = store.stats_snapshot()
+        json.dumps(snapshot)  # must be JSON-serializable as documented
+        assert snapshot["schema"] == "offline-inventory/v1"
+        assert snapshot["produced_total"] == 1
+        assert snapshot["served_total"] == 1
+        entry = snapshot["inventory"][manifest.content_hash]
+        assert entry["depth"] == 1
+        assert entry["seeds"] == [5]
+        assert entry["generation_s"] == pytest.approx(0.2)

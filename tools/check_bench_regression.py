@@ -49,6 +49,24 @@ are understood (dispatched on the report's ``kind`` field):
   recovery is the feature — but a shaped, drop-free link must not retry);
 - the zoo-wide **bit-identity** phase must have passed when it ran.
 
+``offline_throughput`` (schema ``serving-bench/v1``):
+
+- the **minimum linear-kind generation speedup** (vectorized vs per-item
+  fill of the ``triple``/``square`` groups) must not fall more than
+  ``--max-offline-regression`` below the baseline's ratio, and never below
+  the 3x acceptance floor.  Ratios are compared — not items/second —
+  because CI machines differ wildly in speed while the vectorization win
+  is a property of eliminating per-item interpreter overhead;
+- per zoo model, the **manifest hash** and **material bytes** must equal
+  the baseline exactly (deterministic compile-time identities — drift
+  means the offline contract changed), and the vectorized **preprocess
+  speedup** must not fall more than the tolerance below the baseline's;
+- when the concurrency phase ran, the **online qps dip** under a
+  concurrent factory producer must stay under 10% and the producer must
+  have spooled at least one bundle;
+- the factory-provisioned zoo **bit-identity** phase must have passed in
+  every mode.
+
 Run with:
   python tools/check_bench_regression.py current.json \\
       benchmarks/baselines/round_coalescing_2shards.json
@@ -205,6 +223,98 @@ def check_local_compute(
     return failures
 
 
+#: hard floor on the linear-kind (triple/square) vectorized generation
+#: speedup — the randomness-factory acceptance criterion, never relaxed
+#: by tolerance
+OFFLINE_LINEAR_SPEEDUP_FLOOR = 3.0
+
+#: ceiling on the online qps dip while a nice(19) factory producer runs
+ONLINE_QPS_DIP_CEILING = 0.10
+
+
+def check_offline_throughput(
+    current: dict, baseline: dict, max_offline_regression: float
+) -> list:
+    failures = []
+
+    # -- linear-kind generation speedup (machine-independent ratio) ----------- #
+    baseline_ratio = baseline.get("min_linear_speedup", 0.0)
+    current_ratio = current.get("min_linear_speedup", 0.0)
+    floor = max(
+        baseline_ratio * (1.0 - max_offline_regression),
+        OFFLINE_LINEAR_SPEEDUP_FLOOR,
+    )
+    if current_ratio < floor:
+        failures.append(
+            f"min linear-kind generation speedup regressed "
+            f"{current_ratio:.2f}x vs baseline {baseline_ratio:.2f}x "
+            f"(floor {floor:.2f}x at {max_offline_regression:.0%} tolerance, "
+            f"hard floor {OFFLINE_LINEAR_SPEEDUP_FLOOR}x)"
+        )
+
+    # -- per-model offline identities and preprocess speedups ------------------ #
+    for model, entry in baseline.get("models", {}).items():
+        current_entry = current.get("models", {}).get(model)
+        if current_entry is None:
+            failures.append(f"model {model!r} missing from current report")
+            continue
+        for metric in ("manifest_hash", "material_bytes"):
+            if current_entry.get(metric) != entry.get(metric):
+                failures.append(
+                    f"{model}: {metric} drifted — "
+                    f"{current_entry.get(metric)!r} vs baseline "
+                    f"{entry.get(metric)!r} (the offline manifest contract "
+                    "is deterministic; any change must re-baseline)"
+                )
+        baseline_speedup = entry.get("speedup", 0.0)
+        current_speedup = current_entry.get("speedup", 0.0)
+        speedup_floor = baseline_speedup * (1.0 - max_offline_regression)
+        if current_speedup < speedup_floor:
+            failures.append(
+                f"{model}: vectorized preprocess speedup regressed "
+                f"{current_speedup:.2f}x vs baseline {baseline_speedup:.2f}x "
+                f"(floor {speedup_floor:.2f}x)"
+            )
+
+    # -- online isolation under concurrent factory generation ------------------ #
+    concurrency = current.get("concurrency")
+    if concurrency is not None:
+        if concurrency.get("qps_dip", 1.0) >= ONLINE_QPS_DIP_CEILING:
+            failures.append(
+                f"online qps dipped {concurrency['qps_dip']:.1%} under "
+                f"concurrent factory generation (ceiling "
+                f"{ONLINE_QPS_DIP_CEILING:.0%})"
+            )
+        if concurrency.get("bundles_generated", 0) <= 0:
+            failures.append(
+                "factory producer spooled zero bundles during the "
+                "concurrency phase — the isolation measurement is vacuous"
+            )
+    elif baseline.get("concurrency") is not None:
+        failures.append(
+            "baseline measured the concurrency phase but the current "
+            "report skipped it"
+        )
+
+    # -- bit identity ---------------------------------------------------------- #
+    checks = current.get("zoo_bit_identity")
+    if checks is not None:
+        for entry in checks:
+            if not entry.get("bit_identical"):
+                modes = entry.get("modes", {})
+                diverged = [m for m, ok in modes.items() if not ok] or ["?"]
+                failures.append(
+                    f"{entry.get('model')}: factory-provisioned execution "
+                    f"diverged in mode(s): {', '.join(diverged)}"
+                )
+    elif baseline.get("zoo_bit_identity") is not None:
+        failures.append(
+            "baseline verified zoo bit-identity but the current report "
+            "skipped the phase"
+        )
+    return failures
+
+
 def check_pool_scaling(
     current: dict, baseline: dict, max_qps_regression: float
 ) -> list:
@@ -273,6 +383,7 @@ def check(
     latency_key: str,
     max_qps_regression: float,
     max_cpu_regression: float = 0.35,
+    max_offline_regression: float = 0.35,
 ) -> list:
     failures = []
     if current.get("schema") != baseline.get("schema"):
@@ -291,6 +402,10 @@ def check(
     elif kind == "pool_scaling":
         failures.extend(
             check_pool_scaling(current, baseline, max_qps_regression)
+        )
+    elif kind == "offline_throughput":
+        failures.extend(
+            check_offline_throughput(current, baseline, max_offline_regression)
         )
     else:
         failures.extend(
@@ -313,6 +428,16 @@ def _summary(current: dict, baseline: dict, latency_key: str) -> str:
             f"shaped-link qps scaling {shaped.get('qps_speedup', 0.0):.2f}x "
             f"(baseline {baseline_shaped.get('qps_speedup', 0.0):.2f}x), "
             f"clean scaling {current.get('scaling', {}).get('qps_speedup', 0.0):.2f}x"
+        )
+    if baseline.get("kind") == "offline_throughput":
+        concurrency = current.get("concurrency") or {}
+        dip = concurrency.get("qps_dip")
+        dip_text = f"{dip:.1%}" if dip is not None else "skipped"
+        return (
+            f"min linear-kind generation speedup "
+            f"{current.get('min_linear_speedup', 0.0):.2f}x "
+            f"(baseline {baseline.get('min_linear_speedup', 0.0):.2f}x), "
+            f"online qps dip {dip_text}"
         )
     if baseline.get("kind") == "wire_compression":
         return (
@@ -346,6 +471,12 @@ def main() -> None:
         "for local_compute reports (default 35%%; the 1.5x acceptance "
         "floor always applies)",
     )
+    parser.add_argument(
+        "--max-offline-regression", type=float, default=0.35,
+        help="allowed relative drop of the offline generation/preprocess "
+        "speedup ratios for offline_throughput reports (default 35%%; the "
+        "3x linear-kind acceptance floor always applies)",
+    )
     args = parser.parse_args()
 
     current = load(args.current)
@@ -356,6 +487,7 @@ def main() -> None:
         args.latency,
         args.max_qps_regression,
         args.max_cpu_regression,
+        args.max_offline_regression,
     )
     if failures:
         for failure in failures:
