@@ -23,6 +23,15 @@ processes after boot** (persistent servers, no per-request spawn).
 Run with:  PYTHONPATH=src python benchmarks/bench_pool_scaling.py
 Optionally ``--json out.json`` writes the measurements (schema
 ``serving-bench/v1``, documented in docs/serving.md) for CI artifacts.
+
+``--overload`` switches to the **control-plane overload regime** instead:
+the asyncio :class:`~repro.serve.daemon.ServingDaemon` is driven at many
+times its service rate by concurrent framed clients, and the report
+(``kind: control_plane``) captures the admission-control contract — every
+submission resolves to logits or an explicit backpressure verdict
+(``client_failures`` must be zero), the shed ratio stays bounded, accepted
+throughput plateaus at the calibrated service rate instead of collapsing,
+and sampled accepted jobs replay bit-identically at their job seeds.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing as mp
+import threading
 import time
 from typing import Dict, List
 
@@ -40,7 +50,14 @@ from repro.crypto.secure_model import SecureInferenceEngine
 from repro.crypto.transport import FaultPlan
 from repro.models import build_model, export_layer_weights, get_backbone
 from repro.nn.tensor import Tensor
-from repro.serve import BatchingFrontend, ServableModel, ShardedServingPool
+from repro.serve import (
+    BackpressureError,
+    BatchingFrontend,
+    DaemonClient,
+    ServableModel,
+    ServingDaemon,
+    ShardedServingPool,
+)
 from repro.utils import seed_everything
 
 #: zoo models exercised by the bit-identity phase (numpy-trainable tinies)
@@ -359,6 +376,192 @@ def run_benchmark(
     }
 
 
+# --------------------------------------------------------------------------- #
+# Control-plane overload regime
+# --------------------------------------------------------------------------- #
+def run_overload_benchmark(
+    model: str = "vgg-tiny",
+    input_size: int = 8,
+    shards: int = 2,
+    calibration_queries: int = 12,
+    overload_threads: int = 8,
+    submits_per_thread: int = 6,
+    queue_budget: int = 4,
+    seed: int = 0,
+    replay_samples: int = 2,
+) -> dict:
+    """Drive the serving daemon far past its service rate and report the
+    admission-control contract.
+
+    Phase 1 calibrates the sustainable service rate with one sequential
+    client.  Phase 2 offers ``overload_threads * submits_per_thread``
+    batch-1 submissions from concurrent framed clients against a
+    ``queue_budget``-deep admission queue; shed submissions back off by the
+    daemon's ``retry_after_ms`` hint and count as *verdicts*, not failures.
+    The gates downstream (``tools/check_bench_regression.py``, kind
+    ``control_plane``) are machine-independent: zero client-visible
+    failures, a bounded shed ratio, and an accepted-throughput plateau
+    ratio (overload qps / calibrated qps) that must not collapse.
+    """
+    seed_everything(1)
+    servable = _trained_servable(model, input_size, polynomial=True)
+    spec = servable.spec
+
+    with ServingDaemon(
+        {model: servable},
+        num_shards=shards,
+        max_batch=1,  # one query == one job: accepted rows replay exactly
+        max_wait=0.0,
+        provision_pools=2,
+        seed=seed,
+        queue_budget=queue_budget,
+    ) as daemon:
+        # -- phase 1: calibrate the sustainable service rate ------------------ #
+        calibration_latencies: List[float] = []
+        rng = np.random.default_rng(7)
+        with DaemonClient(*daemon.address) as client:
+            t0 = time.perf_counter()
+            for _ in range(calibration_queries):
+                x = rng.normal(size=(1, spec.in_channels, input_size, input_size))
+                start = time.perf_counter()
+                client.infer(model, x)
+                calibration_latencies.append(time.perf_counter() - start)
+            calibration_seconds = time.perf_counter() - t0
+        calibration_qps = calibration_queries / calibration_seconds
+
+        # -- phase 2: sustained overload -------------------------------------- #
+        accepted: List[dict] = []
+        shed: List[float] = []  # retry_after_ms per verdict
+        failures: List[str] = []
+        lock = threading.Lock()
+
+        def client_loop(worker: int) -> None:
+            thread_rng = np.random.default_rng(100 + worker)
+            try:
+                with DaemonClient(*daemon.address) as load_client:
+                    for _ in range(submits_per_thread):
+                        x = thread_rng.normal(
+                            size=(1, spec.in_channels, input_size, input_size)
+                        )
+                        start = time.perf_counter()
+                        try:
+                            result = load_client.infer(model, x)
+                        except BackpressureError as verdict:
+                            with lock:
+                                shed.append(verdict.retry_after_ms)
+                            # honor the hint (capped: this is a benchmark,
+                            # not a production client)
+                            time.sleep(min(verdict.retry_after_ms, 100.0) / 1e3)
+                            continue
+                        elapsed = time.perf_counter() - start
+                        with lock:
+                            accepted.append(
+                                {
+                                    "queries": x,
+                                    "job_seed": result.job_seeds[0],
+                                    "logits": result.logits,
+                                    "latency_s": elapsed,
+                                }
+                            )
+            except Exception as exc:  # noqa: BLE001 — the gated contract
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,))
+            for i in range(overload_threads)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        overload_seconds = time.perf_counter() - t0
+        stats = daemon.stats_payload()
+
+    # -- bit-identity spot checks on accepted jobs ----------------------------- #
+    bit_identity = []
+    for record in accepted[:replay_samples]:
+        engine = SecureInferenceEngine(make_context(seed=record["job_seed"]))
+        plan = engine.compile(spec, batch_size=1)
+        reference = engine.execute(
+            plan, servable.weights, record["queries"], pool=engine.preprocess(plan)
+        )
+        bit_identity.append(
+            {
+                "job_seed": record["job_seed"],
+                "bit_identical": bool(
+                    np.array_equal(record["logits"], reference.logits)
+                ),
+            }
+        )
+
+    offered = overload_threads * submits_per_thread
+    accepted_latencies = [r["latency_s"] for r in accepted]
+    accepted_qps = len(accepted) / overload_seconds if overload_seconds else 0.0
+    return {
+        "schema": SCHEMA,
+        "kind": "control_plane",
+        "model": spec.name,
+        "config": {
+            "shards": shards,
+            "max_batch": 1,
+            "queue_budget": queue_budget,
+            "calibration_queries": calibration_queries,
+            "overload_threads": overload_threads,
+            "submits_per_thread": submits_per_thread,
+            "seed": seed,
+        },
+        "calibration": {
+            "queries": calibration_queries,
+            "queries_per_second": calibration_qps,
+            "p50_latency_ms": 1e3 * float(np.percentile(calibration_latencies, 50)),
+            "p95_latency_ms": 1e3 * float(np.percentile(calibration_latencies, 95)),
+        },
+        "overload": {
+            "offered": offered,
+            "accepted": len(accepted),
+            "shed": len(shed),
+            "client_failures": len(failures),
+            "failure_messages": failures,
+            "elapsed_seconds": overload_seconds,
+            "accepted_qps": accepted_qps,
+            "accepted_p50_ms": 1e3 * float(np.percentile(accepted_latencies, 50))
+            if accepted_latencies
+            else None,
+            "accepted_p95_ms": 1e3 * float(np.percentile(accepted_latencies, 95))
+            if accepted_latencies
+            else None,
+            "shed_ratio": len(shed) / offered if offered else 0.0,
+            "qps_plateau_ratio": (
+                accepted_qps / calibration_qps if calibration_qps else 0.0
+            ),
+            "mean_retry_after_ms": float(np.mean(shed)) if shed else None,
+        },
+        "counters": {
+            "daemon": stats["daemon"],
+            "admission": stats["admission"],
+            "supervisor": {
+                key: value
+                for key, value in stats["supervisor"].items()
+                if isinstance(value, (int, float))
+            },
+            "pool": {
+                key: stats["pool"][key]
+                for key in (
+                    "jobs_executed",
+                    "jobs_retried",
+                    "jobs_recovered",
+                    "shards_respawned",
+                    "shards_retired",
+                )
+                if key in stats["pool"]
+            },
+        },
+        "bit_identity": bit_identity,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--model", default="vgg-tiny")
@@ -402,8 +605,69 @@ def main() -> None:
         "--skip-shaped", action="store_true",
         help="skip the shaped-link (WAN-like) regime",
     )
+    parser.add_argument(
+        "--overload", action="store_true",
+        help="run the control-plane overload regime (serving daemon, "
+        "admission control, backpressure) instead of the scaling sweep",
+    )
+    parser.add_argument(
+        "--overload-shards", type=int, default=2,
+        help="shard count of the daemon under overload (default 2)",
+    )
+    parser.add_argument(
+        "--overload-threads", type=int, default=8,
+        help="concurrent framed clients driving the overload phase",
+    )
+    parser.add_argument(
+        "--overload-submits", type=int, default=6,
+        help="submissions per overload client",
+    )
+    parser.add_argument(
+        "--queue-budget", type=int, default=4,
+        help="admission queue budget per (model, batch) under overload",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     args = parser.parse_args()
+
+    if args.overload:
+        report = run_overload_benchmark(
+            model=args.model,
+            input_size=args.input_size,
+            shards=args.overload_shards,
+            overload_threads=args.overload_threads,
+            submits_per_thread=args.overload_submits,
+            queue_budget=args.queue_budget,
+        )
+        calibration = report["calibration"]
+        overload = report["overload"]
+        print(f"== control-plane overload: {report['model']}, "
+              f"{report['config']['shards']} shards, queue budget "
+              f"{report['config']['queue_budget']} ==")
+        print(f"calibration: {calibration['queries_per_second']:.1f} qps "
+              f"(p95 {calibration['p95_latency_ms']:.1f} ms)")
+        print(f"overload:    offered {overload['offered']}, accepted "
+              f"{overload['accepted']}, shed {overload['shed']} "
+              f"(ratio {overload['shed_ratio']:.0%}), failures "
+              f"{overload['client_failures']}")
+        print(f"accepted qps {overload['accepted_qps']:.1f} "
+              f"(plateau ratio {overload['qps_plateau_ratio']:.2f}x vs "
+              f"calibration)")
+        identical = [c["bit_identical"] for c in report["bit_identity"]]
+        print(f"bit-identity: {sum(identical)}/{len(identical)} sampled "
+              f"accepted jobs replay exactly")
+        if overload["client_failures"]:
+            for message in overload["failure_messages"]:
+                print(f"  CLIENT FAILURE: {message}")
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+            print(f"wrote benchmark JSON to {args.json_path}")
+        if overload["client_failures"] or not all(identical):
+            raise SystemExit(
+                "overload regime violated the control-plane contract"
+            )
+        return
+
     shard_counts = [int(part) for part in args.shards.split(",") if part]
     shaped_shard_counts = [
         int(part) for part in args.shaped_shards.split(",") if part

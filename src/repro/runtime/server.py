@@ -121,6 +121,11 @@ class ServerConfig:
     #: job seeds to announce ahead to the factory on each refill, so the
     #: producer pre-generates bundles before the servers ask (0 = reactive)
     factory_announce_ahead: int = 4
+    #: seconds between liveness frames the server emits over the driver's
+    #: control pipe (a background thread, so heartbeats keep flowing while a
+    #: job computes or waits on the wire).  ``0`` disables emission — the
+    #: driver then falls back to its hard pipe/timeout detection only.
+    heartbeat_interval: float = 1.0
 
 
 @dataclass
@@ -210,6 +215,31 @@ class ProvisionReport:
 
 
 @dataclass
+class Heartbeat:
+    """One liveness frame a party server emits over the control pipe.
+
+    Emitted by a background thread at ``ServerConfig.heartbeat_interval``,
+    *including* while a job is executing or blocked on the inter-party
+    wire — so the driver can distinguish "slow but alive" from "wedged".
+    The snapshot it carries is what a heartbeat-miss diagnostic needs:
+    when the party was last seen, which job it was inside, and how far
+    through the round schedule it had come.
+    """
+
+    party: int
+    pid: int
+    #: wall-clock ``time.time()`` at emission (the last-seen timestamp a
+    #: heartbeat-miss error reports)
+    timestamp: float
+    jobs_executed: int
+    #: job id currently executing on this party (``None`` between jobs)
+    job_id: Optional[int] = None
+    #: round frames this party has sent over the inter-party transport so
+    #: far — a monotone progress cursor through the job's round schedule
+    round_index: int = 0
+
+
+@dataclass
 class ShutdownRequest:
     """Ask the server to run the graceful wire shutdown and exit."""
 
@@ -287,6 +317,9 @@ class PartyServer:
             payload_bytes_received=0,
         )
         self._entries: Dict[Tuple[str, int], _PlanEntry] = {}
+        #: job id currently executing (``None`` between jobs) — read by the
+        #: heartbeat thread without the lock (GIL-atomic attribute load)
+        self.current_job_id: Optional[int] = None
         self._lock = threading.Lock()
         self._refill = threading.Condition(self._lock)
         self._closing = False
@@ -558,14 +591,18 @@ class PartyServer:
         start = time.perf_counter()
         ctx = TwoPartyContext(ring=self.ring, seed=seed, channel=self.channel)
         before = self.transport.stats.snapshot()
-        execution = execute_plan_as_party(
-            ctx,
-            self.party,
-            entry.plan,
-            self.config.weights[request.model],
-            request.input_share,
-            pool=pool,
-        )
+        self.current_job_id = request.job_id
+        try:
+            execution = execute_plan_as_party(
+                ctx,
+                self.party,
+                entry.plan,
+                self.config.weights[request.model],
+                request.input_share,
+                pool=pool,
+            )
+        finally:
+            self.current_job_id = None
         delta = self.transport.stats.since(before)
         online_seconds = time.perf_counter() - start
 
@@ -643,6 +680,54 @@ class PartyServer:
         return self.stats
 
 
+class _PipeSender:
+    """Serializes control-pipe sends between the serving loop and the
+    heartbeat thread (``multiprocessing.Connection`` is not re-entrant)."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, message) -> None:
+        with self._lock:
+            self._conn.send(message)
+
+
+def _start_heartbeat_thread(
+    sender: _PipeSender, server: "PartyServer", interval: float
+) -> threading.Event:
+    """Emit :class:`Heartbeat` frames over the pipe until the event is set.
+
+    Runs as a daemon thread beside the serving loop, so liveness frames
+    keep flowing while a job computes or blocks on the inter-party wire —
+    a wedged (but scheduled) process keeps heartbeating; a SIGSTOPped or
+    dead one goes silent, which is exactly the signal the supervisor needs.
+    """
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(interval):
+            try:
+                sender.send(
+                    Heartbeat(
+                        party=server.party,
+                        pid=os.getpid(),
+                        timestamp=time.time(),
+                        jobs_executed=server.stats.jobs_executed,
+                        job_id=server.current_job_id,
+                        round_index=server.transport.stats.round_frames_sent,
+                    )
+                )
+            except (BrokenPipeError, OSError, ValueError):
+                return  # driver went away; the serving loop will notice too
+
+    thread = threading.Thread(
+        target=_beat, name=f"party{server.party}-heartbeat", daemon=True
+    )
+    thread.start()
+    return stop
+
+
 def run_party_server(
     conn,
     party: int,
@@ -666,12 +751,14 @@ def run_party_server(
     it and only then boots party 1, so no free-then-bind race exists.
     """
     transport = None
+    sender = _PipeSender(conn)
+    heartbeat_stop: Optional[threading.Event] = None
     try:
         config: ServerConfig = conn.recv()
         listener = None
         if party == 0 and port <= 0:
             listener = TcpListener(host=host, port=0)
-            conn.send(("bound-port", listener.port))
+            sender.send(("bound-port", listener.port))
             port = listener.port
         endpoint = TransportEndpoint(
             party=party,
@@ -690,18 +777,21 @@ def run_party_server(
         server = PartyServer(party, transport, config)
         server.warm_up()
         server.start_provisioner()
-        conn.send("ready")
+        sender.send("ready")
+        interval = getattr(config, "heartbeat_interval", 0.0) or 0.0
+        if interval > 0:
+            heartbeat_stop = _start_heartbeat_thread(sender, server, interval)
         while True:
             message = conn.recv()
             if isinstance(message, ShutdownRequest):
-                conn.send(server.shutdown())
+                sender.send(server.shutdown())
                 break
             if isinstance(message, ProvisionRequest):
                 start = time.perf_counter()
                 buffered = server.provision(
                     message.model, message.batch_size, message.count
                 )
-                conn.send(
+                sender.send(
                     ProvisionReport(
                         model=message.model,
                         batch_size=message.batch_size,
@@ -714,11 +804,11 @@ def run_party_server(
                 )
             elif isinstance(message, JobRequest):
                 try:
-                    conn.send(server.execute_job(message))
+                    sender.send(server.execute_job(message))
                 except JobValidationError as exc:
                     # rejected pre-wire on both parties: answer and keep
                     # serving — only post-wire failures are process-fatal
-                    conn.send(JobFailed(job_id=message.job_id, error=str(exc)))
+                    sender.send(JobFailed(job_id=message.job_id, error=str(exc)))
             else:
                 raise TypeError(
                     f"party {party}: unexpected control message "
@@ -728,11 +818,13 @@ def run_party_server(
         pass
     except Exception as exc:  # surface the failure to the driver, then re-raise
         try:
-            conn.send(exc)
+            sender.send(exc)
         except Exception:
             pass
         raise
     finally:
+        if heartbeat_stop is not None:
+            heartbeat_stop.set()
         if transport is not None:
             transport.close()
         conn.close()

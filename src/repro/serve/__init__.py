@@ -16,17 +16,37 @@ and the runtime:
 - :class:`~repro.serve.pool.ShardedServingPool` — N persistent two-process
   worker pairs behind the same coalescing frontend: batches route to idle
   shards, party servers keep randomness buffers filled in the background,
-  and a dead worker pair is evicted while the rest keep serving.
+  and a dead worker pair is evicted while the rest keep serving;
+- :class:`~repro.serve.admission.AdmissionController` — bounded per-(model,
+  batch) queues with explicit backpressure (shed-with-retry-after, never
+  unbounded buffering) and the EWMA load signals autoscaling steers by;
+- :class:`~repro.serve.supervisor.ShardSupervisor` — heartbeat sweeps,
+  proactive evict-and-respawn with per-slot cooldowns, and
+  :class:`~repro.serve.supervisor.AutoscalePolicy`-driven scaling of the
+  shard fleet from observed queue depth;
+- :class:`~repro.serve.daemon.ServingDaemon` — the asyncio control plane:
+  one event loop multiplexing many framed client connections over the
+  transport codec, plus curl-able ``/stats`` + ``/healthz`` JSON endpoints
+  on the same port; :class:`~repro.serve.daemon.DaemonClient` is the
+  blocking client.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    BackpressureError,
+)
 from repro.serve.cache import CacheStats, PlanPoolCache, ServableModel
+from repro.serve.daemon import DaemonClient, DaemonResult, ServingDaemon
 from repro.serve.frontend import (
     BatchingFrontend,
     BatchOutcome,
+    PoolShutdown,
     ServedResult,
     ServingStats,
 )
 from repro.serve.pool import (
+    HeartbeatMiss,
     JobTicket,
     PoolBatchResult,
     ShardedServingPool,
@@ -34,19 +54,30 @@ from repro.serve.pool import (
     ShardStats,
     WorkerShard,
 )
+from repro.serve.supervisor import AutoscalePolicy, ShardSupervisor
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AutoscalePolicy",
+    "BackpressureError",
     "BatchingFrontend",
     "BatchOutcome",
     "CacheStats",
+    "DaemonClient",
+    "DaemonResult",
+    "HeartbeatMiss",
     "JobTicket",
     "PlanPoolCache",
     "PoolBatchResult",
+    "PoolShutdown",
     "ServableModel",
     "ServedResult",
+    "ServingDaemon",
     "ServingStats",
     "ShardedServingPool",
     "ShardFailure",
     "ShardStats",
+    "ShardSupervisor",
     "WorkerShard",
 ]

@@ -76,6 +76,26 @@ class BatchOutcome:
     job_seed: Optional[int] = None
 
 
+class PoolShutdown(RuntimeError):
+    """The serving stack shut down while this query was still pending.
+
+    Raised into client futures that would otherwise hang when shards die
+    during a drain (or the pool closes mid-flight).  Carries enough to
+    diagnose *where* the query was stuck: its position among the queries
+    abandoned by the same shutdown and how long it had been waiting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_position: int = -1,
+        elapsed_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.queue_position = queue_position
+        self.elapsed_seconds = elapsed_seconds
+
+
 #: latency samples kept for percentile computation (a sliding window, so a
 #: long-lived frontend under heavy traffic stays O(1) in memory)
 LATENCY_WINDOW = 100_000
@@ -182,6 +202,11 @@ class BatchingFrontend:
         self._queue: "Queue[Optional[_PendingQuery]]" = Queue()
         self._stats_lock = threading.Lock()
         self._lifecycle_lock = threading.Lock()
+        # Every accepted query lives here until its future resolves, so
+        # close() can fail stragglers promptly instead of leaving them to
+        # hang when shards die during the drain.
+        self._inflight: Dict[int, _PendingQuery] = {}
+        self._inflight_lock = threading.Lock()
         self._closed = False
         if provision_pools:
             for servable in self.models.values():
@@ -239,12 +264,15 @@ class BatchingFrontend:
             if self.stats.first_submit is None:
                 self.stats.first_submit = now
         future: "Future[ServedResult]" = Future()
+        item = _PendingQuery(model, query, future, now)
         # The closed check and the enqueue are atomic w.r.t. close(), so a
         # query can never land in the queue after the shutdown drain.
         with self._lifecycle_lock:
             if self._closed:
                 raise RuntimeError("frontend is closed")
-            self._queue.put(_PendingQuery(model, query, future, now))
+            with self._inflight_lock:
+                self._inflight[id(item)] = item
+            self._queue.put(item)
         return future
 
     def submit_many(
@@ -254,13 +282,52 @@ class BatchingFrontend:
         return [self.submit(model, query) for query in np.asarray(queries)]
 
     def close(self, timeout: float = 30.0) -> None:
-        """Drain the queue, stop the dispatcher and reject new submissions."""
+        """Drain the queue, stop the dispatcher and reject new submissions.
+
+        Every future accepted before the close resolves — normally if the
+        drain completes within ``timeout``, otherwise with a diagnosable
+        :class:`PoolShutdown` (queue position + elapsed wait) rather than
+        hanging forever on a backend that died mid-drain.
+        """
         with self._lifecycle_lock:
             if self._closed:
                 return
             self._closed = True
             self._queue.put(None)  # shutdown sentinel, after the last query
+        deadline = time.monotonic() + timeout
         self._dispatcher.join(timeout=timeout)
+        # Batches handed off to an asynchronous backend may still be
+        # executing legitimately; give the drain the rest of the budget,
+        # then fail whatever is left promptly.
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if not self._inflight:
+                    return
+            time.sleep(0.02)
+        self._fail_stragglers()
+
+    def _fail_stragglers(self) -> None:
+        with self._inflight_lock:
+            stragglers = sorted(
+                self._inflight.values(), key=lambda item: item.submitted_at
+            )
+            self._inflight.clear()
+        now = time.perf_counter()
+        failed = 0
+        for position, item in enumerate(stragglers):
+            elapsed = now - item.submitted_at
+            failed += _resolve(
+                item.future,
+                exception=PoolShutdown(
+                    f"frontend shut down with the query still pending "
+                    f"(queue position {position}, waited {elapsed:.1f}s)",
+                    queue_position=position,
+                    elapsed_seconds=elapsed,
+                ),
+            )
+        if failed:
+            with self._stats_lock:
+                self.stats.queries_failed += failed
 
     def __enter__(self) -> "BatchingFrontend":
         return self
@@ -366,8 +433,17 @@ class BatchingFrontend:
         except Exception as exc:
             with self._stats_lock:
                 self.stats.queries_failed += len(batch)
-            for item in batch:
-                _resolve(item.future, exception=exc)
+            for position, item in enumerate(batch):
+                err = exc
+                if isinstance(exc, PoolShutdown) and exc.queue_position < 0:
+                    # enrich the pool-level shutdown with this query's view
+                    err = PoolShutdown(
+                        str(exc),
+                        queue_position=position,
+                        elapsed_seconds=time.perf_counter() - item.submitted_at,
+                    )
+                _resolve(item.future, exception=err)
+            self._forget(batch)
             return
         done = time.perf_counter()
         predictions = outcome.logits.argmax(axis=1)
@@ -394,15 +470,23 @@ class BatchingFrontend:
                     job_seed=outcome.job_seed,
                 ),
             )
+        self._forget(batch)
+
+    def _forget(self, batch: List[_PendingQuery]) -> None:
+        with self._inflight_lock:
+            for item in batch:
+                self._inflight.pop(id(item), None)
 
 
-def _resolve(future: "Future[ServedResult]", result=None, exception=None) -> None:
+def _resolve(future: "Future[ServedResult]", result=None, exception=None) -> bool:
     """Resolve a future without letting a client-side cancel() (or any other
-    already-settled state) kill the dispatcher thread."""
+    already-settled state) kill the dispatcher thread.  Returns whether this
+    call actually settled the future."""
     try:
         if exception is not None:
             future.set_exception(exception)
         else:
             future.set_result(result)
+        return True
     except InvalidStateError:
-        pass
+        return False

@@ -34,6 +34,8 @@ Lifecycle of a shard:
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import threading
 import time
 from collections import deque
@@ -50,6 +52,7 @@ from repro.crypto.sharing import share
 from repro.crypto.transport import FaultPlan
 from repro.models.specs import ModelSpec
 from repro.runtime.server import (
+    Heartbeat,
     JobFailed,
     JobReport,
     JobRequest,
@@ -62,7 +65,12 @@ from repro.runtime.server import (
     run_party_server,
 )
 from repro.serve.cache import ServableModel
-from repro.serve.frontend import BatchingFrontend, BatchOutcome, _PendingQuery
+from repro.serve.frontend import (
+    BatchingFrontend,
+    BatchOutcome,
+    PoolShutdown,
+    _PendingQuery,
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +98,32 @@ class ShardFailure(RuntimeError):
     """
 
     ticket: Optional[JobTicket] = None
+
+
+class HeartbeatMiss(ShardFailure):
+    """A party went silent past the heartbeat deadline; the shard is wedged.
+
+    Distinguishes a *wedged* worker (process alive but not making progress
+    — stopped, deadlocked, or stuck on a dead peer link) from a merely
+    *slow* one: a slow party keeps heartbeating from its background thread,
+    so only true silence trips this.  Carries the last liveness evidence so
+    the stall is diagnosable: when the party was last seen, which job it
+    was executing and how many protocol rounds it had sent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        party: int = -1,
+        last_seen: Optional[float] = None,
+        job_id: Optional[int] = None,
+        round_index: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.party = party
+        self.last_seen = last_seen
+        self.job_id = job_id
+        self.round_index = round_index
 
 
 @dataclass
@@ -209,6 +243,8 @@ class WorkerShard:
         initial_job_id: int = 0,
         factory_address: Optional[Tuple[str, int]] = None,
         factory_announce_ahead: int = 4,
+        heartbeat_interval: float = 1.0,
+        heartbeat_deadline: float = 0.0,
     ) -> None:
         self.index = index
         self.models = models
@@ -220,6 +256,22 @@ class WorkerShard:
         self.stats = ShardStats()
         self.final_server_stats: Dict[int, ServerStats] = {}
         self._lock = threading.Lock()
+        #: seconds of heartbeat silence after which a party counts as wedged
+        #: (0 disables enforcement — only the hard ``timeout`` applies).
+        #: Enforced only once a party has heartbeat at least once, so a slow
+        #: boot (plan compilation, provisioning) never trips it.
+        self.heartbeat_deadline = heartbeat_deadline
+        self._poll_interval = (
+            min(0.25, heartbeat_deadline / 4) if heartbeat_deadline > 0 else 0.5
+        )
+        # _recv and the supervisor's poll_heartbeats both read the pipes;
+        # per-party locks serialize them, and messages a heartbeat sweep
+        # pulls out from under a dispatcher are pushed back here (checked
+        # before the pipe, preserving order).
+        self._pipe_locks = [threading.Lock(), threading.Lock()]
+        self._pushback: List[Deque] = [deque(), deque()]
+        self.last_heartbeat: List[Optional[Heartbeat]] = [None, None]
+        self._last_beat_mono: List[Optional[float]] = [None, None]
         # A replacement for a dead shard inherits its predecessor's counters
         # (and base seed), so the slot's job-seed stream continues exactly
         # where the fault interrupted it — later jobs still match the
@@ -244,6 +296,7 @@ class WorkerShard:
             fault_plans=dict(fault_plans) if fault_plans else None,
             factory_address=factory_address,
             factory_announce_ahead=factory_announce_ahead,
+            heartbeat_interval=heartbeat_interval,
         )
         # Party 0 binds an ephemeral port itself and announces the
         # kernel-assigned number before party 1 boots — race-free even when
@@ -289,25 +342,114 @@ class WorkerShard:
 
     # -- control-pipe plumbing ---------------------------------------------- #
     def _recv(self, party: int, timeout: float):
-        conn = self._pipes[party]
-        try:
-            if not conn.poll(timeout):
+        """Receive the next non-heartbeat message from one party.
+
+        Polls in short slices instead of one long block: heartbeat frames
+        interleaved with the reply are absorbed (refreshing the party's
+        last-seen time), and a party whose heartbeats go silent for longer
+        than ``heartbeat_deadline`` raises :class:`HeartbeatMiss` carrying
+        the last liveness evidence — surfacing a wedged worker in seconds
+        instead of an opaque ``timeout``-long stall.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._pipe_locks[party]:
+                if self._pushback[party]:
+                    message = self._pushback[party].popleft()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ShardFailure(
+                            f"shard {self.index} party {party} did not answer "
+                            f"within {timeout:.0f}s"
+                        )
+                    try:
+                        if not self._pipes[party].poll(
+                            min(remaining, self._poll_interval)
+                        ):
+                            self._check_heartbeat_deadline(party)
+                            continue
+                        message = self._pipes[party].recv()
+                    except ShardFailure:
+                        raise
+                    except (EOFError, OSError) as exc:
+                        raise ShardFailure(
+                            f"shard {self.index} party {party} pipe broke: {exc}"
+                        ) from exc
+            if isinstance(message, Heartbeat):
+                self._note_heartbeat(party, message)
+                continue
+            if isinstance(message, BaseException):
                 raise ShardFailure(
-                    f"shard {self.index} party {party} did not answer "
-                    f"within {timeout:.0f}s"
-                )
-            message = conn.recv()
-        except ShardFailure:
-            raise
-        except (EOFError, OSError) as exc:
-            raise ShardFailure(
-                f"shard {self.index} party {party} pipe broke: {exc}"
-            ) from exc
-        if isinstance(message, BaseException):
-            raise ShardFailure(
-                f"shard {self.index} party {party} failed: {message}"
-            ) from message
-        return message
+                    f"shard {self.index} party {party} failed: {message}"
+                ) from message
+            return message
+
+    def _note_heartbeat(self, party: int, beat: Heartbeat) -> None:
+        with self._lock:
+            self.last_heartbeat[party] = beat
+            self._last_beat_mono[party] = time.monotonic()
+
+    def _check_heartbeat_deadline(self, party: int) -> None:
+        if self.heartbeat_deadline <= 0:
+            return
+        with self._lock:
+            last_mono = self._last_beat_mono[party]
+            beat = self.last_heartbeat[party]
+        if last_mono is None:
+            return  # never heartbeat yet (booting, or emission disabled)
+        silence = time.monotonic() - last_mono
+        if silence <= self.heartbeat_deadline:
+            return
+        raise HeartbeatMiss(
+            f"shard {self.index} party {party} missed its heartbeat deadline "
+            f"({silence:.1f}s > {self.heartbeat_deadline:.1f}s silent; last "
+            f"seen at {beat.timestamp:.3f} in job "
+            f"{beat.job_id if beat.job_id is not None else '<idle>'} after "
+            f"{beat.round_index} round frames)",
+            party=party,
+            last_seen=beat.timestamp,
+            job_id=beat.job_id,
+            round_index=beat.round_index,
+        )
+
+    def poll_heartbeats(self) -> Dict[int, Optional[float]]:
+        """Drain pending heartbeat frames without blocking any dispatcher.
+
+        Called periodically by the supervisor so idle shards' liveness stays
+        fresh (and their pipes never fill with unread frames).  Per-party
+        locks are taken non-blockingly: a dispatcher already on the pipe
+        absorbs heartbeats itself.  Non-heartbeat messages encountered are
+        pushed back for the dispatcher, in order.  Returns the current
+        heartbeat ages (see :meth:`heartbeat_ages`).
+        """
+        if self.alive:
+            for party in (0, 1):
+                lock = self._pipe_locks[party]
+                if not lock.acquire(blocking=False):
+                    continue
+                try:
+                    conn = self._pipes[party]
+                    while conn.poll(0):
+                        message = conn.recv()
+                        if isinstance(message, Heartbeat):
+                            self._note_heartbeat(party, message)
+                        else:
+                            self._pushback[party].append(message)
+                except (EOFError, OSError):
+                    pass  # process death is the supervisor's other signal
+                finally:
+                    lock.release()
+        return self.heartbeat_ages()
+
+    def heartbeat_ages(self) -> Dict[int, Optional[float]]:
+        """Seconds since each party's last heartbeat (None = never seen)."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                party: (now - mono if mono is not None else None)
+                for party, mono in enumerate(self._last_beat_mono)
+            }
 
     def _send(self, party: int, message) -> None:
         try:
@@ -526,7 +668,13 @@ class WorkerShard:
         self.kill()
 
     def kill(self) -> None:
-        """Hard stop: terminate whatever is still running."""
+        """Hard stop: terminate whatever is still running.
+
+        Escalates SIGTERM → SIGKILL: a *stopped* process (SIGSTOP — the
+        wedged-worker chaos case) leaves SIGTERM pending forever, so after a
+        grace period the process is killed outright.  Eviction must never
+        wedge the evictor.
+        """
         self.alive = False
         for conn in self._pipes:
             try:
@@ -536,7 +684,16 @@ class WorkerShard:
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
-                process.join(timeout=10.0)
+                try:
+                    # a *stopped* process (SIGSTOP) leaves SIGTERM pending
+                    # forever; waking it delivers the termination now
+                    os.kill(process.pid, signal.SIGCONT)
+                except (ProcessLookupError, OSError):
+                    pass
+                process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
 
     @property
     def processes(self) -> List[mp.Process]:
@@ -640,11 +797,18 @@ class ShardedServingPool:
         link_shape: Optional[FaultPlan] = None,
         factory_address: Optional[Tuple[str, int]] = None,
         factory_announce_ahead: int = 4,
+        max_shards: Optional[int] = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_deadline: float = 0.0,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if max_job_retries < 0:
             raise ValueError(f"max_job_retries must be >= 0, got {max_job_retries}")
+        if max_shards is not None and max_shards < num_shards:
+            raise ValueError(
+                f"max_shards ({max_shards}) must be >= num_shards ({num_shards})"
+            )
         if link_shape is not None and link_shape.drops:
             raise ValueError(
                 "link_shape must be shaping-only (no drop_at_round); put "
@@ -672,20 +836,29 @@ class ShardedServingPool:
         self.link_shape = link_shape
         self.factory_address = tuple(factory_address) if factory_address else None
         self.factory_announce_ahead = factory_announce_ahead
+        self.max_shards = max_shards if max_shards is not None else num_shards
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_deadline = heartbeat_deadline
         self.processes_spawned = 0
         self.shards_booted = 0
         self.jobs_retried = 0
         self.jobs_recovered = 0
         self.retries_exhausted = 0
         self.shards_respawned = 0
+        self.shards_retired = 0
         self._shards: List[Optional[WorkerShard]] = []
+        #: gracefully-retired shards, kept so lifetime aggregates never drop
+        self._retired: List[WorkerShard] = []
         self._restarting: set = set()
         self._respawn_threads: List[threading.Thread] = []
         self._idle: "Queue[WorkerShard]" = Queue()
         self._shard_lock = threading.Lock()
         self._closed = False
+        self._rejecting = False
+        # sized for the autoscaled ceiling, so added shards actually add
+        # dispatch concurrency instead of queueing behind a static cap
         self._executor = ThreadPoolExecutor(
-            max_workers=num_shards, thread_name_prefix="pool-shard"
+            max_workers=self.max_shards, thread_name_prefix="pool-shard"
         )
         try:
             for index in range(num_shards):
@@ -758,6 +931,8 @@ class ShardedServingPool:
             initial_job_id=initial_job_id,
             factory_address=self.factory_address,
             factory_announce_ahead=self.factory_announce_ahead,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_deadline=self.heartbeat_deadline,
         )
         self.processes_spawned += 2
         self.shards_booted += 1
@@ -767,6 +942,97 @@ class ShardedServingPool:
     def live_shards(self) -> int:
         with self._shard_lock:
             return sum(1 for s in self._shards if s is not None and s.alive)
+
+    def shards_view(self) -> List[WorkerShard]:
+        """A consistent snapshot of the currently-registered shards."""
+        with self._shard_lock:
+            return [s for s in self._shards if s is not None]
+
+    def booting_shards(self) -> int:
+        """Shard slots with a boot (respawn or scale-up) in progress."""
+        with self._shard_lock:
+            return len(self._restarting)
+
+    def add_shard(self, wait: bool = True) -> Optional[int]:
+        """Grow the pool by one freshly-booted shard pair (autoscale-up).
+
+        The new slot gets its own seed stream (it has no predecessor to
+        continue).  With ``wait=False`` the boot happens on a background
+        thread and the call returns immediately — the supervisor's sweep
+        must not stall behind a multi-second boot.  Returns the new slot
+        index (``None`` when deferred to a thread or the pool is closed).
+        """
+        with self._shard_lock:
+            if self._closed:
+                return None
+            index = len(self._shards)
+            self._shards.append(None)  # reserve the slot
+            self._restarting.add(index)
+
+        def _boot() -> Optional[int]:
+            try:
+                shard = self._boot_shard(index, inject=False)
+            except Exception:
+                with self._shard_lock:
+                    self._restarting.discard(index)
+                return None
+            with self._shard_lock:
+                closed = self._closed
+                if not closed:
+                    self._shards[index] = shard
+                self._restarting.discard(index)
+            if closed:
+                shard.kill()
+                return None
+            self._idle.put(shard)
+            return index
+
+        if wait:
+            return _boot()
+        thread = threading.Thread(
+            target=_boot, name=f"scale-up-shard{index}", daemon=True
+        )
+        with self._shard_lock:
+            self._respawn_threads = [
+                t for t in self._respawn_threads if t.is_alive()
+            ]
+            self._respawn_threads.append(thread)
+        thread.start()
+        return None
+
+    def retire_shard(self) -> Optional[int]:
+        """Shrink the pool by one *idle* shard (autoscale-down).
+
+        Claims a shard from the idle queue (never preempts a running job),
+        removes it from the serving rotation, and shuts it down gracefully
+        on a background thread.  Refuses to retire the last live shard.
+        Returns the retired slot index, or ``None`` if nothing could be
+        retired without waiting.
+        """
+        try:
+            shard = self._idle.get_nowait()
+        except Empty:
+            return None
+        if not shard.alive:
+            return None  # evicted while queued; its entry is consumed anyway
+        with self._shard_lock:
+            live = sum(1 for s in self._shards if s is not None and s.alive)
+            if self._closed or live <= 1:
+                self._idle.put(shard)
+                return None
+            self._shards[shard.index] = None
+            self._retired.append(shard)
+            self.shards_retired += 1
+        thread = threading.Thread(
+            target=shard.shutdown, name=f"retire-shard{shard.index}", daemon=True
+        )
+        with self._shard_lock:
+            self._respawn_threads = [
+                t for t in self._respawn_threads if t.is_alive()
+            ]
+            self._respawn_threads.append(thread)
+        thread.start()
+        return shard.index
 
     def restart_shard(self, index: int) -> None:
         """Replace an evicted shard with a freshly booted worker pair."""
@@ -847,15 +1113,34 @@ class ShardedServingPool:
 
     def _acquire_shard(self) -> WorkerShard:
         deadline = time.monotonic() + self.job_timeout
+        dead_pool_since: Optional[float] = None
         while True:
+            if self._rejecting:
+                # the close() drain window is over: fail promptly instead of
+                # waiting out job_timeout on a pool that is going away
+                raise PoolShutdown(
+                    "serving pool shut down while the batch was waiting "
+                    "for a shard"
+                )
             if self.live_shards == 0:
                 with self._shard_lock:
                     restarting = bool(self._restarting)
-                if not restarting:
-                    raise RuntimeError(
-                        "no live shards remain in the serving pool"
-                    )
-                # a replacement pair is booting; keep waiting for it
+                if restarting:
+                    # a replacement pair is booting; keep waiting for it
+                    dead_pool_since = None
+                else:
+                    # zero live and nothing booting *yet*: the dispatcher or
+                    # supervisor that saw the death may not have registered
+                    # the respawn — only give up once the state persists
+                    now = time.monotonic()
+                    if dead_pool_since is None:
+                        dead_pool_since = now
+                    elif now - dead_pool_since > 2.0:
+                        raise RuntimeError(
+                            "no live shards remain in the serving pool"
+                        )
+            else:
+                dead_pool_since = None
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise RuntimeError(
@@ -982,8 +1267,15 @@ class ShardedServingPool:
     def stats_snapshot(self) -> Dict[str, object]:
         """Aggregate + per-shard serving statistics."""
         with self._shard_lock:
-            shards = [s for s in self._shards if s is not None]
+            # retired first, so a reused slot index (manual restart after a
+            # retire) is reported by its live incarnation
+            shards = list(self._retired) + [
+                s for s in self._shards if s is not None
+            ]
         per_shard = {s.index: s.stats_snapshot() for s in shards}
+        heartbeat_ages = {
+            s.index: s.heartbeat_ages() for s in shards if s.alive
+        }
         pool_hits = sum(snap["pool_hits"] for snap in per_shard.values())
         pool_misses = sum(snap["pool_misses"] for snap in per_shard.values())
         payload_bytes = sum(snap["payload_bytes"] for snap in per_shard.values())
@@ -993,9 +1285,12 @@ class ShardedServingPool:
         frontend = self.frontend.stats_snapshot() if hasattr(self, "frontend") else {}
         return {
             "num_shards": self.num_shards,
+            "max_shards": self.max_shards,
             "live_shards": self.live_shards,
             "shards_booted": self.shards_booted,
             "shards_respawned": self.shards_respawned,
+            "shards_retired": self.shards_retired,
+            "heartbeat_ages": heartbeat_ages,
             "processes_spawned": self.processes_spawned,
             "jobs_retried": self.jobs_retried,
             "jobs_recovered": self.jobs_recovered,
@@ -1031,19 +1326,27 @@ class ShardedServingPool:
 
     # -- lifecycle ------------------------------------------------------------- #
     def close(self, timeout: float = 60.0) -> None:
-        """Drain the frontend, stop the executor, shut every shard down."""
+        """Drain the frontend, stop the executor, shut every shard down.
+
+        Batches that cannot finish within the drain window fail promptly
+        with :class:`~repro.serve.frontend.PoolShutdown` instead of hanging
+        on dead shards — every accepted future resolves exactly once.
+        """
         if self._closed:
             return
         self._closed = True
         if hasattr(self, "frontend"):
             self.frontend.close(timeout=timeout)
+        # the drain window is over: batches still waiting for a shard (e.g.
+        # because shards died during the drain) now fail fast
+        self._rejecting = True
         self._executor.shutdown(wait=True)
         with self._shard_lock:
             respawns = list(self._respawn_threads)
         for thread in respawns:
             thread.join(timeout=timeout)
         with self._shard_lock:
-            shards = [s for s in self._shards if s is not None]
+            shards = [s for s in self._shards if s is not None] + list(self._retired)
         for shard in shards:
             if shard.alive:
                 shard.shutdown(timeout=timeout)

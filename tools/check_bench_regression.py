@@ -49,6 +49,24 @@ are understood (dispatched on the report's ``kind`` field):
   recovery is the feature — but a shaped, drop-free link must not retry);
 - the zoo-wide **bit-identity** phase must have passed when it ran.
 
+``control_plane`` (schema ``serving-bench/v1``):
+
+- under sustained overload of the serving daemon there must be **zero
+  client-visible failures** — every submission resolves to logits or an
+  explicit backpressure verdict (shed is a verdict, not a failure);
+- the overload must actually engage the contract (**accepted > 0 and
+  shed > 0** — a run that sheds nothing or serves nothing gates nothing);
+- the **shed ratio** must stay bounded: at most the baseline's ratio plus
+  an absolute slack (machine speed moves the ratio a little, a leak or an
+  admission bug moves it a lot);
+- the **qps plateau ratio** (accepted overload throughput / calibrated
+  single-client throughput) must not fall more than
+  ``--max-qps-regression`` below the baseline's ratio, and never below the
+  0.5x collapse floor — overload must degrade into shedding, not into a
+  throughput collapse;
+- every sampled accepted job must replay **bit-identically** at its job
+  seed.
+
 ``offline_throughput`` (schema ``serving-bench/v1``):
 
 - the **minimum linear-kind generation speedup** (vectorized vs per-item
@@ -377,6 +395,86 @@ def check_pool_scaling(
     return failures
 
 
+#: absolute slack on the overload shed ratio over the baseline's — machine
+#: speed shifts the ratio a little; an admission bug shifts it a lot
+SHED_RATIO_SLACK = 0.25
+
+#: hard floor on the overload qps plateau ratio — below this, overload is
+#: collapsing throughput instead of shedding load
+PLATEAU_RATIO_FLOOR = 0.5
+
+
+def check_control_plane(
+    current: dict, baseline: dict, max_qps_regression: float
+) -> list:
+    failures = []
+    overload = current.get("overload") or {}
+    baseline_overload = baseline.get("overload") or {}
+
+    # -- zero client-visible failures (the robustness acceptance criterion) ---- #
+    if overload.get("client_failures", 1) != 0:
+        messages = "; ".join(overload.get("failure_messages", [])) or "?"
+        failures.append(
+            f"{overload.get('client_failures')} client future(s) failed "
+            f"without an explicit verdict under overload: {messages}"
+        )
+
+    # -- the contract must actually engage ------------------------------------- #
+    if overload.get("accepted", 0) <= 0:
+        failures.append("overload run accepted zero submissions — vacuous")
+    if overload.get("shed", 0) <= 0:
+        failures.append(
+            "overload run shed zero submissions — the admission queue was "
+            "never saturated, the backpressure gate is vacuous"
+        )
+
+    # -- bounded shed ratio ----------------------------------------------------- #
+    baseline_shed = baseline_overload.get("shed_ratio", 0.0)
+    current_shed = overload.get("shed_ratio", 1.0)
+    ceiling = baseline_shed + SHED_RATIO_SLACK
+    if current_shed > ceiling:
+        failures.append(
+            f"shed ratio {current_shed:.0%} exceeds baseline "
+            f"{baseline_shed:.0%} + {SHED_RATIO_SLACK:.0%} slack"
+        )
+
+    # -- accepted throughput plateaus instead of collapsing --------------------- #
+    baseline_plateau = baseline_overload.get("qps_plateau_ratio")
+    current_plateau = overload.get("qps_plateau_ratio")
+    if baseline_plateau is None or current_plateau is None:
+        failures.append(
+            f"missing overload.qps_plateau_ratio: current={current_plateau}, "
+            f"baseline={baseline_plateau}"
+        )
+    else:
+        floor = max(
+            baseline_plateau * (1.0 - max_qps_regression), PLATEAU_RATIO_FLOOR
+        )
+        if current_plateau < floor:
+            failures.append(
+                f"qps plateau ratio regressed: {current_plateau:.2f}x vs "
+                f"baseline {baseline_plateau:.2f}x (floor {floor:.2f}x at "
+                f"{max_qps_regression:.0%} tolerance, collapse floor "
+                f"{PLATEAU_RATIO_FLOOR}x)"
+            )
+
+    # -- bit identity of sampled accepted jobs ---------------------------------- #
+    checks = current.get("bit_identity") or []
+    if not checks:
+        failures.append("no accepted jobs were replay-verified — vacuous")
+    broken = [
+        str(entry.get("job_seed"))
+        for entry in checks
+        if not entry.get("bit_identical")
+    ]
+    if broken:
+        failures.append(
+            f"accepted jobs diverged from the in-process engine at seed(s): "
+            f"{', '.join(broken)}"
+        )
+    return failures
+
+
 def check(
     current: dict,
     baseline: dict,
@@ -407,6 +505,10 @@ def check(
         failures.extend(
             check_offline_throughput(current, baseline, max_offline_regression)
         )
+    elif kind == "control_plane":
+        failures.extend(
+            check_control_plane(current, baseline, max_qps_regression)
+        )
     else:
         failures.extend(
             check_round_coalescing(current, baseline, latency_key, max_qps_regression)
@@ -428,6 +530,16 @@ def _summary(current: dict, baseline: dict, latency_key: str) -> str:
             f"shaped-link qps scaling {shaped.get('qps_speedup', 0.0):.2f}x "
             f"(baseline {baseline_shaped.get('qps_speedup', 0.0):.2f}x), "
             f"clean scaling {current.get('scaling', {}).get('qps_speedup', 0.0):.2f}x"
+        )
+    if baseline.get("kind") == "control_plane":
+        overload = current.get("overload") or {}
+        baseline_overload = baseline.get("overload") or {}
+        return (
+            f"overload accepted {overload.get('accepted')}/"
+            f"{overload.get('offered')} (shed {overload.get('shed_ratio', 0.0):.0%}, "
+            f"baseline {baseline_overload.get('shed_ratio', 0.0):.0%}), "
+            f"qps plateau {overload.get('qps_plateau_ratio', 0.0):.2f}x, "
+            f"0 client failures"
         )
     if baseline.get("kind") == "offline_throughput":
         concurrency = current.get("concurrency") or {}
